@@ -1,0 +1,84 @@
+// Ablation — region grouping heuristics (thesis §3.2.2).
+//
+// Measures what each grouping ingredient buys on the DLX:
+//   - automatic grouping with all heuristics (bus names + logic cleaning);
+//   - without the bus-name heuristic (Fig 3.6): per-bit mux columns
+//     fragment into their own regions;
+//   - without logic cleaning (Fig 3.5): drive buffers tie unrelated clouds
+//     together and merge regions;
+//   - the paper's manual four-stage regions.
+// For each variant: region count, control-network size, effective period
+// and flow-equivalence.
+#include "harness.h"
+
+using namespace bench;
+
+namespace {
+
+struct Variant {
+  const char* name;
+  bool bus_heuristic;
+  bool clean_logic;
+  bool manual;
+};
+
+}  // namespace
+
+int main() {
+  header("Ablation: grouping heuristics on the DLX");
+  row("  %-26s %8s %10s %12s %8s", "variant", "regions", "ctl cells",
+      "period(ns)", "flow-eq");
+
+  const std::vector<Variant> variants = {
+      {"auto (all heuristics)", true, true, false},
+      {"auto, no bus heuristic", false, true, false},
+      {"auto, no logic cleaning", true, false, false},
+      {"manual 4 pipeline stages", true, true, true},
+  };
+
+  for (const Variant& v : variants) {
+    const lib::Gatefile& gf = gatefileHs();
+    nl::Design d;
+    designs::buildCpu(d, gf, designs::dlxConfig());
+    nl::Design sync_copy;
+    nl::cloneModule(sync_copy, *d.findModule("dlx"));
+    sync_copy.setTop("dlx");
+    const std::size_t cells_before = d.findModule("dlx")->numCells();
+
+    core::DesyncOptions opt;
+    opt.control.reset_port = "rst_n";
+    opt.control.reset_active_low = true;
+    opt.grouping.bus_heuristic = v.bus_heuristic;
+    opt.grouping.clean_logic = v.clean_logic;
+    if (v.manual) opt.manual_seq_groups = dlxStageRegions();
+    core::DesyncResult res;
+    try {
+      res = core::desynchronize(d, *d.findModule("dlx"), gf, opt);
+    } catch (const std::exception& e) {
+      // Report the region count the variant produced before failing.
+      nl::Design probe;
+      designs::buildCpu(probe, gf, designs::dlxConfig());
+      core::Regions regions =
+          core::groupRegions(*probe.findModule("dlx"), gf, opt.grouping);
+      row("  %-26s %8d  fragmented -> %s", v.name, regions.n_groups,
+          e.what());
+      continue;
+    }
+    const std::size_t added =
+        d.findModule("dlx")->numCells() -
+        std::min(cells_before, d.findModule("dlx")->numCells());
+
+    auto golden = runSync(sync_copy.top(), gf,
+                          res.sync_min_period_ns * 2, 30);
+    DesyncRun run = runDesync(*d.findModule("dlx"), gf,
+                              50 * res.sync_min_period_ns);
+    sim::FlowEqReport fe = sim::checkFlowEquivalence(*golden, *run.sim);
+    row("  %-26s %8d %10zu %12.3f %8s", v.name, res.regions.n_groups, added,
+        run.eff_period_ns, fe.equivalent ? "yes" : "NO");
+  }
+
+  row("\n  expectations: the bus heuristic keeps mux-column registers");
+  row("  together (far fewer regions); skipping cleaning merges regions");
+  row("  through drive buffers; manual staging gives the paper's 4+1.");
+  return 0;
+}

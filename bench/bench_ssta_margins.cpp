@@ -1,0 +1,113 @@
+// SSTA margin analysis — the thesis's stated future work ("SSTA can be
+// used to verify how well the delay elements match the logic delay across
+// the whole spectrum of operation conditions", ch.6).
+//
+// Monte-Carlo statistical STA over die samples (inter-die scale + per-cell
+// intra-die variation): for every region of the desynchronized DLX, the
+// matched delay element and the region critical path are re-timed per
+// sample, and the margin distribution (element delay / required delay) is
+// reported.  A margin that dips below 1.0 on some die is a timing-yield
+// loss; the flow's margin option must cover the intra-die sigma.
+#include <algorithm>
+#include <cmath>
+
+#include "harness.h"
+
+using namespace bench;
+
+int main() {
+  header("SSTA: delay-element margin distribution over die samples");
+
+  DlxPair pair = makeDlxPair();
+  const lib::Gatefile& gf = *pair.gf;
+  nl::Module& m = pair.desyncModule();
+
+  const int kSamples = 60;
+  var::VariationModel model = var::makeSpanModel(11);
+  // Intra-die only matters for margins (inter-die cancels between the
+  // element and the logic it matches — the paper's central argument).
+  row("  flow margin option: %.0f%%; intra-die sigma: %.0f%%",
+      (1.15 - 1.0) * 100, model.intra_die_sigma * 100);
+
+  struct Stats {
+    double min = 1e9, sum = 0, sum2 = 0;
+    int n = 0;
+    void add(double v) {
+      min = std::min(min, v);
+      sum += v;
+      sum2 += v * v;
+      ++n;
+    }
+  };
+  std::vector<Stats> per_region(pair.report.control.regions.size());
+  int failing_dies = 0;
+
+  for (int s = 0; s < kSamples; ++s) {
+    var::ChipSample chip =
+        var::sampleChip(model, static_cast<std::uint64_t>(s));
+    sta::StaOptions so;
+    so.disabled = pair.report.sdc.disabled;
+    // Inter-die scale applies to everything equally; margins depend only on
+    // the intra-die component, but we keep both for realism.
+    so.delay_scale = chip.global;
+    so.cell_scale = chip.cell_factor;
+    sta::Sta analysis(m, gf, so);
+
+    bool die_fails = false;
+    for (std::size_t r = 0; r < pair.report.control.regions.size(); ++r) {
+      const core::RegionControl& rc = pair.report.control.regions[r];
+      // Required: worst path into the region's master latches.
+      double required = 0;
+      for (nl::CellId cid :
+           pair.report.regions.seq_cells[static_cast<std::size_t>(rc.group)]) {
+        std::string name(m.cellName(cid));
+        if (name.size() < 3 || name.substr(name.size() - 3) != "_Lm") {
+          continue;
+        }
+        if (auto v = analysis.combDelayToSeq(name)) {
+          required = std::max(required, *v);
+        }
+      }
+      // Matched: the in-place delay element, re-timed with this die's
+      // per-cell factors (input joint request net -> master ri net).
+      std::string g = "G" + std::to_string(rc.group);
+      nl::NetId ri = m.findNet(g + "_m_ri");
+      if (!ri.valid() || required <= 0) continue;
+      const nl::Net& ri_net = m.net(ri);
+      if (!ri_net.driver.isCellPin()) continue;
+      // The DE's A input net:
+      nl::CellId de_last = ri_net.driver.cell();
+      (void)de_last;
+      // Find the element's source: the net feeding "G<k>_DE/u0" pin A.
+      nl::CellId first = m.findCell(g + "_DE/u0");
+      if (!first.valid()) continue;
+      nl::NetId src = m.pinNet(first, "A");
+      auto matched = analysis.netToNetNs(m.netName(src), m.netName(ri),
+                                         /*rising_out=*/true);
+      if (!matched) continue;
+      const double margin = *matched / required;
+      per_region[r].add(margin);
+      if (margin < 1.0) die_fails = true;
+    }
+    if (die_fails) ++failing_dies;
+  }
+
+  row("  %-8s %10s %10s %10s %10s", "region", "mean", "sigma", "min",
+      "levels");
+  for (std::size_t r = 0; r < per_region.size(); ++r) {
+    const Stats& st = per_region[r];
+    if (st.n == 0) continue;
+    const double mean = st.sum / st.n;
+    const double sigma = std::sqrt(std::max(0.0, st.sum2 / st.n - mean * mean));
+    row("  G%-7d %10.3f %10.3f %10.3f %10d",
+        pair.report.control.regions[r].group, mean, sigma, st.min,
+        pair.report.control.regions[r].delay_levels);
+  }
+  row("\n  dies with any region margin < 1.0: %d / %d", failing_dies,
+      kSamples);
+  row("  interpretation: inter-die variation cancels between element and");
+  row("  logic (same die); only the intra-die sigma eats into the %.0f%%",
+      (1.15 - 1.0) * 100);
+  row("  margin — exactly the matching property the paper claims (§2.5).");
+  return 0;
+}

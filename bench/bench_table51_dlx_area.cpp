@@ -1,0 +1,92 @@
+// Table 5.1 — area results for synchronous and desynchronized DLX.
+//
+// Reproduces the structure of the paper's table: post-synthesis and
+// post-layout rows with the desynchronization overhead percentage, next to
+// the published reference values.  Absolute numbers differ (synthetic
+// library, in-repo synthesis/backend); the shape to check is: overhead
+// dominated by the sequential substitution, modest combinational overhead,
+// post-layout growth from buffer trees, slightly lower utilization.
+#include "harness.h"
+#include "pnr/pnr.h"
+
+namespace pnr = desync::pnr;
+using namespace bench;
+
+namespace {
+
+struct Sides {
+  pnr::PnrResult sync_r, desync_r;
+};
+
+void printRow(const char* name, double a, double b, const char* paper) {
+  double ovh = a > 0 ? (b - a) / a * 100.0 : 0.0;
+  row("  %-28s %12.0f %12.0f %8.2f%%   (paper: %s)", name, a, b, ovh, paper);
+}
+
+}  // namespace
+
+int main() {
+  header("Table 5.1: area results for synchronous and desynchronized DLX");
+
+  DlxPair pair = makeDlxPair();
+  const lib::Gatefile& gf = *pair.gf;
+
+  pnr::PnrOptions sync_opt;  // clock tree on clk
+  pnr::PnrResult s = pnr::placeAndRoute(pair.syncModule(), gf, sync_opt);
+  pnr::PnrOptions desync_opt;
+  desync_opt.clock_ports = {};  // enable trees already inserted by the flow
+  pnr::PnrResult d = pnr::placeAndRoute(pair.desyncModule(), gf, desync_opt);
+
+  row("  regions: %d (four pipeline stages + input group, thesis Fig 5.2)",
+      pair.report.regions.n_groups);
+
+  // Sequential-logic attribution as the paper does for the ARM (§5.3.1):
+  // the flip-flop substitution glue counts toward the sequential overhead.
+  auto seqWithGlue = [&gf](nl::Module& m) {
+    static const std::vector<std::string> kGlue = {
+        "_Lm",  "_Ls",  "_acm", "_acs",  "_agm",  "_ags",  "_apm",
+        "_aps", "_apgm", "_apgs", "_scmux", "_syr", "_sys", "_qninv"};
+    double area = 0;
+    m.forEachCell([&](nl::CellId id) {
+      const auto* c = gf.library().findCell(std::string(m.cellType(id)));
+      if (c == nullptr) return;
+      bool seq = c->kind != lib::CellKind::kCombinational;
+      if (!seq) {
+        std::string name(m.cellName(id));
+        for (const std::string& suffix : kGlue) {
+          auto pos = name.find(suffix);
+          if (pos != std::string::npos) {
+            seq = true;
+            break;
+          }
+        }
+      }
+      if (seq) area += c->area;
+    });
+    return area;
+  };
+  const double s_seq = seqWithGlue(pair.syncModule());
+  const double d_seq = seqWithGlue(pair.desyncModule());
+
+  row("  %-28s %12s %12s %9s", "post-synthesis", "DLX", "DDLX", "overhead");
+  printRow("# nets", double(s.nets_pre), double(d.nets_pre), "+11.46%");
+  printRow("# cells", double(s.cells_pre), double(d.cells_pre), "+11.41%");
+  printRow("cell area (um^2)", s.cell_area_pre, d.cell_area_pre, "+6.52%");
+  printRow("combinational (um^2)", s.cell_area_pre - s_seq,
+           d.cell_area_pre - d_seq, "+2.05%");
+  printRow("sequential+glue (um^2)", s_seq, d_seq, "+17.66%");
+
+  row("  %-28s %12s %12s %9s", "post-layout", "DLX", "DDLX", "overhead");
+  printRow("# nets", double(s.nets_post), double(d.nets_post), "+11.77%");
+  printRow("# cells", double(s.cells_post), double(d.cells_post), "+12.24%");
+  printRow("std cell area (um^2)", s.std_cell_area, d.std_cell_area,
+           "+8.79%");
+  printRow("core size (um^2)", s.core_size, d.core_size, "+13.44%");
+  row("  %-28s %11.2f%% %11.2f%%             (paper: 95.06%% / 91.16%%)",
+      "core utilization", s.utilization * 100, d.utilization * 100);
+
+  row("\n  notes: sequential-dominated overhead reproduced; our generator");
+  row("  resets every datapath flip-flop (async clear), so the Fig 3.1c");
+  row("  glue is heavier than the paper's DLX — see EXPERIMENTS.md.");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Tool runtime — drdesync scaling with design size (google-benchmark).
+//
+// The original drdesync was ~10k lines of C operating on industrial
+// netlists; this measures how the reimplementation's full conversion
+// (grouping, substitution, STA sizing, control-network insertion) scales
+// with cell count.
+#include <benchmark/benchmark.h>
+
+#include "core/desync.h"
+#include "designs/cpu.h"
+#include "designs/small.h"
+#include "liberty/stdlib90.h"
+
+namespace core = desync::core;
+namespace designs = desync::designs;
+namespace lib = desync::liberty;
+namespace nl = desync::netlist;
+
+namespace {
+
+const lib::Gatefile& gf() {
+  static const lib::Library l = lib::makeStdLib90(lib::LibVariant::kHighSpeed);
+  static const lib::Gatefile g(l);
+  return g;
+}
+
+void BM_DesyncCounter(benchmark::State& state) {
+  const int bits = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    nl::Design d;
+    designs::buildCounter(d, gf(), bits);
+    core::DesyncOptions opt;
+    opt.control.reset_port = "rst_n";
+    opt.control.reset_active_low = true;
+    state.ResumeTiming();
+    core::DesyncResult r =
+        core::desynchronize(d, *d.findModule("counter"), gf(), opt);
+    benchmark::DoNotOptimize(r.regions.n_groups);
+  }
+  state.SetLabel(std::to_string(bits) + " bits");
+}
+BENCHMARK(BM_DesyncCounter)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_DesyncDlx(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    nl::Design d;
+    designs::buildCpu(d, gf(), designs::dlxConfig());
+    core::DesyncOptions opt;
+    opt.control.reset_port = "rst_n";
+    opt.control.reset_active_low = true;
+    state.ResumeTiming();
+    core::DesyncResult r =
+        core::desynchronize(d, *d.findModule("dlx"), gf(), opt);
+    benchmark::DoNotOptimize(r.regions.n_groups);
+  }
+  state.SetLabel("~10k cells");
+}
+BENCHMARK(BM_DesyncDlx)->Unit(benchmark::kMillisecond);
+
+void BM_DesyncArmClass(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    nl::Design d;
+    designs::buildCpu(d, gf(), designs::armClassConfig());
+    core::DesyncOptions opt;
+    opt.control.reset_port = "rst_n";
+    opt.control.reset_active_low = true;
+    opt.manual_seq_groups = {{""}};
+    state.ResumeTiming();
+    core::DesyncResult r =
+        core::desynchronize(d, *d.findModule("armlike"), gf(), opt);
+    benchmark::DoNotOptimize(r.regions.n_groups);
+  }
+  state.SetLabel("~20k cells");
+}
+BENCHMARK(BM_DesyncArmClass)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

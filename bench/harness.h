@@ -1,0 +1,155 @@
+// Shared harness for the evaluation benches (thesis chapter 5).
+//
+// Builds the DLX / ARM-class case studies, desynchronizes them with the
+// paper's manual four-stage regions, and provides the measurement loops the
+// tables and figures are generated from.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/desync.h"
+#include "designs/cpu.h"
+#include "liberty/stdlib90.h"
+#include "netlist/flatten.h"
+#include "sim/flow_equivalence.h"
+#include "sim/power.h"
+#include "sim/simulator.h"
+#include "sta/sta.h"
+#include "variability/variability.h"
+
+namespace bench {
+
+namespace core = desync::core;
+namespace designs = desync::designs;
+namespace lib = desync::liberty;
+namespace nl = desync::netlist;
+namespace sim = desync::sim;
+namespace sta = desync::sta;
+namespace var = desync::variability;
+
+inline const lib::Gatefile& gatefileHs() {
+  static const lib::Library l = lib::makeStdLib90(lib::LibVariant::kHighSpeed);
+  static const lib::Gatefile g(l);
+  return g;
+}
+
+inline const lib::Gatefile& gatefileLl() {
+  static const lib::Library l =
+      lib::makeStdLib90(lib::LibVariant::kLowLeakage);
+  static const lib::Gatefile g(l);
+  return g;
+}
+
+/// The paper's DLX regions: the four pipeline stages (thesis §5.2).
+inline std::vector<std::vector<std::string>> dlxStageRegions() {
+  return {{"pc_", "ifid_"}, {"idex_"}, {"exmem_", "red_"}, {"rf_", "dmem_"}};
+}
+
+/// A DLX pair: pristine synchronous copy + desynchronized version.
+struct DlxPair {
+  nl::Design sync_design;
+  nl::Design desync_design;
+  core::DesyncResult report;
+  const lib::Gatefile* gf = nullptr;
+
+  nl::Module& syncModule() { return sync_design.top(); }
+  nl::Module& desyncModule() { return *desync_design.findModule("dlx"); }
+};
+
+inline DlxPair makeDlxPair(int mux_taps = 0, double margin = 1.15) {
+  DlxPair pair;
+  pair.gf = &gatefileHs();
+  designs::buildCpu(pair.desync_design, *pair.gf, designs::dlxConfig());
+  nl::cloneModule(pair.sync_design,
+                  *pair.desync_design.findModule("dlx"));
+  pair.sync_design.setTop("dlx");
+  core::DesyncOptions opt;
+  opt.control.reset_port = "rst_n";
+  opt.control.reset_active_low = true;
+  opt.control.mux_taps = mux_taps;
+  opt.control.margin = margin;
+  opt.manual_seq_groups = dlxStageRegions();
+  pair.report = core::desynchronize(pair.desync_design,
+                                    pair.desyncModule(), *pair.gf, opt);
+  return pair;
+}
+
+/// Runs the synchronous DLX for `cycles` at `period_ns`, returning the sim.
+inline std::unique_ptr<sim::Simulator> runSync(nl::Module& m,
+                                               const lib::Gatefile& gf,
+                                               double period_ns, int cycles,
+                                               sim::SimOptions so = {}) {
+  auto s = std::make_unique<sim::Simulator>(m, gf, std::move(so));
+  const sim::Time half = sim::nsToPs(period_ns / 2);
+  s->setInput("clk", sim::Val::k0);
+  s->setInput("rst_n", sim::Val::k0);
+  s->run(2 * half);
+  s->setInput("rst_n", sim::Val::k1);
+  s->run(s->now() + half);
+  for (int i = 0; i < cycles; ++i) {
+    s->setInput("clk", sim::Val::k1);
+    s->run(s->now() + half);
+    s->setInput("clk", sim::Val::k0);
+    s->run(s->now() + half);
+  }
+  return s;
+}
+
+struct DesyncRun {
+  std::unique_ptr<sim::Simulator> sim;
+  double eff_period_ns = -1;  ///< effective period from G1 master enables
+  int cycles = 0;
+};
+
+/// Runs the desynchronized circuit for a time window, measuring the
+/// effective period.  `dsel` sets the delay-element calibration mux (-1 =
+/// no mux ports).
+inline DesyncRun runDesync(nl::Module& m, const lib::Gatefile& gf,
+                           double window_ns, int dsel = -1,
+                           sim::SimOptions so = {}) {
+  DesyncRun run;
+  run.sim = std::make_unique<sim::Simulator>(m, gf, std::move(so));
+  sim::Simulator& s = *run.sim;
+  std::vector<sim::Time> rises;
+  s.watchNet("G1_gm", [&](sim::Time t, sim::Val v) {
+    if (v == sim::Val::k1) rises.push_back(t);
+  });
+  s.setInput("clk", sim::Val::k0);
+  s.setInput("rst_n", sim::Val::k0);
+  if (dsel >= 0) {
+    for (int b = 0; b < 3; ++b) {
+      if (s.portNet("dsel" + std::to_string(b)).valid()) {
+        s.setInput("dsel" + std::to_string(b),
+                   sim::fromBool(((dsel >> b) & 1) != 0));
+      }
+    }
+  }
+  s.run(sim::nsToPs(20));
+  s.setInput("rst_n", sim::Val::k1);
+  s.run(s.now() + sim::nsToPs(window_ns));
+  run.cycles = static_cast<int>(rises.size());
+  if (rises.size() > 4) {
+    run.eff_period_ns = static_cast<double>(rises.back() - rises[2]) /
+                        static_cast<double>(rises.size() - 3) / 1000.0;
+  }
+  return run;
+}
+
+/// printf-style row helper.
+inline void row(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stdout, fmt, args);
+  va_end(args);
+  std::fputc('\n', stdout);
+}
+
+inline void header(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+}  // namespace bench

@@ -1,0 +1,88 @@
+// Variability explorer: how a desynchronized circuit adapts its timing.
+//
+// Demonstrates the paper's core motivation (thesis ch.1, §2.5): the
+// self-timed network's effective period tracks process/voltage/temperature
+// conditions automatically, while a synchronous design must be signed off
+// at the worst corner.  Sweeps corners and Monte-Carlo die samples on a
+// desynchronized pipeline and prints the adaptive period.
+#include <cstdio>
+
+#include "core/desync.h"
+#include "designs/small.h"
+#include "liberty/stdlib90.h"
+#include "sim/simulator.h"
+#include "variability/variability.h"
+
+using namespace desync;
+using sim::Val;
+
+namespace {
+
+double measurePeriod(netlist::Module& m, const liberty::Gatefile& gf,
+                     sim::SimOptions so) {
+  sim::Simulator s(m, gf, std::move(so));
+  std::vector<sim::Time> rises;
+  s.watchNet("G1_gm", [&](sim::Time t, Val v) {
+    if (v == Val::k1) rises.push_back(t);
+  });
+  s.setInput("clk", Val::k0);
+  s.setInput("rst_n", Val::k0);
+  s.run(sim::nsToPs(20));
+  s.setInput("rst_n", Val::k1);
+  s.run(s.now() + sim::nsToPs(400));
+  if (rises.size() < 5) return -1;
+  return static_cast<double>(rises.back() - rises[2]) /
+         static_cast<double>(rises.size() - 3) / 1000.0;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("variability explorer\n====================\n\n");
+  liberty::Library library =
+      liberty::makeStdLib90(liberty::LibVariant::kHighSpeed);
+  liberty::Gatefile gatefile(library);
+
+  netlist::Design d;
+  designs::buildPipe2(d, gatefile, 16);
+  core::DesyncOptions opt;
+  opt.control.reset_port = "rst_n";
+  opt.control.reset_active_low = true;
+  core::DesyncResult res =
+      core::desynchronize(d, *d.findModule("pipe2"), gatefile, opt);
+  netlist::Module& m = *d.findModule("pipe2");
+  std::printf("pipeline desynchronized; synchronous sign-off period would "
+              "be %.3f ns at the worst corner\n\n",
+              res.sync_min_period_ns *
+                  variability::cornerSpec(variability::Corner::kWorst)
+                      .delay_scale);
+
+  std::printf("PVT corners (the self-timed period follows the silicon):\n");
+  for (auto corner : {variability::Corner::kBest,
+                      variability::Corner::kTypical,
+                      variability::Corner::kWorst}) {
+    variability::CornerSpec spec = variability::cornerSpec(corner);
+    sim::SimOptions so;
+    so.delay_scale = spec.delay_scale;
+    double period = measurePeriod(m, gatefile, std::move(so));
+    std::printf("  %-8s (delay x%.2f, %.2fV): effective period %.3f ns\n",
+                spec.name, spec.delay_scale, spec.vdd, period);
+  }
+
+  std::printf("\nMonte-Carlo dies (inter-die + per-cell intra-die "
+              "variation):\n");
+  variability::VariationModel model = variability::makeSpanModel(2026);
+  for (std::uint64_t die = 0; die < 8; ++die) {
+    variability::ChipSample chip = variability::sampleChip(model, die);
+    sim::SimOptions so;
+    so.delay_scale = chip.global;
+    so.cell_delay_scale = chip.cell_factor;
+    double period = measurePeriod(m, gatefile, std::move(so));
+    std::printf("  die %llu: global x%.3f -> effective period %.3f ns\n",
+                static_cast<unsigned long long>(die), chip.global, period);
+  }
+
+  std::printf("\nEvery die runs at its own speed — no binning, no external "
+              "clock to re-target (thesis ch.6).\n");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// C-Muller element construction (thesis §2.4.3, §3.1.5).
+//
+// C-elements synchronize multiple requests/acknowledges: the output rises
+// only when all inputs are high and falls only when all are low (Table 2.1).
+// The library does not ship a C-element cell, so — exactly as the original
+// flow did — they are built as composite modules out of standard cells:
+// a MAJ3 gate with output feedback forms the 2-input element, wider elements
+// are trees of 2-input ones, and resettable variants gate the output with
+// the reset so the controller network initializes deterministically.
+#pragma once
+
+#include <string>
+
+#include "liberty/gatefile.h"
+#include "netlist/netlist.h"
+
+namespace desync::async {
+
+/// Reset behaviour of a generated C-element.
+enum class ResetKind {
+  kNone,   ///< plain C-element (state undefined at power-up)
+  kLow,    ///< RST pin forces output 0
+  kHigh,   ///< RST pin forces output 1
+};
+
+/// Returns the module name used for an n-input C-element with the given
+/// reset kind, e.g. "DR_C2", "DR_C3_R0", "DR_C4_R1".
+[[nodiscard]] std::string cElementName(int n_inputs, ResetKind reset);
+
+/// Ensures the module for an n-input C-element exists in `design` and
+/// returns it.  Ports: A0..A(n-1), Z, and RST when reset != kNone.
+/// Supports 2..10 inputs (thesis §3.1.5).  Cells used: MAJ3, AN2B1, OR2.
+netlist::Module& ensureCElement(netlist::Design& design,
+                                const liberty::Gatefile& gatefile,
+                                int n_inputs, ResetKind reset);
+
+}  // namespace desync::async

@@ -1,0 +1,405 @@
+#include "async/controllers.h"
+
+#include "async/celement.h"
+
+namespace desync::async {
+
+using netlist::Design;
+using netlist::Module;
+using netlist::NetId;
+using netlist::PortDir;
+
+std::string controllerName(ControllerKind kind, ControllerReset reset) {
+  std::string name = kind == ControllerKind::kSimple ? "DR_CTRL_SIMPLE"
+                     : kind == ControllerKind::kSemiDecoupled
+                         ? "DR_CTRL_SD"
+                         : "DR_CTRL_FD";
+  name += reset == ControllerReset::kEmpty ? "_E" : "_F";
+  return name;
+}
+
+namespace {
+
+/// Common port scaffolding; returns the nets in declaration order.
+struct CtrlNets {
+  NetId ri, ao, rst, ai, ro, g;
+};
+
+CtrlNets addPorts(Module& m) {
+  CtrlNets n;
+  n.ri = m.addNet("ri");
+  n.ao = m.addNet("ao");
+  n.rst = m.addNet("rst");
+  m.addPort("ri", PortDir::kInput, n.ri);
+  m.addPort("ao", PortDir::kInput, n.ao);
+  m.addPort("rst", PortDir::kInput, n.rst);
+  return n;
+}
+
+void buildSimple(Design& design, const liberty::Gatefile& gatefile, Module& m,
+                 ControllerReset reset) {
+  CtrlNets n = addPorts(m);
+  NetId aoN = m.addNet("aoN");
+  m.addCell("u_aon", "IV",
+            {{"A", PortDir::kInput, n.ao}, {"Z", PortDir::kOutput, aoN}});
+  // g = C(ri, !ao), reset per flavour.
+  ResetKind rk =
+      reset == ControllerReset::kEmpty ? ResetKind::kLow : ResetKind::kHigh;
+  Module& c2 = ensureCElement(design, gatefile, 2, rk);
+  NetId g = m.addNet("g_int");
+  m.addCell("u_c", std::string(c2.name()),
+            {{"A0", PortDir::kInput, n.ri},
+             {"A1", PortDir::kInput, aoN},
+             {"RST", PortDir::kInput, n.rst},
+             {"Z", PortDir::kOutput, g}});
+  // ai and ro are buffered copies of g: distinct output nets keep the
+  // module flattenable (one inner net cannot bind three outer nets) and
+  // reflect real output drive buffering.
+  NetId ai = m.addNet("ai_int");
+  NetId ro = m.addNet("ro_int");
+  m.addCell("u_ai", "BF",
+            {{"A", PortDir::kInput, g}, {"Z", PortDir::kOutput, ai}});
+  m.addCell("u_ro", "BF",
+            {{"A", PortDir::kInput, g}, {"Z", PortDir::kOutput, ro}});
+  m.addPort("ai", PortDir::kOutput, ai);
+  m.addPort("ro", PortDir::kOutput, ro);
+  m.addPort("g", PortDir::kOutput, g);
+}
+
+void buildSemiDecoupled(Design& design, const liberty::Gatefile& gatefile,
+                        Module& m, ControllerReset reset) {
+  CtrlNets n = addPorts(m);
+  const bool full = reset == ControllerReset::kFull;
+
+  NetId aoN = m.addNet("aoN");
+  m.addCell("u_aon", "IV",
+            {{"A", PortDir::kInput, n.ao}, {"Z", PortDir::kOutput, aoN}});
+
+  n.g = m.addNet("g_int");
+  NetId d = m.addNet("d");
+  NetId dn = m.addNet("dn");
+  NetId a = m.addNet("a");
+  NetId e = m.addNet("e");
+
+  // "Ready" condition: empty and successor idle (e = aoN & !d).  Sensing
+  // ao- through the shared aoN inverter (rather than ao directly) keeps the
+  // inverter inside the acknowledged cycle: the occupancy-clear gate dn
+  // reads aoN, so a new capture may only start after aoN actually rose —
+  // otherwise a stale aoN misclears the next datum (found by the
+  // speed-independent verifier).
+  m.addCell("u_e", "AN2B1",
+            {{"A", PortDir::kInput, aoN},
+             {"B", PortDir::kInput, d},
+             {"Z", PortDir::kOutput, e}});
+
+  // Latch enable as a C-element: opens on a request while ready, closes
+  // only once the request withdrew AND the occupancy latched — so neither
+  // edge of the pulse can be withdrawn by a faster environment (verified
+  // semi-modular).
+  Module& c2r0 = ensureCElement(design, gatefile, 2, ResetKind::kLow);
+  m.addCell("u_g", std::string(c2r0.name()),
+            {{"A0", PortDir::kInput, n.ri},
+             {"A1", PortDir::kInput, e},
+             {"RST", PortDir::kInput, n.rst},
+             {"Z", PortDir::kOutput, n.g}});
+
+  // Input acknowledge: a = C(g, ri).  The occupancy bit is set by a (not by
+  // g) so the latch pulse cannot terminate before the acknowledge
+  // C-element caught it.
+  m.addCell("u_a", std::string(c2r0.name()),
+            {{"A0", PortDir::kInput, n.g},
+             {"A1", PortDir::kInput, n.ri},
+             {"RST", PortDir::kInput, n.rst},
+             {"Z", PortDir::kOutput, a}});
+
+  // Occupancy: d = (d & !ao) | a.  AOI21 computes !((d & aoN) + a); the
+  // reset gate closes the feedback loop and applies rst.  d clears only
+  // once the input handshake released (a-) and the successor captured
+  // (ao+), which is the overwrite protection of the protocol.
+  m.addCell("u_dn", "AOI21",
+            {{"A", PortDir::kInput, d},
+             {"B", PortDir::kInput, aoN},
+             {"C", PortDir::kInput, a},
+             {"Z", PortDir::kOutput, dn}});
+  if (full) {
+    // d = !dn | rst
+    m.addCell("u_d", "OR2B1",
+              {{"A", PortDir::kInput, n.rst},
+               {"B", PortDir::kInput, dn},
+               {"Z", PortDir::kOutput, d}});
+  } else {
+    // d = !dn & !rst
+    m.addCell("u_d", "NR2",
+              {{"A", PortDir::kInput, dn},
+               {"B", PortDir::kInput, n.rst},
+               {"Z", PortDir::kOutput, d}});
+  }
+
+  // Output request: r = C(d, !ao); the full flavour requests at reset
+  // ("ao- -> ro+", thesis Fig 4.5).
+  Module& c2r = ensureCElement(design, gatefile, 2,
+                               full ? ResetKind::kHigh : ResetKind::kLow);
+  NetId r = m.addNet("r");
+  m.addCell("u_r", std::string(c2r.name()),
+            {{"A0", PortDir::kInput, d},
+             {"A1", PortDir::kInput, aoN},
+             {"RST", PortDir::kInput, n.rst},
+             {"Z", PortDir::kOutput, r}});
+
+  m.addPort("ai", PortDir::kOutput, a);
+  m.addPort("ro", PortDir::kOutput, r);
+  m.addPort("g", PortDir::kOutput, n.g);
+}
+
+void buildFullyDecoupled(Design& design, const liberty::Gatefile& gatefile,
+                         Module& m, ControllerReset reset) {
+  CtrlNets n = addPorts(m);
+  const bool full = reset == ControllerReset::kFull;
+
+  NetId aoN = m.addNet("aoN");
+  m.addCell("u_aon", "IV",
+            {{"A", PortDir::kInput, n.ao}, {"Z", PortDir::kOutput, aoN}});
+  n.g = m.addNet("g_int");
+  NetId d = m.addNet("d");
+  NetId dN = m.addNet("dN");
+  NetId a = m.addNet("a");
+  NetId aN = m.addNet("aN");
+  NetId r = m.addNet("r");
+  NetId rN = m.addNet("rN");
+
+  // Latch pulse: opens on a request while empty, closes once the occupancy
+  // latched (and the request withdrew).
+  Module& c2r0 = ensureCElement(design, gatefile, 2, ResetKind::kLow);
+  m.addCell("u_g", std::string(c2r0.name()),
+            {{"A0", PortDir::kInput, n.ri},
+             {"A1", PortDir::kInput, dN},
+             {"RST", PortDir::kInput, n.rst},
+             {"Z", PortDir::kOutput, n.g}});
+
+  // Input acknowledge: a = C(g, ri, !r) — the third input orders the
+  // acknowledge release after the local request's return-to-zero, which is
+  // what keeps d's set/clear edges acknowledged without gating the latch on
+  // the *external* ao- (the fully-decoupled property).
+  NetId gri = m.addNet("gri");
+  m.addCell("u_a0", std::string(c2r0.name()),
+            {{"A0", PortDir::kInput, n.g},
+             {"A1", PortDir::kInput, n.ri},
+             {"RST", PortDir::kInput, n.rst},
+             {"Z", PortDir::kOutput, gri}});
+  m.addCell("u_a", std::string(c2r0.name()),
+            {{"A0", PortDir::kInput, gri},
+             {"A1", PortDir::kInput, rN},
+             {"RST", PortDir::kInput, n.rst},
+             {"Z", PortDir::kOutput, a}});
+  m.addCell("u_an", "IV",
+            {{"A", PortDir::kInput, a}, {"Z", PortDir::kOutput, aN}});
+
+  // Occupancy SR: d = (d & !ao) | a, built as dN = !((!d | ao) & !a)'s
+  // complement pair: dN_next = (dN + ao) * aN; d = IV(dN) closes the loop
+  // reading ao directly (no stale inverter in the clear path).
+  if (full) {
+    // Reset forces d = 1 (dN = 0): dnn = OAI21 then NOR with... use the
+    // complement: d = IV(dN); force dN low with rst via AN2B1.
+    NetId dnn = m.addNet("dnn");
+    m.addCell("u_dn0", "OAI21",
+              {{"A", PortDir::kInput, dN},
+               {"B", PortDir::kInput, n.ao},
+               {"C", PortDir::kInput, aN},
+               {"Z", PortDir::kOutput, dnn}});
+    // dN = !dnn & !rst
+    NetId dnb = m.addNet("dnb");
+    m.addCell("u_dn1", "IV",
+              {{"A", PortDir::kInput, dnn}, {"Z", PortDir::kOutput, dnb}});
+    m.addCell("u_dn2", "AN2B1",
+              {{"A", PortDir::kInput, dnb},
+               {"B", PortDir::kInput, n.rst},
+               {"Z", PortDir::kOutput, dN}});
+    m.addCell("u_d", "IV",
+              {{"A", PortDir::kInput, dN}, {"Z", PortDir::kOutput, d}});
+  } else {
+    // dN_next = ((dN + ao) * aN) | rst  (reset forces dN = 1, d = 0).
+    NetId dnn = m.addNet("dnn");
+    m.addCell("u_dn0", "OAI21",
+              {{"A", PortDir::kInput, dN},
+               {"B", PortDir::kInput, n.ao},
+               {"C", PortDir::kInput, aN},
+               {"Z", PortDir::kOutput, dnn}});
+    // dnn = !dN_next(no-rst); dN = !dnn | rst = OR2B1(rst, dnn)
+    m.addCell("u_dn1", "OR2B1",
+              {{"A", PortDir::kInput, n.rst},
+               {"B", PortDir::kInput, dnn},
+               {"Z", PortDir::kOutput, dN}});
+    m.addCell("u_d", "IV",
+              {{"A", PortDir::kInput, dN}, {"Z", PortDir::kOutput, d}});
+  }
+
+  // Output request: 4-phase on the wire (r+ waits ao-).
+  Module& c2r = ensureCElement(design, gatefile, 2,
+                               full ? ResetKind::kHigh : ResetKind::kLow);
+  m.addCell("u_r", std::string(c2r.name()),
+            {{"A0", PortDir::kInput, d},
+             {"A1", PortDir::kInput, aoN},
+             {"RST", PortDir::kInput, n.rst},
+             {"Z", PortDir::kOutput, r}});
+  m.addCell("u_rn", "IV",
+            {{"A", PortDir::kInput, r}, {"Z", PortDir::kOutput, rN}});
+
+  m.addPort("ai", PortDir::kOutput, a);
+  m.addPort("ro", PortDir::kOutput, r);
+  m.addPort("g", PortDir::kOutput, n.g);
+}
+
+}  // namespace
+
+Module& ensureController(Design& design, const liberty::Gatefile& gatefile,
+                         ControllerKind kind, ControllerReset reset) {
+  std::string name = controllerName(kind, reset);
+  if (Module* existing = design.findModule(name)) return *existing;
+  Module& m = design.addModule(name);
+  if (kind == ControllerKind::kSimple) {
+    buildSimple(design, gatefile, m, reset);
+  } else if (kind == ControllerKind::kFullyDecoupled) {
+    buildFullyDecoupled(design, gatefile, m, reset);
+  } else {
+    buildSemiDecoupled(design, gatefile, m, reset);
+  }
+  // Controllers must never be resynthesized (thesis §4.6.2); backends may
+  // only resize.
+  m.forEachCell([&](netlist::CellId id) { m.cell(id).size_only = true; });
+  return m;
+}
+
+Module& buildControllerRing(Design& design, const liberty::Gatefile& gatefile,
+                            ControllerKind kind, int n_pairs) {
+  if (n_pairs < 1) throw netlist::NetlistError("ring needs >= 1 pair");
+  std::vector<bool> mask;
+  for (int i = 0; i < 2 * n_pairs; ++i) mask.push_back(i % 2 == 1);
+  std::string name = std::string("DR_RING_") +
+                     (kind == ControllerKind::kSimple          ? "SIMPLE"
+                      : kind == ControllerKind::kFullyDecoupled ? "FD"
+                                                                 : "SD") +
+                     "_" + std::to_string(2 * n_pairs);
+  return buildControllerRing(design, gatefile, kind, mask, name);
+}
+
+Module& buildControllerRing(Design& design, const liberty::Gatefile& gatefile,
+                            ControllerKind kind,
+                            const std::vector<bool>& full_mask,
+                            const std::string& name) {
+  const int n = static_cast<int>(full_mask.size());
+  if (n < 2) throw netlist::NetlistError("ring needs >= 2 controllers");
+  if (Module* existing = design.findModule(name)) return *existing;
+
+  Module& empty_ctrl =
+      ensureController(design, gatefile, kind, ControllerReset::kEmpty);
+  Module& full_ctrl =
+      ensureController(design, gatefile, kind, ControllerReset::kFull);
+
+  Module& m = design.addModule(name);
+  NetId rst = m.addNet("rst");
+  m.addPort("rst", PortDir::kInput, rst);
+
+  std::vector<NetId> req(static_cast<std::size_t>(n)),
+      ack(static_cast<std::size_t>(n)), g(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    req[static_cast<std::size_t>(i)] =
+        m.addNet("r" + std::to_string(i));  // ro of i -> ri of i+1
+    ack[static_cast<std::size_t>(i)] =
+        m.addNet("k" + std::to_string(i));  // ai of i+1 -> ao of i
+    g[static_cast<std::size_t>(i)] = m.addNet("g" + std::to_string(i));
+  }
+  for (int i = 0; i < n; ++i) {
+    const int prev = (i + n - 1) % n;
+    const Module& proto =
+        full_mask[static_cast<std::size_t>(i)] ? full_ctrl : empty_ctrl;
+    m.addCell("ctl" + std::to_string(i), std::string(proto.name()),
+              {{"ri", PortDir::kInput, req[static_cast<std::size_t>(prev)]},
+               {"ao", PortDir::kInput, ack[static_cast<std::size_t>(i)]},
+               {"rst", PortDir::kInput, rst},
+               {"ai", PortDir::kOutput, ack[static_cast<std::size_t>(prev)]},
+               {"ro", PortDir::kOutput, req[static_cast<std::size_t>(i)]},
+               {"g", PortDir::kOutput, g[static_cast<std::size_t>(i)]}});
+  }
+  for (int i = 0; i < n; ++i) {
+    m.addPort("g" + std::to_string(i), PortDir::kOutput,
+              g[static_cast<std::size_t>(i)]);
+  }
+  return m;
+}
+
+stg::Stg semiDecoupledSpec() {
+  stg::Stg s;
+  s.addSignal("ri", stg::SignalKind::kInput);
+  s.addSignal("ao", stg::SignalKind::kInput);
+  s.addSignal("ai", stg::SignalKind::kOutput);
+  s.addSignal("ro", stg::SignalKind::kOutput);
+  s.addSignal("g", stg::SignalKind::kOutput);
+
+  // Latch cycle: g+ on ri+ while ready (empty, successor idle); the pulse
+  // ends only after the request withdrew and the occupancy latched.
+  s.connect("ri+", "g+", 0);
+  s.connect("ao-", "g+", 1);
+  s.connect("g+", "ai+", 0);
+  s.connect("ai+", "g-", 0);   // d+ (after a+) lets the C-element fall
+  s.connect("ri-", "g-", 0);
+  // Input handshake: early acknowledge (thesis Fig 4.5 "ri+ -> ai+" via the
+  // latch pulse); release after both ri- and the pulse ended.
+  s.connect("ai+", "ri-", 0);   // environment
+  s.connect("ri-", "ai-", 0);
+  s.connect("g-", "ai-", 0);
+  s.connect("ai-", "ri+", 1);   // environment (token: ri may rise first)
+  // Output handshake from the occupancy bit (set by ai+): request once
+  // holding data and the successor is free; withdraw after the successor
+  // acknowledged and the occupancy cleared (needs both ao+ and ai-).
+  s.connect("ai+", "ro+", 0);
+  s.connect("ao-", "ro+", 1);   // "ao- -> ro+" (thesis Fig 4.5)
+  s.connect("ro+", "ao+", 0);   // environment
+  s.connect("ao+", "ro-", 0);
+  s.connect("ai-", "ro-", 0);
+  s.connect("ro-", "ao-", 0);   // environment
+  s.connect("ro-", "ro+", 1);
+  // Re-opening: needs the datum delivered (occupancy cleared after ai- and
+  // ao+, then the full return-to-zero via the marked ao- arc above) and the
+  // previous pulse/input handshake done.
+  s.connect("ai-", "g+", 1);
+  s.connect("g-", "g+", 1);
+  return s;
+}
+
+stg::Stg simpleControllerSpec() {
+  stg::Stg s;
+  s.addSignal("ri", stg::SignalKind::kInput);
+  s.addSignal("ao", stg::SignalKind::kInput);
+  s.addSignal("ai", stg::SignalKind::kOutput);
+  s.addSignal("ro", stg::SignalKind::kOutput);
+  s.addSignal("g", stg::SignalKind::kOutput);
+  // g = C(ri, !ao); ai = ro = g: all three outputs switch together.
+  // Spec: g+ after ri+ & ao-; g- after ri- & ao+.
+  s.connect("ri+", "g+", 0);
+  s.connect("ao-", "g+", 1);
+  s.connect("ri+", "ai+", 0);
+  s.connect("ao-", "ai+", 1);
+  s.connect("ri+", "ro+", 0);
+  s.connect("ao-", "ro+", 1);
+  // environment
+  s.connect("ai+", "ri-", 0);
+  s.connect("ri-", "g-", 0);
+  s.connect("ri-", "ai-", 0);
+  s.connect("ri-", "ro-", 0);
+  s.connect("ro+", "ao+", 0);
+  s.connect("ao+", "g-", 0);
+  s.connect("ao+", "ai-", 0);
+  s.connect("ao+", "ro-", 0);
+  s.connect("ai-", "ri+", 1);
+  s.connect("ro-", "ao-", 0);
+  // alternation
+  s.connect("g+", "g-", 0);
+  s.connect("g-", "g+", 1);
+  s.connect("ai+", "ai-", 0);
+  s.connect("ai-", "ai+", 1);
+  s.connect("ro+", "ro-", 0);
+  s.connect("ro-", "ro+", 1);
+  return s;
+}
+
+}  // namespace desync::async

@@ -1,0 +1,99 @@
+// Latch controllers (thesis §2.2, §3.1.3, Figs 2.3, 3.2, 4.5).
+//
+// A latch controller implements the 4-phase handshake that replaces the
+// clock: ri/ai toward the predecessors, ro/ao toward the successors, g
+// driving the region's latches and rst for initialization (Fig 2.3).
+//
+// Two controllers are provided:
+//
+//  * kSimple — the classic Muller-pipeline controller, a single C-element
+//    g = C(ri, !ao) with ai = ro = g.  Minimal, but its input and output
+//    handshakes are fully coupled: a master/slave ring of two stages holding
+//    one data token deadlocks, which is why desynchronization needs
+//    decoupled controllers (exercised as an ablation).
+//
+//  * kSemiDecoupled — the controller family used by the flow (after Furber &
+//    Day).  The input acknowledge fires as soon as the latch opens
+//    (thesis Fig 4.5: "ri+ -> ai+") and the output request is produced from
+//    a separate occupancy bit, so a master/slave pair holding one token is
+//    live.  Gate-level structure (d = occupancy, a = input ack, r = output
+//    request):
+//        g  = ri AND !d                 latch opens on request while empty
+//        a  = C(g, ri)                  ai: early ack, 4-phase via ri-
+//        d  = (d AND !ao) OR g          SR occupancy: set by g+, cleared by
+//                                       successor's ack (AOI21 + NOR/OR)
+//        r  = C(d, !ao)                 ro: request while holding and
+//                                       successor free ("ao- -> ro+")
+//    Hold safety relies on the latch pulse closing before new data races
+//    through the previous stage, the same assumption the paper makes
+//    (§4.5.1: "hold constraints are automatically satisfied ... sufficiently
+//    wide pulses"); the event-driven simulator validates it with real
+//    delays.
+//
+// Both controllers come in two reset flavours: kEmpty (no datum; used for
+// master latches) and kFull (holding valid reset data and requesting
+// downstream; used for slave latches, whose flip-flop reset values are the
+// initial data tokens of the network).
+#pragma once
+
+#include <string>
+
+#include "liberty/gatefile.h"
+#include "netlist/netlist.h"
+#include "stg/stg.h"
+
+namespace desync::async {
+
+enum class ControllerKind {
+  kSimple,
+  kSemiDecoupled,
+  /// Fully-decoupled (after Furber & Day): the input-side latch cycle no
+  /// longer waits for the output handshake's return-to-zero — only the
+  /// *request* does (4-phase on the wire), so RTZ overlaps computation.
+  /// Structure: a = C(C(g,ri), !r) (ack waits the local request RTZ),
+  /// d = (d & !ao) | a as an OAI/inverter SR pair reading ao directly,
+  /// g = C(ri, !d), r = C(d, !ao).
+  kFullyDecoupled,
+};
+
+/// Reset occupancy of the controller.
+enum class ControllerReset {
+  kEmpty,  ///< master side: no datum at reset
+  kFull,   ///< slave side: holds reset datum, ro asserted at reset
+};
+
+/// Module name, e.g. "DR_CTRL_SD_E", "DR_CTRL_SIMPLE_F".
+[[nodiscard]] std::string controllerName(ControllerKind kind,
+                                         ControllerReset reset);
+
+/// Ensures the controller module exists in `design` and returns it.
+/// Ports: ri, ao, rst (inputs); ai, ro, g (outputs).
+netlist::Module& ensureController(netlist::Design& design,
+                                  const liberty::Gatefile& gatefile,
+                                  ControllerKind kind, ControllerReset reset);
+
+/// Builds the interface STG specification of one semi-decoupled controller
+/// for speed-independent verification: ri/ao are environment inputs, ai, ro
+/// and g are checked outputs.  Models the kEmpty reset state.
+[[nodiscard]] stg::Stg semiDecoupledSpec();
+
+/// Spec of the simple (Muller C-element) controller, kEmpty reset state.
+[[nodiscard]] stg::Stg simpleControllerSpec();
+
+/// Builds a closed ring of 2*n_pairs controllers alternating kEmpty (even,
+/// master) / kFull (odd, slave), each ro->ri / ai->ao wired to the next.
+/// Ports: rst (input) and g0..g(2n-1) (outputs, for observability).  Used to
+/// verify network liveness and hazard freedom under arbitrary gate delays.
+netlist::Module& buildControllerRing(netlist::Design& design,
+                                     const liberty::Gatefile& gatefile,
+                                     ControllerKind kind, int n_pairs);
+
+/// Same, with an explicit occupancy pattern: full_mask[i] selects the kFull
+/// flavour for controller i.  Used by ablations exploring token placements.
+netlist::Module& buildControllerRing(netlist::Design& design,
+                                     const liberty::Gatefile& gatefile,
+                                     ControllerKind kind,
+                                     const std::vector<bool>& full_mask,
+                                     const std::string& name);
+
+}  // namespace desync::async

@@ -1,0 +1,38 @@
+// Matched delay elements (thesis §2.4.4, §3.1.4, Fig 2.9).
+//
+// Delay elements mimic the critical-path delay of a region's combinational
+// cloud on the request path.  For 4-phase handshakes they are asymmetric
+// (slow rise, fast fall): a chain of AND gates where every stage also sees
+// the raw input, so a rising edge ripples through the whole chain while a
+// falling edge resets every stage in one gate delay.  An optional 8-input
+// multiplexer exposes intermediate taps so the effective delay can be
+// calibrated after layout (thesis §5.2.2, Fig 5.3's "delay selection").
+#pragma once
+
+#include <string>
+
+#include "liberty/gatefile.h"
+#include "netlist/netlist.h"
+
+namespace desync::async {
+
+struct DelayElementSpec {
+  int levels = 8;          ///< AND/buffer stages in the chain (1..200)
+  bool asymmetric = true;  ///< false: symmetric (buffer chain, 2-phase use)
+  int mux_taps = 0;        ///< 0 = fixed; 8 = calibration mux with taps
+};
+
+/// Module name for a given spec, e.g. "DR_DEL_A24" / "DR_DEL_S10" /
+/// "DR_DEL_A24_M8".
+[[nodiscard]] std::string delayElementName(const DelayElementSpec& spec);
+
+/// Ensures the delay element module exists and returns it.
+/// Ports: A (in), Z (out), and S0..S(log2(mux_taps)-1) when muxed.
+/// The muxed variant's tap k (selected by S=k) passes through
+/// round(levels*(k+1)/mux_taps) chain stages, so selection 0 is the
+/// shortest delay and mux_taps-1 the longest.
+netlist::Module& ensureDelayElement(netlist::Design& design,
+                                    const liberty::Gatefile& gatefile,
+                                    const DelayElementSpec& spec);
+
+}  // namespace desync::async

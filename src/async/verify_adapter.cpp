@@ -1,0 +1,166 @@
+#include "async/verify_adapter.h"
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/flatten.h"
+
+namespace desync::async {
+
+using netlist::Module;
+using netlist::NetId;
+using netlist::PortDir;
+
+stg::SiCircuit toSiCircuit(const Module& module,
+                           const liberty::Gatefile& gatefile,
+                           const std::string& rst_name,
+                           const std::map<std::string, bool>& input_init) {
+  // Work on a flattened private copy.
+  netlist::Design scratch;
+  Module& flat = netlist::cloneModule(scratch, module);
+  netlist::flatten(flat);
+
+  stg::SiCircuit circuit;
+
+  // Signal naming: net name, except nets bound to a port use the port name
+  // (so specs can talk about "g" even when the net is "g_int").  When
+  // several output ports share one driven net, the first gets the net's
+  // signal and the others become identity "alias" gates so each port name
+  // exists as a spec-checkable signal.
+  std::unordered_map<std::uint32_t, std::string> signal_of_net;
+  for (const netlist::Port& p : flat.ports()) {
+    if (!p.net.valid()) continue;
+    std::string pname(scratch.names().str(p.name));
+    auto [it, inserted] = signal_of_net.emplace(p.net.value, pname);
+    if (!inserted && p.dir == PortDir::kOutput) {
+      stg::GateSpec alias;
+      alias.output = pname;
+      alias.inputs = {it->second};
+      alias.eval = [](const std::vector<bool>& v) { return v[0]; };
+      circuit.gates.push_back(std::move(alias));
+    }
+  }
+  auto signalName = [&](NetId id) -> std::string {
+    auto it = signal_of_net.find(id.value);
+    if (it != signal_of_net.end()) return it->second;
+    return std::string(flat.netName(id));
+  };
+
+  for (const netlist::Port& p : flat.ports()) {
+    if (p.dir == PortDir::kInput && p.net.valid()) {
+      std::string pname(scratch.names().str(p.name));
+      auto init_it = input_init.find(pname);
+      circuit.inputs.push_back(pname);
+      circuit.input_initial.push_back(init_it != input_init.end() &&
+                                      init_it->second);
+    }
+  }
+
+  flat.forEachCell([&](netlist::CellId id) {
+    std::string type(flat.cellType(id));
+    const liberty::LibCell* lib = gatefile.library().findCell(type);
+    if (lib == nullptr) {
+      throw netlist::NetlistError("unknown cell type in controller: " + type);
+    }
+    if (lib->kind != liberty::CellKind::kCombinational) {
+      throw netlist::NetlistError(
+          "sequential cell in speed-independent circuit: " + type);
+    }
+    // Locate the output pin and its function.
+    const liberty::LibPin* out_pin = nullptr;
+    for (const liberty::LibPin& p : lib->pins) {
+      if (p.dir == liberty::PinDir::kOutput) {
+        out_pin = &p;
+        break;
+      }
+    }
+    if (out_pin == nullptr || out_pin->function.empty()) {
+      throw netlist::NetlistError("cell without output function: " + type);
+    }
+    stg::GateSpec gate;
+    // Output net.
+    NetId out_net = flat.pinNet(id, out_pin->name);
+    if (!out_net.valid()) return;  // dangling gate: ignore
+    gate.output = signalName(out_net);
+    // Inputs in the function's variable order.
+    std::vector<std::string> vars = out_pin->function.vars();
+    for (const std::string& v : vars) {
+      NetId net = flat.pinNet(id, v);
+      if (!net.valid()) {
+        throw netlist::NetlistError("unconnected pin " + v + " on " +
+                                    std::string(flat.cellName(id)));
+      }
+      const netlist::Net& n = flat.net(net);
+      if (n.driver.isConst()) {
+        // Fold constants by renaming to dedicated constant signals (added as
+        // env inputs with fixed initial values below).
+        gate.inputs.push_back(n.driver.kind == netlist::TermKind::kConst1
+                                  ? "__const1"
+                                  : "__const0");
+      } else {
+        gate.inputs.push_back(signalName(net));
+      }
+    }
+    const liberty::BoolExpr* fn = &out_pin->function;
+    gate.eval = [fn](const std::vector<bool>& v) { return fn->eval(v); };
+    circuit.gates.push_back(std::move(gate));
+  });
+
+  // Constant rails, if referenced.
+  bool need0 = false, need1 = false;
+  for (const stg::GateSpec& g : circuit.gates) {
+    for (const std::string& in : g.inputs) {
+      need0 |= in == "__const0";
+      need1 |= in == "__const1";
+    }
+  }
+  if (need0) {
+    circuit.inputs.push_back("__const0");
+    circuit.input_initial.push_back(false);
+  }
+  if (need1) {
+    circuit.inputs.push_back("__const1");
+    circuit.input_initial.push_back(true);
+  }
+
+  // --- reset settling ---------------------------------------------------
+  std::map<std::string, bool> values;
+  for (std::size_t i = 0; i < circuit.inputs.size(); ++i) {
+    values[circuit.inputs[i]] = circuit.input_initial[i];
+  }
+  values[rst_name] = true;  // no-op if the module has no rst port
+  for (const stg::GateSpec& g : circuit.gates) values.emplace(g.output, false);
+
+  auto sweep = [&]() {
+    bool changed = false;
+    for (const stg::GateSpec& g : circuit.gates) {
+      std::vector<bool> ins;
+      ins.reserve(g.inputs.size());
+      for (const std::string& in : g.inputs) ins.push_back(values.at(in));
+      bool v = g.eval(ins);
+      if (values.at(g.output) != v) {
+        values[g.output] = v;
+        changed = true;
+      }
+    }
+    return changed;
+  };
+  auto settle = [&](const char* phase) {
+    for (int i = 0; i < 200; ++i) {
+      if (!sweep()) return;
+    }
+    throw netlist::NetlistError(std::string("circuit does not settle ") +
+                                phase + ": " + std::string(module.name()));
+  };
+  settle("under reset");
+  // Release reset but do NOT re-settle: a closed controller network starts
+  // oscillating at release, and those first excitations belong to the
+  // verified state space.
+  values[rst_name] = false;
+
+  for (stg::GateSpec& g : circuit.gates) g.initial = values.at(g.output);
+  return circuit;
+}
+
+}  // namespace desync::async

@@ -1,0 +1,33 @@
+// Bridges gate-level netlists to the speed-independent verifier.
+//
+// Controllers and C-elements are ordinary (combinational + feedback) netlist
+// modules; this adapter flattens them, turns every cell into a GateSpec
+// whose function comes from the Liberty truth table, and derives the
+// post-reset initial values by actually simulating the reset: rst is held
+// high, the network settles, rst is released, and the settled values become
+// the verification start state.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "liberty/gatefile.h"
+#include "netlist/netlist.h"
+#include "stg/si_verify.h"
+
+namespace desync::async {
+
+/// Builds an SiCircuit from `module` (which is flattened on a copy; the
+/// original is untouched).  `env_inputs` are the module ports driven by the
+/// verification environment; the port named `rst_name` (if present) is used
+/// for reset settling and then tied low.  Signal names are net names; the
+/// environment inputs keep their port names.
+///
+/// Throws NetlistError when the module contains sequential cells or a gate
+/// network that does not settle under reset.
+stg::SiCircuit toSiCircuit(const netlist::Module& module,
+                           const liberty::Gatefile& gatefile,
+                           const std::string& rst_name = "rst",
+                           const std::map<std::string, bool>& input_init = {});
+
+}  // namespace desync::async

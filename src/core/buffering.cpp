@@ -1,0 +1,49 @@
+#include "core/buffering.h"
+
+namespace desync::core {
+
+using netlist::Module;
+using netlist::NetId;
+using netlist::PortDir;
+
+std::size_t insertBufferTrees(Module& module,
+                              const liberty::Gatefile& gatefile,
+                              const BufferingOptions& options) {
+  (void)gatefile;
+  std::size_t added = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (NetId id : module.netIds()) {
+      const netlist::Net& n = module.net(id);
+      if (n.driver.isPort() || n.driver.kind == netlist::TermKind::kNone ||
+          n.driver.isConst()) {
+        continue;
+      }
+      if (static_cast<int>(n.sinks.size()) <= options.max_fanout) continue;
+      std::vector<netlist::TermRef> sinks = n.sinks;
+      const std::size_t chunk = static_cast<std::size_t>(options.max_fanout);
+      for (std::size_t start = 0; start < sinks.size(); start += chunk) {
+        std::string base = std::string(module.netName(id));
+        NetId out = module.addNet(
+            module.design().names().str(module.design().names().makeUnique(
+                base + "_bt")));
+        module.addCell(
+            std::string(module.design().names().str(
+                module.design().names().makeUnique(base + "_btb"))),
+            options.buffer_cell,
+            {{"A", PortDir::kInput, id}, {"Z", PortDir::kOutput, out}});
+        ++added;
+        const std::size_t end = std::min(start + chunk, sinks.size());
+        for (std::size_t i = start; i < end; ++i) {
+          const netlist::TermRef& t = sinks[i];
+          if (t.isCellPin()) module.connectPin(t.cell(), t.pin, out);
+        }
+      }
+      changed = true;
+    }
+  }
+  return added;
+}
+
+}  // namespace desync::core

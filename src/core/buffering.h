@@ -1,0 +1,27 @@
+// Backend re-buffering (thesis §4.7: placement inserts low-skew buffer
+// trees; §3.2.2: cleaning removed the synthesis buffers and the backend's
+// in-place-optimization restores them).
+//
+// Builds balanced BF trees on every high-fanout net — most importantly the
+// latch-enable nets driven by the controllers, which fan out to every latch
+// of a region (the Fig 4.3 "low-skew buffer trees").
+#pragma once
+
+#include "liberty/gatefile.h"
+#include "netlist/netlist.h"
+
+namespace desync::core {
+
+struct BufferingOptions {
+  int max_fanout = 12;
+  /// Buffer cell type (single input A, output Z).
+  std::string buffer_cell = "BF";
+};
+
+/// Inserts buffer trees; returns the number of buffers added.  Nets driven
+/// by input ports are treated as ideal (external drivers) and skipped.
+std::size_t insertBufferTrees(netlist::Module& module,
+                              const liberty::Gatefile& gatefile,
+                              const BufferingOptions& options = {});
+
+}  // namespace desync::core

@@ -1,0 +1,58 @@
+// drdesync: the desynchronization tool (thesis chapters 3-4).
+//
+// Converts a post-synthesis synchronous gate-level netlist into its
+// flow-equivalent desynchronized counterpart, in place:
+//
+//   1. design import / logic cleaning           (§3.2.1, §3.2.2)
+//   2. automatic region creation                (§3.2.2, Figs 3.3-3.6)
+//   3. flip-flop substitution                   (§3.2.3, Fig 3.1)
+//   4. data-dependency graph                    (§3.2.4, Fig 2.6)
+//   5. delay element creation (STA-sized)       (§3.2.5)
+//   6. control network insertion                (§3.2.6, Fig 2.11)
+//   7. backend constraint generation (SDC)      (§4.4-§4.6, Figs 4.2, 4.5)
+//
+// The resulting module has no functional clock; the original clock input
+// port remains but is disconnected, and a reset drives the controller
+// network, which self-starts from the slave latches' reset data tokens.
+#pragma once
+
+#include "core/control_network.h"
+#include "core/ff_substitution.h"
+#include "core/regions.h"
+#include "sta/sdc.h"
+
+namespace desync::core {
+
+struct DesyncOptions {
+  GroupingOptions grouping;
+  ControlNetworkOptions control;
+  /// Clock input port name; its loads are expected to disappear with the
+  /// flip-flops.  Only single-clock designs are supported (thesis §4.1).
+  std::string clock_port = "clk";
+  /// Manual region specification (thesis §3.2.2): when non-empty, regions
+  /// come from these sequential-cell name-prefix groups instead of the
+  /// automatic algorithm (group i+1 = prefixes[i]).
+  std::vector<std::vector<std::string>> manual_seq_groups;
+};
+
+struct DesyncResult {
+  Regions regions;
+  DependencyGraph ddg;
+  SubstitutionResult substitution;
+  ControlNetworkReport control;
+  /// Backend constraints: ClkM/ClkS latch-enable clocks (Fig 4.2),
+  /// controller loop cuts (Fig 4.5) and size_only markers.
+  sta::SdcFile sdc;
+  /// Minimum clock period of the original synchronous circuit (worst path
+  /// + setup), used as the reference period for the generated clocks and
+  /// for the synchronous-version comparisons.
+  double sync_min_period_ns = 0.0;
+};
+
+/// Desynchronizes `module` in place.  `design` receives the helper modules
+/// (controllers, C-elements, delay elements) before they are flattened in.
+DesyncResult desynchronize(netlist::Design& design, netlist::Module& module,
+                           const liberty::Gatefile& gatefile,
+                           const DesyncOptions& options = {});
+
+}  // namespace desync::core

@@ -1,0 +1,296 @@
+#include "core/ff_substitution.h"
+
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace desync::core {
+
+using netlist::CellId;
+using netlist::Module;
+using netlist::NetId;
+using netlist::PortDir;
+
+namespace {
+
+/// Book-keeping helper: registers a new cell in the regions structure.
+void track(Regions& regions, Module& m, CellId id, int group, bool seq) {
+  if (regions.group_of_cell.size() < m.cellCapacity()) {
+    regions.group_of_cell.resize(m.cellCapacity(), -1);
+  }
+  regions.group_of_cell[id.index()] = group;
+  if (group < 0) return;
+  auto& list = seq ? regions.seq_cells[static_cast<std::size_t>(group)]
+                   : regions.comb_cells[static_cast<std::size_t>(group)];
+  list.push_back(id);
+}
+
+struct Builder {
+  Module& m;
+  const liberty::Gatefile& gf;
+  Regions& regions;
+  SubstitutionResult& result;
+  std::uint64_t counter = 0;
+
+  NetId newNet(const std::string& base) {
+    return m.addNet(base + "_ds" + std::to_string(counter++));
+  }
+
+  CellId comb(const std::string& name, const char* type, int group,
+              std::initializer_list<Module::PinInit> pins) {
+    CellId id = m.addCell(name, type, pins);
+    track(regions, m, id, group, /*seq=*/false);
+    ++result.glue_cells_added;
+    return id;
+  }
+
+  NetId gate2(const std::string& name, const char* type, int group, NetId a,
+              NetId b) {
+    NetId z = newNet(name);
+    comb(name, type, group,
+         {{"A", PortDir::kInput, a},
+          {"B", PortDir::kInput, b},
+          {"Z", PortDir::kOutput, z}});
+    return z;
+  }
+
+  CellId latch(const std::string& name, int group, NetId d, NetId g,
+               NetId q) {
+    CellId id = m.addCell(name, gf.simpleLatch(),
+                          {{"D", PortDir::kInput, d},
+                           {"G", PortDir::kInput, g},
+                           {"Q", PortDir::kOutput, q}});
+    track(regions, m, id, group, /*seq=*/true);
+    return id;
+  }
+};
+
+}  // namespace
+
+SubstitutionResult substituteFlipFlops(Module& module,
+                                       const liberty::Gatefile& gatefile,
+                                       Regions& regions) {
+  SubstitutionResult result;
+  result.master_enable.assign(static_cast<std::size_t>(regions.n_groups),
+                              NetId{});
+  result.slave_enable.assign(static_cast<std::size_t>(regions.n_groups),
+                             NetId{});
+  Builder b{module, gatefile, regions, result};
+
+  // The enable-forcing gates for asynchronous controls (Fig 3.1c) depend
+  // only on (region enable, control net, polarity) — share them across all
+  // flip-flops of a region instead of duplicating per bit, as a synthesis
+  // tool would.
+  std::map<std::tuple<std::uint32_t, std::uint32_t, bool>, NetId>
+      forced_enable_cache;
+  auto forcedEnable = [&](int group, NetId enable, NetId ctrl,
+                          bool active_low, const char* tag) {
+    auto key = std::make_tuple(enable.value, ctrl.value, active_low);
+    auto it = forced_enable_cache.find(key);
+    if (it != forced_enable_cache.end()) return it->second;
+    NetId out = b.gate2("G" + std::to_string(group) + "_" + tag + "_" +
+                            std::to_string(b.counter++),
+                        active_low ? "OR2B1" : "OR2", group, enable, ctrl);
+    forced_enable_cache.emplace(key, out);
+    return out;
+  };
+
+  auto enables = [&](int g) -> std::pair<NetId, NetId> {
+    auto gi = static_cast<std::size_t>(g);
+    if (!result.master_enable[gi].valid()) {
+      result.master_enable[gi] =
+          module.addNet("G" + std::to_string(g) + "_gm");
+      result.slave_enable[gi] =
+          module.addNet("G" + std::to_string(g) + "_gs");
+    }
+    return {result.master_enable[gi], result.slave_enable[gi]};
+  };
+
+  // Pre-pass: integrated clock gates.  Each CGL becomes a latched gating
+  // condition ANDed into the enables of the flip-flops it clocks
+  // (Fig 3.1d); record gating nets per (CGL output net).
+  struct Gating {
+    NetId cen_master;  ///< AND term for the master enable
+    NetId cen_slave;   ///< AND term for the slave enable (re-latched so it
+                       ///< is stable throughout the slave pulse)
+  };
+  std::vector<std::pair<std::uint32_t, Gating>> gated_clock_nets;
+  std::vector<CellId> clock_gates;
+  module.forEachCell([&](CellId cid) {
+    if (gatefile.kind(std::string(module.cellType(cid))) ==
+        liberty::CellKind::kClockGate) {
+      clock_gates.push_back(cid);
+    }
+  });
+  for (CellId cg : clock_gates) {
+    const liberty::SeqClass* sc =
+        gatefile.seqClass(std::string(module.cellType(cg)));
+    NetId e_net = module.pinNet(cg, sc->data_pin);
+    NetId z_net = module.pinNet(cg, sc->q_pin);
+    // Which group do the gated flip-flops live in?  Take the group of the
+    // first sequential sink.
+    int group = -1;
+    if (z_net.valid()) {
+      for (const netlist::TermRef& t : module.net(z_net).sinks) {
+        if (t.isCellPin()) {
+          int g = regions.group_of_cell[t.cell().index()];
+          if (g >= 0) {
+            group = g;
+            break;
+          }
+        }
+      }
+    }
+    if (group < 0 || !e_net.valid()) continue;
+    auto [gm, gs] = enables(group);
+    std::string base = std::string(module.cellName(cg));
+    // Fig 3.1(d): the gating condition is latched while the master enable
+    // is low (mirror of the integrated clock gate's low-phase latch), and
+    // re-latched against the slave enable so each AND term is stable for
+    // the whole duration of the pulse it gates.
+    NetId gmn = b.newNet(base + "_gmn");
+    b.comb(base + "_minv", "IV", group,
+           {{"A", PortDir::kInput, gm}, {"Z", PortDir::kOutput, gmn}});
+    NetId cen_m = b.newNet(base + "_cenm");
+    b.latch(base + "_cenLm", group, e_net, gmn, cen_m);
+    NetId gsn = b.newNet(base + "_gsn");
+    b.comb(base + "_sinv", "IV", group,
+           {{"A", PortDir::kInput, gs}, {"Z", PortDir::kOutput, gsn}});
+    NetId cen_s = b.newNet(base + "_cens");
+    b.latch(base + "_cenLs", group, cen_m, gsn, cen_s);
+    gated_clock_nets.emplace_back(z_net.value, Gating{cen_m, cen_s});
+    module.removeCell(cg);
+  }
+  auto gatingFor = [&](NetId clock_net) -> const Gating* {
+    for (const auto& [net, g] : gated_clock_nets) {
+      if (clock_net.valid() && net == clock_net.value) return &g;
+    }
+    return nullptr;
+  };
+
+  // Snapshot flip-flops before mutating.
+  std::vector<CellId> ffs;
+  module.forEachCell([&](CellId cid) {
+    if (gatefile.isFlipFlop(std::string(module.cellType(cid)))) {
+      ffs.push_back(cid);
+    }
+  });
+
+  for (CellId ff : ffs) {
+    const std::string type(module.cellType(ff));
+    const liberty::SeqClass* sc = gatefile.seqClass(type);
+    const int group = regions.group_of_cell[ff.index()];
+    if (group < 0) {
+      throw netlist::NetlistError("flip-flop outside any region: " +
+                                  std::string(module.cellName(ff)));
+    }
+    auto [gm, gs] = enables(group);
+    const std::string name(module.cellName(ff));
+
+    auto pin = [&](const std::string& p) -> NetId {
+      return p.empty() ? NetId{} : module.pinNet(ff, p);
+    };
+    NetId d = pin(sc->data_pin);
+    NetId si = pin(sc->scan_in);
+    NetId se = pin(sc->scan_enable);
+    NetId sync = pin(sc->sync_pin);
+    NetId clear = pin(sc->async_clear_pin);
+    NetId preset = pin(sc->async_preset_pin);
+    NetId clock = pin(sc->clock_pin);
+    NetId q = pin(sc->q_pin);
+    NetId qn = pin(sc->qn_pin);
+    const bool sync_low = sc->sync_active_low;
+    const bool sync_set = sc->sync_is_set;
+    const bool clear_low = sc->async_clear_active_low;
+    const bool preset_low = sc->async_preset_active_low;
+    const Gating* gating = gatingFor(clock);
+
+    // Remove the flip-flop; its nets stay.
+    module.removeCell(ff);
+    // Drop the group membership of the removed slot.
+    regions.group_of_cell[ff.index()] = -1;
+
+    // --- master data chain -------------------------------------------
+    if (!d.valid()) d = module.constNet(false);
+    if (se.valid()) {
+      // Scan mux (Fig 3.1a): D when SE=0, SI when SE=1.
+      NetId z = b.newNet(name + "_scm");
+      b.comb(name + "_scmux", "MUX21", group,
+             {{"A", PortDir::kInput, d},
+              {"B", PortDir::kInput, si},
+              {"S", PortDir::kInput, se},
+              {"Z", PortDir::kOutput, z}});
+      d = z;
+    }
+    if (sync.valid()) {
+      // Synchronous set/reset (Fig 3.1b).
+      if (sync_set) {
+        d = b.gate2(name + "_sys", sync_low ? "OR2B1" : "OR2", group, d,
+                    sync);
+      } else {
+        d = b.gate2(name + "_syr", sync_low ? "AN2" : "AN2B1", group, d,
+                    sync);
+      }
+    }
+
+    NetId gm_eff = gm;
+    NetId gs_eff = gs;
+    if (gating != nullptr) {
+      gm_eff = b.gate2(name + "_cgm", "AN2", group, gm, gating->cen_master);
+      gs_eff = b.gate2(name + "_cgs", "AN2", group, gs, gating->cen_slave);
+    }
+
+    // Async controls (Fig 3.1c): force the latches transparent while the
+    // control is asserted and gate the data so the forced value flows.
+    NetId slave_gate_clear, slave_gate_preset;
+    if (clear.valid()) {
+      d = b.gate2(name + "_acm", clear_low ? "AN2" : "AN2B1", group, d,
+                  clear);
+      gm_eff = forcedEnable(group, gm_eff, clear, clear_low, "agm");
+      gs_eff = forcedEnable(group, gs_eff, clear, clear_low, "ags");
+      slave_gate_clear = clear;
+    }
+    if (preset.valid()) {
+      d = b.gate2(name + "_apm", preset_low ? "OR2B1" : "OR2", group, d,
+                  preset);
+      gm_eff = forcedEnable(group, gm_eff, preset, preset_low, "apgm");
+      gs_eff = forcedEnable(group, gs_eff, preset, preset_low, "apgs");
+      slave_gate_preset = preset;
+    }
+
+    // --- the latch pair ------------------------------------------------
+    NetId mq = b.newNet(name + "_mq");
+    b.latch(name + "_Lm", group, d, gm_eff, mq);
+    NetId sd = mq;
+    if (slave_gate_clear.valid()) {
+      sd = b.gate2(name + "_acs", clear_low ? "AN2" : "AN2B1", group, sd,
+                   slave_gate_clear);
+    }
+    if (slave_gate_preset.valid()) {
+      sd = b.gate2(name + "_aps", preset_low ? "OR2B1" : "OR2", group, sd,
+                   slave_gate_preset);
+    }
+    if (!q.valid()) q = b.newNet(name + "_q");
+    b.latch(name + "_Ls", group, sd, gs_eff, q);
+    if (qn.valid()) {
+      b.comb(name + "_qninv", "IV", group,
+             {{"A", PortDir::kInput, q}, {"Z", PortDir::kOutput, qn}});
+    }
+    ++result.ffs_replaced;
+  }
+
+  // Drop the removed flip-flops from the region membership lists.
+  for (auto& list : regions.seq_cells) {
+    std::erase_if(list,
+                  [&](CellId id) { return !module.isLiveCell(id); });
+  }
+  for (auto& list : regions.comb_cells) {
+    std::erase_if(list,
+                  [&](CellId id) { return !module.isLiveCell(id); });
+  }
+
+  return result;
+}
+
+}  // namespace desync::core

@@ -1,0 +1,43 @@
+// Flip-flop substitution (thesis §2.3, §3.1.2, §3.2.3, Fig 3.1).
+//
+// Every flip-flop is replaced by a master/slave pair of transparent latches
+// driven by the region's two latch-enable nets.  The library only ships the
+// simplest latch (LD), so the "extra latches" of §3.1.2 are synthesized as
+// glue gates around the pair, derived generically from the gatefile's
+// structural classification:
+//   - scan flip-flops: a MUX21 in front of the master (Fig 3.1a);
+//   - synchronous set/reset: an AND/OR gate in front (Fig 3.1b);
+//   - asynchronous set/clear: data gating on both latches plus OR-forced
+//     enables so the value propagates while the async control is asserted
+//     (Fig 3.1c);
+//   - clock gating (integrated clock-gate cells): the gating condition is
+//     re-latched and ANDed into both enables (Fig 3.1d).
+//
+// Naming: flip-flop "ff" becomes latches "ff_Lm" and "ff_Ls"; the slave
+// drives the original Q net, so the datapath is untouched and the
+// flow-equivalence checker can pair "ff" with "ff_Ls".
+#pragma once
+
+#include "core/regions.h"
+#include "liberty/gatefile.h"
+#include "netlist/netlist.h"
+
+namespace desync::core {
+
+struct SubstitutionResult {
+  /// Per group id: the master / slave latch enable nets (undriven
+  /// placeholders until the control network is inserted).
+  std::vector<netlist::NetId> master_enable;
+  std::vector<netlist::NetId> slave_enable;
+  std::size_t ffs_replaced = 0;
+  std::size_t glue_cells_added = 0;
+};
+
+/// Replaces every flip-flop of every region with a latch pair.  The
+/// regions' group_of_cell entries stay valid for untouched cells; new latch
+/// and glue cells are appended to regions.seq_cells/comb_cells.
+SubstitutionResult substituteFlipFlops(netlist::Module& module,
+                                       const liberty::Gatefile& gatefile,
+                                       Regions& regions);
+
+}  // namespace desync::core

@@ -1,0 +1,94 @@
+// Automatic region creation: the grouping algorithm (thesis §3.2.2,
+// Figs 3.3-3.6).
+//
+// A desynchronization region is a combinational logic cloud together with
+// the sequential elements it drives; clouds of different regions must be
+// independent.  The algorithm:
+//   1. groups combinational gates into connected components (together with
+//      their directly driven sequential cells), optionally extending
+//      connectivity across nets of the same named bus (the by-name bus
+//      heuristic of Fig 3.6);
+//   2. attaches ungrouped sequential cells that are directly driven by
+//      already-grouped sequential cells to the driver's group (flip-flop
+//      history chains);
+//   3. collects every remaining sequential cell — registers of primary
+//      inputs — into the extra Group 0.
+//
+// Nets marked false_path (global resets, clock-gating controls) are ignored
+// when tracing connectivity, and the logic-cleaning pass (buffer and
+// inverter-pair removal) should run first so that drive buffering does not
+// merge unrelated clouds (Fig 3.5).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "liberty/gatefile.h"
+#include "netlist/netlist.h"
+
+namespace desync::core {
+
+struct GroupingOptions {
+  /// Run buffer / inverter-pair cleaning before grouping (thesis: "clean
+  /// logic"; ablation toggle).
+  bool clean_logic = true;
+  /// Merge clouds driving bits of the same named bus (Fig 3.6 heuristic;
+  /// ablation toggle).
+  bool bus_heuristic = true;
+  /// Net names to ignore while tracing (user-marked false paths, e.g.
+  /// global synchronous resets; thesis §3.2.2 "False Paths").
+  std::vector<std::string> false_path_nets;
+};
+
+struct Regions {
+  /// Number of groups; group 0 is the input-register group (possibly
+  /// empty).  Valid group ids: 0 .. n_groups-1.
+  int n_groups = 0;
+  /// Group per cell slot (indexed by CellId::value); -1 for cells outside
+  /// any region (e.g. pure input->output pass logic with no sequentials).
+  std::vector<int> group_of_cell;
+  /// Sequential cells per group.
+  std::vector<std::vector<netlist::CellId>> seq_cells;
+  /// Combinational cells per group.
+  std::vector<std::vector<netlist::CellId>> comb_cells;
+
+  [[nodiscard]] int groupOf(netlist::CellId id) const {
+    return group_of_cell.at(id.index());
+  }
+};
+
+/// Runs the grouping algorithm.  Mutates `module` only when
+/// options.clean_logic is set (buffer removal).
+Regions groupRegions(netlist::Module& module,
+                     const liberty::Gatefile& gatefile,
+                     const GroupingOptions& options = {});
+
+/// Manual region specification (thesis §3.2.2: "the regions can be
+/// specified either manually by the designer or derived automatically").
+/// Sequential cells whose name starts with any prefix of
+/// seq_prefix_groups[i] form group i+1; unmatched sequential cells fall
+/// into Group 0.  Combinational cells are assigned to the group of the
+/// sequential cells they (transitively) drive; a gate reaching two groups
+/// means the clouds are not independent and is an error.
+Regions groupRegionsBySeqPrefix(
+    netlist::Module& module, const liberty::Gatefile& gatefile,
+    const std::vector<std::vector<std::string>>& seq_prefix_groups,
+    const GroupingOptions& options = {});
+
+/// Data-dependency graph over regions (thesis §2.4.1): edge i -> j when a
+/// sequential output of region i feeds the cloud (or a sequential input)
+/// of region j.  Self-edges are kept: a region whose cloud reads its own
+/// registers forms the classic master/slave ring.
+struct DependencyGraph {
+  int n_groups = 0;
+  /// Adjacency: preds[j] = sorted unique region ids feeding region j.
+  std::vector<std::vector<int>> preds;
+  /// succs[i] = regions fed by region i.
+  std::vector<std::vector<int>> succs;
+};
+
+DependencyGraph buildDependencyGraph(const netlist::Module& module,
+                                     const liberty::Gatefile& gatefile,
+                                     const Regions& regions);
+
+}  // namespace desync::core

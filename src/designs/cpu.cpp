@@ -1,0 +1,259 @@
+#include "designs/cpu.h"
+
+#include <cmath>
+
+#include "designs/cpu_isa.h"
+#include "designs/rtlgen.h"
+
+namespace desync::designs {
+
+using netlist::NetId;
+
+namespace {
+
+int log2i(int v) {
+  int bits = 0;
+  while ((1 << bits) < v) ++bits;
+  return bits;
+}
+
+/// Default DLX program: an endless arithmetic/memory busy loop exercising
+/// every pipeline stage (loads, stores, shifts, compares, a never-taken
+/// branch and a back jump with its three delay slots).
+std::vector<std::uint64_t> defaultProgram() {
+  using namespace isa;
+  return {
+      ADDI(1, 0, 0),        //  0: sum = 0
+      ADDI(2, 0, 1),        //  1: i = 1
+      ADDI(4, 0, 0),        //  2: ptr = 0
+      LUI(10, 0xFFFF),      //  3: r10 = 0xFFFF0000
+      ADDI(5, 0, 0x5555),   //  4: pattern
+      NOP(),                //  5
+      NOP(),                //  6
+      ORI(10, 10, 0xFFFF),  //  7: r10 = 0xFFFFFFFF
+      ADD(1, 1, 2),         //  8: loop: sum += i
+      ADDI(2, 2, 1),        //  9: i++
+      XOR(7, 1, 5),         // 10: t = sum ^ pattern
+      SW(7, 4, 0),          // 11: dmem[ptr] = t
+      ADDI(4, 4, 1),        // 12: ptr++
+      ANDI(4, 4, 7),        // 13: ptr &= 7
+      LW(6, 4, 0),          // 14: u = dmem[ptr]
+      ADD(1, 1, 6),         // 15: sum += u
+      ADDI(11, 10, 1),      // 16: 0xFFFFFFFF + 1: full-length carry ripple,
+                            //     exercising the ALU critical path each loop
+      SLLI(7, 2, 2),        // 17
+      SRLI(8, 5, 1),        // 18
+      SLT(9, 2, 5),         // 19
+      BNE(0, 0, 2),         // 20: never taken
+      SUB(1, 1, 9),         // 21
+      J(8),                 // 22: loop
+      NOP(),                // 23: delay slot
+      NOP(),                // 24: delay slot
+      NOP(),                // 25: delay slot
+  };
+}
+
+}  // namespace
+
+CpuConfig dlxConfig() {
+  CpuConfig cfg;
+  cfg.name = "dlx";
+  cfg.xlen = 32;
+  cfg.n_regs = 32;
+  cfg.dmem_words = 16;
+  cfg.rom_words = 64;
+  cfg.with_multiplier = false;
+  cfg.program = defaultProgram();
+  return cfg;
+}
+
+CpuConfig armClassConfig() {
+  CpuConfig cfg;
+  cfg.name = "armlike";
+  cfg.xlen = 32;
+  cfg.n_regs = 32;
+  cfg.dmem_words = 64;
+  cfg.rom_words = 64;
+  cfg.with_multiplier = true;
+  cfg.program = defaultProgram();
+  return cfg;
+}
+
+netlist::Module& buildCpu(netlist::Design& design,
+                          const liberty::Gatefile& gatefile,
+                          const CpuConfig& cfg) {
+  netlist::Module& m = design.addModule(cfg.name);
+  Rtl rtl(m, gatefile);
+
+  const int xlen = cfg.xlen;
+  const int pcw = log2i(cfg.rom_words);
+  const int rbits = log2i(cfg.n_regs);
+  const int dbits = log2i(cfg.dmem_words);
+
+  NetId clk = rtl.input("clk")[0];
+  NetId rst_n = rtl.input("rst_n")[0];
+
+  // ----- forward references -------------------------------------------
+  Bus pc_q = rtl.wire("pc_q", pcw);
+  Bus red_taken_q = rtl.wire("red_taken_q", 1);
+  Bus red_target_q = rtl.wire("red_target_q", pcw);
+  Bus wb_wen_ph = rtl.wire("wb_wen_ph", 1);
+  Bus wb_waddr_ph = rtl.wire("wb_waddr_ph", rbits);
+  Bus wb_wdata_ph = rtl.wire("wb_wdata_ph", xlen);
+
+  // Register file lives in the MEM (writeback) region: its flip-flops are
+  // driven by the MEM cloud through the write-port muxes.
+  Rtl::RegFile rf = rtl.regFile("rf", cfg.n_regs, xlen, wb_waddr_ph,
+                                wb_wdata_ph, wb_wen_ph[0], clk, rst_n);
+
+  // ----- IF --------------------------------------------------------------
+  Bus pc1 = rtl.add(pc_q, rtl.constant(1, pcw));
+  Bus pc_next = rtl.mux(red_taken_q[0], pc1, red_target_q);
+  rtl.regInto("pc", pc_next, clk, rst_n, pc_q);
+  Bus instr_w = rtl.rom("irom", pc_q, cfg.program, 32);
+  Bus ifid_instr = rtl.reg("ifid_instr", instr_w, clk, rst_n);
+  Bus ifid_pc = rtl.reg("ifid_pc", pc_q, clk, rst_n);
+
+  // ----- ID --------------------------------------------------------------
+  Bus opcode = Rtl::slice(ifid_instr, 26, 6);
+  Bus rs = Rtl::slice(ifid_instr, 21, rbits);
+  Bus rt = Rtl::slice(ifid_instr, 16, rbits);
+  Bus rd = Rtl::slice(ifid_instr, 11, rbits);
+  Bus imm16 = Rtl::slice(ifid_instr, 0, 16);
+
+  auto is = [&](isa::Opcode op) { return rtl.eqConst(opcode, op); };
+  NetId op_add = is(isa::kAdd), op_sub = is(isa::kSub), op_and = is(isa::kAnd);
+  NetId op_or = is(isa::kOr), op_xor = is(isa::kXor), op_slt = is(isa::kSlt);
+  NetId op_addi = is(isa::kAddi), op_lui = is(isa::kLui);
+  NetId op_slli = is(isa::kSlli), op_srli = is(isa::kSrli);
+  NetId op_lw = is(isa::kLw), op_sw = is(isa::kSw);
+  NetId op_beq = is(isa::kBeq), op_bne = is(isa::kBne), op_j = is(isa::kJ);
+  NetId op_andi = is(isa::kAndi), op_ori = is(isa::kOri),
+        op_xori = is(isa::kXori);
+  NetId op_mul = cfg.with_multiplier ? is(isa::kMul) : rtl.zero();
+
+  NetId use_imm = rtl.reduceOr({op_addi, op_lui, op_slli, op_srli, op_lw,
+                                op_sw, op_andi, op_ori, op_xori});
+  NetId imm_zext = rtl.reduceOr({op_andi, op_ori, op_xori});
+  NetId dest_rt = use_imm;  // immediate forms write rt
+  NetId wen = rtl.reduceOr({op_add, op_sub, op_and, op_or, op_xor, op_slt,
+                            op_addi, op_lui, op_slli, op_srli, op_lw, op_andi,
+                            op_ori, op_xori, op_mul});
+
+  Bus a = rtl.regFileRead(rf, rs);
+  Bus b = rtl.regFileRead(rf, rt);
+  Bus imm_s = rtl.signExtend(imm16, xlen);
+  Bus imm_z = rtl.extend(imm16, xlen);
+  Bus imm = rtl.mux(imm_zext, imm_s, imm_z);
+  Bus waddr = rtl.mux(dest_rt, rd, rt);
+
+  // ID/EX pipeline registers.
+  Bus ex_a = rtl.reg("idex_a", a, clk, rst_n);
+  Bus ex_b = rtl.reg("idex_b", b, clk, rst_n);
+  Bus ex_imm = rtl.reg("idex_imm", imm, clk, rst_n);
+  Bus ex_pc = rtl.reg("idex_pc", ifid_pc, clk, rst_n);
+  Bus ex_waddr = rtl.reg("idex_waddr", waddr, clk, rst_n);
+  auto pipe1 = [&](const char* n, NetId s) {
+    return rtl.reg(n, Bus{s}, clk, rst_n)[0];
+  };
+  NetId ex_wen = pipe1("idex_wen", wen);
+  NetId ex_use_imm = pipe1("idex_useimm", use_imm);
+  NetId ex_is_lw = pipe1("idex_islw", op_lw);
+  NetId ex_is_sw = pipe1("idex_issw", op_sw);
+  NetId ex_is_beq = pipe1("idex_isbeq", op_beq);
+  NetId ex_is_bne = pipe1("idex_isbne", op_bne);
+  NetId ex_is_j = pipe1("idex_isj", op_j);
+  NetId ex_op_add = pipe1("idex_opadd", rtl.reduceOr({op_add, op_addi, op_lw,
+                                                      op_sw}));
+  NetId ex_op_sub = pipe1("idex_opsub", op_sub);
+  NetId ex_op_and = pipe1("idex_opand", rtl.or2(op_and, op_andi));
+  NetId ex_op_or = pipe1("idex_opor", rtl.or2(op_or, op_ori));
+  NetId ex_op_xor = pipe1("idex_opxor", rtl.or2(op_xor, op_xori));
+  NetId ex_op_slt = pipe1("idex_opslt", op_slt);
+  NetId ex_op_sll = pipe1("idex_opsll", op_slli);
+  NetId ex_op_srl = pipe1("idex_opsrl", op_srli);
+  NetId ex_op_lui = pipe1("idex_oplui", op_lui);
+  NetId ex_op_mul =
+      cfg.with_multiplier ? pipe1("idex_opmul", op_mul) : rtl.zero();
+
+  // ----- EX --------------------------------------------------------------
+  Bus alu_b = rtl.mux(ex_use_imm, ex_b, ex_imm);
+  Bus r_add = rtl.add(ex_a, alu_b);
+  Bus r_sub = rtl.sub(ex_a, alu_b);
+  Bus r_and = rtl.andB(ex_a, alu_b);
+  Bus r_or = rtl.orB(ex_a, alu_b);
+  Bus r_xor = rtl.xorB(ex_a, alu_b);
+  Bus r_slt = rtl.extend(Bus{rtl.ltUnsigned(ex_a, alu_b)}, xlen);
+  Bus shamt = Rtl::slice(ex_imm, 0, 5);
+  Bus r_sll = rtl.shift(ex_a, shamt, /*left=*/true);
+  Bus r_srl = rtl.shift(ex_a, shamt, /*left=*/false);
+  Bus r_lui = rtl.extend(
+      Rtl::cat(rtl.constant(0, 16), Rtl::slice(ex_imm, 0, 16)), xlen);
+
+  struct AluOp {
+    NetId sel;
+    Bus value;
+  };
+  std::vector<AluOp> ops = {{ex_op_add, r_add}, {ex_op_sub, r_sub},
+                            {ex_op_and, r_and}, {ex_op_or, r_or},
+                            {ex_op_xor, r_xor}, {ex_op_slt, r_slt},
+                            {ex_op_sll, r_sll}, {ex_op_srl, r_srl},
+                            {ex_op_lui, r_lui}};
+  if (cfg.with_multiplier) {
+    // Array multiplier: sum of shifted partial products.
+    Bus acc = rtl.constant(0, xlen);
+    for (int i = 0; i < xlen; ++i) {
+      Bus pp = rtl.andB(alu_b, Rtl::fill(Rtl::bit(ex_a, i), xlen));
+      Bus shifted = rtl.extend(
+          Rtl::cat(rtl.constant(0, i), Rtl::slice(pp, 0, xlen - i)), xlen);
+      acc = rtl.add(acc, shifted);
+    }
+    ops.push_back({ex_op_mul, acc});
+  }
+  Bus alu = rtl.constant(0, xlen);
+  for (const AluOp& op : ops) {
+    alu = rtl.orB(alu, rtl.andB(op.value, Rtl::fill(op.sel, xlen)));
+  }
+
+  NetId cond_eq = rtl.eq(ex_a, ex_b);
+  NetId taken = rtl.reduceOr({rtl.and2(ex_is_beq, cond_eq),
+                              rtl.and2(ex_is_bne, rtl.not1(cond_eq)),
+                              ex_is_j});
+  Bus branch_target =
+      rtl.add(ex_pc, Rtl::slice(ex_imm, 0, pcw), rtl.one());
+  Bus target = rtl.mux(ex_is_j, branch_target, Rtl::slice(ex_imm, 0, pcw));
+
+  rtl.regInto("red_taken", Bus{taken}, clk, rst_n, red_taken_q);
+  rtl.regInto("red_target", target, clk, rst_n, red_target_q);
+
+  Bus mem_alu = rtl.reg("exmem_alu", alu, clk, rst_n);
+  Bus mem_b = rtl.reg("exmem_b", ex_b, clk, rst_n);
+  Bus mem_waddr = rtl.reg("exmem_waddr", ex_waddr, clk, rst_n);
+  NetId mem_wen = pipe1("exmem_wen", ex_wen);
+  NetId mem_is_lw = pipe1("exmem_islw", ex_is_lw);
+  NetId mem_is_sw = pipe1("exmem_issw", ex_is_sw);
+
+  // ----- MEM / WB --------------------------------------------------------
+  Bus daddr = Rtl::slice(mem_alu, 0, dbits);
+  Rtl::RegFile dmem = rtl.regFile("dmem", cfg.dmem_words, xlen, daddr, mem_b,
+                                  mem_is_sw, clk, rst_n);
+  Bus mem_read = rtl.regFileRead(dmem, daddr);
+  Bus wb_data = rtl.mux(mem_is_lw, mem_alu, mem_read);
+  NetId waddr_nz = rtl.reduceOr(mem_waddr);
+  NetId wb_wen = rtl.and2(mem_wen, waddr_nz);
+
+  rtl.alias(wb_wen_ph, Bus{wb_wen});
+  rtl.alias(wb_waddr_ph, mem_waddr);
+  rtl.alias(wb_wdata_ph, wb_data);
+
+  // ----- observability -----------------------------------------------------
+  rtl.output("pc", pc_q);
+  rtl.output("r1", rf.word_q.at(1));
+
+  // Drive-strength fix-up, as a synthesis tool would leave the netlist.
+  rtl.bufferHighFanout(12);
+
+  return m;
+}
+
+}  // namespace desync::designs

@@ -1,0 +1,54 @@
+// Pipelined RISC CPU generators: the paper's two case studies.
+//
+// DLX (thesis §5.2): a 4-stage (IF/ID/EX/MEM) pipelined RISC with the full
+// integer ISA and no data forwarding, exactly the structure of Fig 5.2.  The
+// instruction ROM and data memory are built into the netlist (gate-level
+// mux-tree ROM, flip-flop RAM), so the design is closed except for clk/rst —
+// which makes synchronous-vs-desynchronized flow-equivalence comparison
+// direct.
+//
+// ARM-class (thesis §5.3): the same microarchitecture generator scaled up
+// (32 registers, larger memories, an array multiplier) standing in for the
+// ARM966E-S; the paper reports area only for this design, which is what the
+// benches reproduce.
+//
+// Architectural notes: branches/jumps resolve in EX and are *registered*
+// before redirecting IF, so each pipeline stage's combinational cloud only
+// reads flip-flop outputs — the property that lets drdesync's automatic
+// grouping recover the four pipeline stages (thesis §5.2).  Branches
+// therefore have three architectural delay slots; programs schedule NOPs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "liberty/gatefile.h"
+#include "netlist/netlist.h"
+
+namespace desync::designs {
+
+struct CpuConfig {
+  std::string name = "dlx";
+  int xlen = 32;        ///< datapath width
+  int n_regs = 32;      ///< register-file words (power of two)
+  int dmem_words = 16;  ///< data memory words (power of two)
+  int rom_words = 64;   ///< instruction ROM words (power of two)
+  bool with_multiplier = false;  ///< add a full array multiplier (MUL op)
+  std::vector<std::uint64_t> program;  ///< instruction words (see cpu_isa.h)
+};
+
+/// Returns the paper's DLX configuration with the default busy-loop program.
+[[nodiscard]] CpuConfig dlxConfig();
+
+/// Returns the ARM-class configuration (area case study).
+[[nodiscard]] CpuConfig armClassConfig();
+
+/// Builds the CPU as a flat module named config.name.
+/// Ports: clk, rst_n (inputs); pc (output bus), r1 (output bus: register 1,
+/// an observable architectural result).
+netlist::Module& buildCpu(netlist::Design& design,
+                          const liberty::Gatefile& gatefile,
+                          const CpuConfig& config);
+
+}  // namespace desync::designs

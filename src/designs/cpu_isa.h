@@ -1,0 +1,137 @@
+// Instruction encoding helpers for the generated RISC CPUs.
+//
+// 32-bit words: opcode[31:26] rs[25:21] rt[20:16] rd[15:11] imm[15:0].
+// Register-register ops write rd; immediate/load ops write rt.  Branches
+// resolve in EX with a registered redirect: THREE delay slots, which these
+// helpers do not insert — program authors add NOPs.
+#pragma once
+
+#include <cstdint>
+
+namespace desync::designs::isa {
+
+enum Opcode : std::uint32_t {
+  kNop = 0,
+  kAdd = 1,   // rd = rs + rt
+  kSub = 2,   // rd = rs - rt
+  kAnd = 3,
+  kOr = 4,
+  kXor = 5,
+  kSlt = 6,   // rd = (rs < rt) unsigned
+  kAddi = 8,  // rt = rs + sext(imm)
+  kLui = 9,   // rt = imm << 16
+  kSlli = 10,  // rt = rs << imm[4:0]
+  kSrli = 11,  // rt = rs >> imm[4:0]
+  kLw = 12,   // rt = dmem[rs + sext(imm)]
+  kSw = 13,   // dmem[rs + sext(imm)] = rt
+  kBeq = 14,  // if rs == rt: pc = pc + 1 + sext(imm)
+  kBne = 15,
+  kJ = 16,    // pc = imm (absolute word address)
+  kAndi = 17,  // rt = rs & zext(imm)
+  kOri = 18,
+  kXori = 19,
+  kMul = 20,  // rd = rs * rt (only with_multiplier configs)
+};
+
+constexpr std::uint32_t enc(std::uint32_t op, std::uint32_t rs,
+                            std::uint32_t rt, std::uint32_t rd,
+                            std::uint32_t imm) {
+  return (op << 26) | ((rs & 31u) << 21) | ((rt & 31u) << 16) |
+         ((rd & 31u) << 11) | (imm & 0xffffu);
+}
+
+constexpr std::uint32_t NOP() { return 0; }
+constexpr std::uint32_t ADD(int rd, int rs, int rt) {
+  return enc(kAdd, static_cast<std::uint32_t>(rs),
+             static_cast<std::uint32_t>(rt), static_cast<std::uint32_t>(rd),
+             0);
+}
+constexpr std::uint32_t SUB(int rd, int rs, int rt) {
+  return enc(kSub, static_cast<std::uint32_t>(rs),
+             static_cast<std::uint32_t>(rt), static_cast<std::uint32_t>(rd),
+             0);
+}
+constexpr std::uint32_t AND(int rd, int rs, int rt) {
+  return enc(kAnd, static_cast<std::uint32_t>(rs),
+             static_cast<std::uint32_t>(rt), static_cast<std::uint32_t>(rd),
+             0);
+}
+constexpr std::uint32_t OR(int rd, int rs, int rt) {
+  return enc(kOr, static_cast<std::uint32_t>(rs),
+             static_cast<std::uint32_t>(rt), static_cast<std::uint32_t>(rd),
+             0);
+}
+constexpr std::uint32_t XOR(int rd, int rs, int rt) {
+  return enc(kXor, static_cast<std::uint32_t>(rs),
+             static_cast<std::uint32_t>(rt), static_cast<std::uint32_t>(rd),
+             0);
+}
+constexpr std::uint32_t SLT(int rd, int rs, int rt) {
+  return enc(kSlt, static_cast<std::uint32_t>(rs),
+             static_cast<std::uint32_t>(rt), static_cast<std::uint32_t>(rd),
+             0);
+}
+constexpr std::uint32_t MUL(int rd, int rs, int rt) {
+  return enc(kMul, static_cast<std::uint32_t>(rs),
+             static_cast<std::uint32_t>(rt), static_cast<std::uint32_t>(rd),
+             0);
+}
+constexpr std::uint32_t ADDI(int rt, int rs, int imm) {
+  return enc(kAddi, static_cast<std::uint32_t>(rs),
+             static_cast<std::uint32_t>(rt), 0,
+             static_cast<std::uint32_t>(imm));
+}
+constexpr std::uint32_t ANDI(int rt, int rs, int imm) {
+  return enc(kAndi, static_cast<std::uint32_t>(rs),
+             static_cast<std::uint32_t>(rt), 0,
+             static_cast<std::uint32_t>(imm));
+}
+constexpr std::uint32_t ORI(int rt, int rs, int imm) {
+  return enc(kOri, static_cast<std::uint32_t>(rs),
+             static_cast<std::uint32_t>(rt), 0,
+             static_cast<std::uint32_t>(imm));
+}
+constexpr std::uint32_t XORI(int rt, int rs, int imm) {
+  return enc(kXori, static_cast<std::uint32_t>(rs),
+             static_cast<std::uint32_t>(rt), 0,
+             static_cast<std::uint32_t>(imm));
+}
+constexpr std::uint32_t LUI(int rt, int imm) {
+  return enc(kLui, 0, static_cast<std::uint32_t>(rt), 0,
+             static_cast<std::uint32_t>(imm));
+}
+constexpr std::uint32_t SLLI(int rt, int rs, int sh) {
+  return enc(kSlli, static_cast<std::uint32_t>(rs),
+             static_cast<std::uint32_t>(rt), 0,
+             static_cast<std::uint32_t>(sh));
+}
+constexpr std::uint32_t SRLI(int rt, int rs, int sh) {
+  return enc(kSrli, static_cast<std::uint32_t>(rs),
+             static_cast<std::uint32_t>(rt), 0,
+             static_cast<std::uint32_t>(sh));
+}
+constexpr std::uint32_t LW(int rt, int rs, int imm) {
+  return enc(kLw, static_cast<std::uint32_t>(rs),
+             static_cast<std::uint32_t>(rt), 0,
+             static_cast<std::uint32_t>(imm));
+}
+constexpr std::uint32_t SW(int rt, int rs, int imm) {
+  return enc(kSw, static_cast<std::uint32_t>(rs),
+             static_cast<std::uint32_t>(rt), 0,
+             static_cast<std::uint32_t>(imm));
+}
+constexpr std::uint32_t BEQ(int rs, int rt, int imm) {
+  return enc(kBeq, static_cast<std::uint32_t>(rs),
+             static_cast<std::uint32_t>(rt), 0,
+             static_cast<std::uint32_t>(imm));
+}
+constexpr std::uint32_t BNE(int rs, int rt, int imm) {
+  return enc(kBne, static_cast<std::uint32_t>(rs),
+             static_cast<std::uint32_t>(rt), 0,
+             static_cast<std::uint32_t>(imm));
+}
+constexpr std::uint32_t J(int target) {
+  return enc(kJ, 0, 0, 0, static_cast<std::uint32_t>(target));
+}
+
+}  // namespace desync::designs::isa

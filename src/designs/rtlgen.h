@@ -1,0 +1,157 @@
+// Structural RTL generation kit.
+//
+// Builds mapped gate-level logic (the post-synthesis netlists drdesync
+// consumes) directly from word-level operators: adders, muxes, comparators,
+// barrel shifters, ROMs, register files.  This substitutes for the
+// commercial synthesis step of the paper's flow — the output is exactly the
+// kind of flat, technology-mapped netlist Design Compiler would emit.
+//
+// All buses are LSB-first vectors of scalar nets; generated nets carry bus
+// names (name[i]) so the desynchronizer's by-name bus grouping heuristic
+// (thesis §3.2.2) sees the same structure a synthesis tool would produce.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "liberty/gatefile.h"
+#include "netlist/netlist.h"
+
+namespace desync::designs {
+
+using Bus = std::vector<netlist::NetId>;  ///< LSB first
+
+/// Gate-level builder bound to one module.
+class Rtl {
+ public:
+  Rtl(netlist::Module& module, const liberty::Gatefile& gatefile);
+
+  [[nodiscard]] netlist::Module& module() { return *m_; }
+
+  // --- ports / wires ---------------------------------------------------
+
+  /// Declares an input port bus `name[width-1:0]` (scalar when width==1).
+  Bus input(const std::string& name, int width = 1);
+  /// Declares output ports driven by `bus`.
+  void output(const std::string& name, const Bus& bus);
+  /// Fresh named wire bus.
+  Bus wire(const std::string& name, int width = 1);
+  /// Constant bus.
+  Bus constant(std::uint64_t value, int width);
+  [[nodiscard]] netlist::NetId zero();
+  [[nodiscard]] netlist::NetId one();
+
+  // --- bit utilities -----------------------------------------------------
+
+  static netlist::NetId bit(const Bus& b, int i) {
+    return b.at(static_cast<std::size_t>(i));
+  }
+  /// Slice [lo, lo+len).
+  static Bus slice(const Bus& b, int lo, int len);
+  /// Concatenation: {hi, lo} -> lo bits first.
+  static Bus cat(const Bus& lo, const Bus& hi);
+  /// Zero-extends or truncates to `width`.
+  Bus extend(const Bus& b, int width);
+  /// Sign-extends to `width`.
+  Bus signExtend(const Bus& b, int width);
+  /// Replicates a single net.
+  static Bus fill(netlist::NetId n, int width) {
+    return Bus(static_cast<std::size_t>(width), n);
+  }
+
+  // --- combinational operators ------------------------------------------
+
+  Bus inv(const Bus& a);
+  Bus andB(const Bus& a, const Bus& b);
+  Bus orB(const Bus& a, const Bus& b);
+  Bus xorB(const Bus& a, const Bus& b);
+  netlist::NetId and2(netlist::NetId a, netlist::NetId b);
+  netlist::NetId or2(netlist::NetId a, netlist::NetId b);
+  netlist::NetId xor2(netlist::NetId a, netlist::NetId b);
+  netlist::NetId not1(netlist::NetId a);
+  netlist::NetId nand2(netlist::NetId a, netlist::NetId b);
+  /// AND/OR over all bits of a bus (balanced tree).
+  netlist::NetId reduceAnd(const Bus& a);
+  netlist::NetId reduceOr(const Bus& a);
+
+  /// Ripple-carry adder; returns sum, optionally exposing carry-out.
+  Bus add(const Bus& a, const Bus& b, netlist::NetId carry_in = {},
+          netlist::NetId* carry_out = nullptr);
+  /// a - b (two's complement).
+  Bus sub(const Bus& a, const Bus& b);
+  /// Equality over buses.
+  netlist::NetId eq(const Bus& a, const Bus& b);
+  /// Equality against a constant.
+  netlist::NetId eqConst(const Bus& a, std::uint64_t value);
+  /// Unsigned a < b.
+  netlist::NetId ltUnsigned(const Bus& a, const Bus& b);
+
+  /// 2:1 mux per bit: sel ? b : a.
+  Bus mux(netlist::NetId sel, const Bus& a, const Bus& b);
+  /// N:1 mux tree; inputs.size() must be a power of two = 2^sel.size().
+  Bus muxN(const Bus& sel, const std::vector<Bus>& inputs);
+  /// Logical barrel shifter (left when `left`, zero fill).
+  Bus shift(const Bus& a, const Bus& amount, bool left);
+
+  /// Combinational ROM: addr-indexed constant words (mux tree).  Shorter
+  /// content is zero-padded to the next power of two.
+  Bus rom(const std::string& name, const Bus& addr,
+          const std::vector<std::uint64_t>& content, int width);
+
+  /// One-hot decoder: out[i] = (a == i).
+  Bus decode(const Bus& a);
+
+  // --- sequential ---------------------------------------------------------
+
+  /// Register bank: DFFR cells (async active-low clear) named
+  /// "<name>_r<i>".  Returns the Q bus.
+  Bus reg(const std::string& name, const Bus& d, netlist::NetId clk,
+          netlist::NetId rst_n);
+  /// Register with synchronous load enable (mux feedback).
+  Bus regEn(const std::string& name, const Bus& d, netlist::NetId en,
+            netlist::NetId clk, netlist::NetId rst_n);
+  /// Register bank driving pre-created Q nets (for forward references in
+  /// cyclic structures like pipelines).
+  void regInto(const std::string& name, const Bus& d, netlist::NetId clk,
+               netlist::NetId rst_n, const Bus& q);
+  /// Redirects every reader of `placeholder[i]` to `actual[i]` and removes
+  /// the placeholder nets.  Completes forward references.
+  void alias(const Bus& placeholder, const Bus& actual);
+
+  /// Post-build drive-strength fix-up (what a synthesis tool's buffering
+  /// step does): nets with more than `max_fanout` sinks get balanced BF
+  /// trees.  Nets driven directly by input ports (clock/reset, treated as
+  /// ideal networks before CTS) are left alone.  Returns buffers added.
+  std::size_t bufferHighFanout(int max_fanout = 16);
+
+  /// Register file: `words` x width bits of DFFR with one write port
+  /// (decoded enable muxes) and combinational read via mux trees.
+  struct RegFile {
+    std::vector<Bus> word_q;  ///< flip-flop outputs per word
+  };
+  RegFile regFile(const std::string& name, int words, int width,
+                  const Bus& waddr, const Bus& wdata, netlist::NetId wen,
+                  netlist::NetId clk, netlist::NetId rst_n);
+  /// Read port over a register file (mux tree).
+  Bus regFileRead(const RegFile& rf, const Bus& raddr);
+
+ private:
+  netlist::NetId newNet(const std::string& base);
+  netlist::NetId gate1(const char* type, netlist::NetId a);
+  netlist::NetId gate2(const char* type, netlist::NetId a, netlist::NetId b);
+  netlist::NetId gate3(const char* type, netlist::NetId a, netlist::NetId b,
+                       netlist::NetId c);
+
+  netlist::Module* m_;
+  const liberty::Gatefile* gf_;
+  std::uint64_t counter_ = 0;
+  /// Inverter CSE: net -> existing IV output.  Synthesis tools share
+  /// complemented literals; without this every decode cone would own a
+  /// private inverter and the region-grouping algorithm would see the cones
+  /// as disconnected.
+  std::unordered_map<std::uint32_t, netlist::NetId> inv_cache_;
+};
+
+}  // namespace desync::designs

@@ -1,0 +1,97 @@
+#include "designs/small.h"
+
+#include "designs/rtlgen.h"
+
+namespace desync::designs {
+
+using netlist::NetId;
+
+netlist::Module& buildCounter(netlist::Design& design,
+                              const liberty::Gatefile& gatefile, int bits,
+                              const std::string& name) {
+  netlist::Module& m = design.addModule(name);
+  Rtl rtl(m, gatefile);
+  NetId clk = rtl.input("clk")[0];
+  NetId rst_n = rtl.input("rst_n")[0];
+  Bus q = rtl.wire("cnt", bits);
+  Bus next = rtl.add(q, rtl.constant(1, bits));
+  rtl.regInto("cnt", next, clk, rst_n, q);
+  rtl.output("q", q);
+  return m;
+}
+
+netlist::Module& buildPipe2(netlist::Design& design,
+                            const liberty::Gatefile& gatefile, int bits,
+                            const std::string& name) {
+  netlist::Module& m = design.addModule(name);
+  Rtl rtl(m, gatefile);
+  NetId clk = rtl.input("clk")[0];
+  NetId rst_n = rtl.input("rst_n")[0];
+  // Stage 1: counter region.
+  Bus c = rtl.wire("c", bits);
+  rtl.regInto("cnt", rtl.add(c, rtl.constant(1, bits)), clk, rst_n, c);
+  // Stage 2: accumulator region (reads stage-1 flip-flop outputs only).
+  Bus a = rtl.wire("a", bits);
+  rtl.regInto("acc", rtl.add(a, c), clk, rst_n, a);
+  rtl.output("acc", a);
+  return m;
+}
+
+netlist::Module& buildLfsr(netlist::Design& design,
+                           const liberty::Gatefile& gatefile, int bits,
+                           const std::string& name) {
+  netlist::Module& m = design.addModule(name);
+  Rtl rtl(m, gatefile);
+  NetId clk = rtl.input("clk")[0];
+  NetId rst_n = rtl.input("rst_n")[0];
+  Bus q = rtl.wire("s", bits);
+  // Feedback: xor of the top two bits, with an all-zero escape (inject 1
+  // when the register is zero, e.g. right after reset).
+  NetId fb = rtl.xor2(q.back(), q.at(q.size() - 2));
+  NetId zero_state = rtl.not1(rtl.reduceOr(q));
+  fb = rtl.or2(fb, zero_state);
+  Bus next = Rtl::cat(Bus{fb}, Rtl::slice(q, 0, bits - 1));
+  rtl.regInto("s", next, clk, rst_n, q);
+  rtl.output("q", q);
+  return m;
+}
+
+netlist::Module& buildLongPath(netlist::Design& design,
+                               const liberty::Gatefile& gatefile, int levels,
+                               const std::string& name) {
+  netlist::Module& m = design.addModule(name);
+  Rtl rtl(m, gatefile);
+  NetId clk = rtl.input("clk")[0];
+  NetId rst_n = rtl.input("rst_n")[0];
+  Bus t = rtl.wire("t", 1);  // toggle source
+  rtl.regInto("tog", Bus{rtl.not1(t[0])}, clk, rst_n, t);
+  // XOR chain: every toggle of t ripples through all stages.
+  Bus p = rtl.wire("p", 1);
+  NetId x = t[0];
+  for (int i = 0; i < levels; ++i) x = rtl.xor2(x, p[0]);
+  rtl.regInto("par", Bus{x}, clk, rst_n, p);
+  rtl.output("q", p);
+  return m;
+}
+
+netlist::Module& buildClockGated(netlist::Design& design,
+                                 const liberty::Gatefile& gatefile, int bits,
+                                 const std::string& name) {
+  netlist::Module& m = design.addModule(name);
+  Rtl rtl(m, gatefile);
+  NetId clk = rtl.input("clk")[0];
+  NetId rst_n = rtl.input("rst_n")[0];
+  Bus c = rtl.wire("c", bits);
+  rtl.regInto("cnt", rtl.add(c, rtl.constant(1, bits)), clk, rst_n, c);
+  NetId gclk = m.addNet("gclk");
+  m.addCell("cg", "CGL",
+            {{"E", netlist::PortDir::kInput, c.at(2)},
+             {"CP", netlist::PortDir::kInput, clk},
+             {"Z", netlist::PortDir::kOutput, gclk}});
+  Bus g = rtl.wire("g", bits);
+  rtl.regInto("gcnt", rtl.add(g, rtl.constant(1, bits)), gclk, rst_n, g);
+  rtl.output("q", g);
+  return m;
+}
+
+}  // namespace desync::designs

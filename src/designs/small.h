@@ -1,0 +1,49 @@
+// Small test designs: counters, shift registers, accumulators.
+//
+// Used throughout the tests and the quickstart example as bite-sized
+// synchronous circuits to desynchronize.
+#pragma once
+
+#include "liberty/gatefile.h"
+#include "netlist/netlist.h"
+
+namespace desync::designs {
+
+/// n-bit binary counter with async reset.  Ports: clk, rst_n, q[n-1:0].
+/// Single region (the increment cloud drives its own flip-flops).
+netlist::Module& buildCounter(netlist::Design& design,
+                              const liberty::Gatefile& gatefile, int bits,
+                              const std::string& name = "counter");
+
+/// Two-stage pipeline: stage 1 increments a free-running counter, stage 2
+/// accumulates it.  Two regions with a one-way dependency.
+/// Ports: clk, rst_n, acc[n-1:0].
+netlist::Module& buildPipe2(netlist::Design& design,
+                            const liberty::Gatefile& gatefile, int bits,
+                            const std::string& name = "pipe2");
+
+/// Linear feedback shift register (Fibonacci, taps for common widths).
+/// Ports: clk, rst_n, q[n-1:0].  The LFSR seeds itself with 1 via a
+/// "stuck at zero" escape gate.
+netlist::Module& buildLfsr(netlist::Design& design,
+                           const liberty::Gatefile& gatefile, int bits,
+                           const std::string& name = "lfsr");
+
+/// Worst-case-every-cycle design: a toggle bit drives an XOR chain of
+/// `levels` stages whose parity is registered, so a transition traverses
+/// the full critical path on every single cycle.  Used to validate matched
+/// delay margins (too-short delay elements must corrupt data immediately).
+/// Ports: clk, rst_n, q.
+netlist::Module& buildLongPath(netlist::Design& design,
+                               const liberty::Gatefile& gatefile, int levels,
+                               const std::string& name = "longpath");
+
+/// Clock-gated design: a free-running counter whose bit 2 drives an
+/// integrated clock-gating cell (CGL) that clocks a second counter.
+/// Exercises the Fig 3.1(d) gating substitution.  Ports: clk, rst_n,
+/// q[bits-1:0].
+netlist::Module& buildClockGated(netlist::Design& design,
+                                 const liberty::Gatefile& gatefile, int bits,
+                                 const std::string& name = "cgdesign");
+
+}  // namespace desync::designs

@@ -1,0 +1,108 @@
+#include "dft/scan.h"
+
+namespace desync::dft {
+
+using netlist::CellId;
+using netlist::Module;
+using netlist::NetId;
+using netlist::PortDir;
+
+namespace {
+
+/// Finds the scan-equivalent library cell of `type`: a flip-flop whose
+/// classification matches in async-control structure and carries scan pins.
+const liberty::LibCell* scanEquivalent(const liberty::Gatefile& gatefile,
+                                       const std::string& type) {
+  const liberty::SeqClass* base = gatefile.seqClass(type);
+  if (base == nullptr) return nullptr;
+  const liberty::LibCell* found = nullptr;
+  gatefile.library().forEachCell([&](const liberty::LibCell& c) {
+    if (found != nullptr) return;
+    if (c.kind != liberty::CellKind::kFlipFlop) return;
+    const liberty::SeqClass* sc = gatefile.seqClass(c.name);
+    if (sc == nullptr || !sc->isScan()) return;
+    if ((sc->async_clear_pin.empty() != base->async_clear_pin.empty()) ||
+        (sc->async_preset_pin.empty() != base->async_preset_pin.empty()) ||
+        (sc->sync_pin.empty() != base->sync_pin.empty())) {
+      return;
+    }
+    found = &c;
+  });
+  return found;
+}
+
+}  // namespace
+
+ScanResult insertScan(Module& module, const liberty::Gatefile& gatefile,
+                      const ScanOptions& options) {
+  ScanResult result;
+
+  // Snapshot flip-flops.
+  std::vector<CellId> ffs;
+  module.forEachCell([&](CellId cid) {
+    std::string type(module.cellType(cid));
+    const liberty::SeqClass* sc = gatefile.seqClass(type);
+    if (gatefile.isFlipFlop(type) && sc != nullptr && !sc->isScan()) {
+      ffs.push_back(cid);
+    }
+  });
+
+  // New scan ports.
+  NetId si_net = module.addNet(options.scan_in_port);
+  module.addPort(options.scan_in_port, PortDir::kInput, si_net);
+  NetId se_net = module.addNet(options.scan_en_port);
+  module.addPort(options.scan_en_port, PortDir::kInput, se_net);
+
+  NetId prev_q = si_net;  // chain head
+  for (CellId ff : ffs) {
+    std::string type(module.cellType(ff));
+    std::string name(module.cellName(ff));
+    const liberty::LibCell* scan_cell = scanEquivalent(gatefile, type);
+    if (scan_cell == nullptr) {
+      throw netlist::NetlistError("no scan equivalent for cell type " +
+                                  type);
+    }
+    const liberty::SeqClass* base_sc = gatefile.seqClass(type);
+    const liberty::SeqClass* scan_sc = gatefile.seqClass(scan_cell->name);
+
+    // Collect original connections.
+    auto pin = [&](const std::string& p) -> NetId {
+      return p.empty() ? NetId{} : module.pinNet(ff, p);
+    };
+    NetId d = pin(base_sc->data_pin);
+    NetId cp = pin(base_sc->clock_pin);
+    NetId clr = pin(base_sc->async_clear_pin);
+    NetId pre = pin(base_sc->async_preset_pin);
+    NetId sync = pin(base_sc->sync_pin);
+    NetId q = pin(base_sc->q_pin);
+    NetId qn = pin(base_sc->qn_pin);
+
+    module.removeCell(ff);
+
+    std::vector<Module::PinInit> pins;
+    auto add = [&](const std::string& p, PortDir dir, NetId net) {
+      if (!p.empty() && net.valid()) pins.push_back({p, dir, net});
+    };
+    add(scan_sc->data_pin, PortDir::kInput, d);
+    add(scan_sc->scan_in, PortDir::kInput, prev_q);
+    add(scan_sc->scan_enable, PortDir::kInput, se_net);
+    add(scan_sc->clock_pin, PortDir::kInput, cp);
+    add(scan_sc->async_clear_pin, PortDir::kInput, clr);
+    add(scan_sc->async_preset_pin, PortDir::kInput, pre);
+    add(scan_sc->sync_pin, PortDir::kInput, sync);
+    // Q must exist for the chain even when functionally unused.
+    if (!q.valid()) q = module.addNet(name + "_scanq");
+    add(scan_sc->q_pin, PortDir::kOutput, q);
+    add(scan_sc->qn_pin, PortDir::kOutput, qn);
+    module.addCell(name, scan_cell->name, pins);
+
+    prev_q = q;
+    result.chain.push_back(name);
+  }
+
+  module.addPort(options.scan_out_port, PortDir::kOutput, prev_q);
+  result.chain_length = result.chain.size();
+  return result;
+}
+
+}  // namespace desync::dft

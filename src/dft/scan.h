@@ -1,0 +1,38 @@
+// Design-for-Testability: scan insertion (thesis §4.3).
+//
+// After synthesis, every flip-flop is substituted by its scan-equivalent
+// cell and the scan inputs are stitched into a single chain driven by new
+// top-level ports (scan_in, scan_en, scan_out).  Desynchronization then
+// converts the scan flip-flops to latch pairs with a scan mux (Fig 3.1a);
+// flow-equivalence guarantees the same test vectors still apply (§2.1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "liberty/gatefile.h"
+#include "netlist/netlist.h"
+
+namespace desync::dft {
+
+struct ScanOptions {
+  std::string scan_in_port = "scan_in";
+  std::string scan_en_port = "scan_en";
+  std::string scan_out_port = "scan_out";
+};
+
+struct ScanResult {
+  std::size_t chain_length = 0;
+  /// Flip-flop cell names in chain order (scan_in side first).
+  std::vector<std::string> chain;
+};
+
+/// Replaces every flip-flop with its scan equivalent and stitches the
+/// chain.  The scan cell for a flip-flop type is located in the library by
+/// matching the sequential classification (same async controls) plus scan
+/// pins.  Throws when a flip-flop has no scan counterpart.
+ScanResult insertScan(netlist::Module& module,
+                      const liberty::Gatefile& gatefile,
+                      const ScanOptions& options = {});
+
+}  // namespace desync::dft

@@ -1,0 +1,236 @@
+#include "liberty/bool_expr.h"
+
+#include <cctype>
+
+namespace desync::liberty {
+
+/// Recursive-descent parser for Liberty boolean functions.
+class BoolExprParser {
+ public:
+  explicit BoolExprParser(std::string_view text) : text_(text) {}
+
+  BoolExpr run() {
+    std::uint16_t root = parseOr();
+    skipSpace();
+    if (pos_ != text_.size()) {
+      throw BoolExprError("trailing characters in function: " +
+                          std::string(text_));
+    }
+    // Ensure root is last (eval/str walk from back).
+    if (root != expr_.nodes_.size() - 1) {
+      expr_.nodes_.push_back(expr_.nodes_[root]);
+    }
+    return std::move(expr_);
+  }
+
+ private:
+  void skipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] char peek() {
+    skipSpace();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  std::uint16_t push(BoolExpr::Node n) {
+    expr_.nodes_.push_back(n);
+    return static_cast<std::uint16_t>(expr_.nodes_.size() - 1);
+  }
+
+  std::uint16_t parseOr() {
+    std::uint16_t lhs = parseXor();
+    for (;;) {
+      char c = peek();
+      if (c != '+' && c != '|') return lhs;
+      ++pos_;
+      if (peek() == '|') ++pos_;  // tolerate '||'
+      std::uint16_t rhs = parseXor();
+      lhs = push({BoolExpr::Op::kOr, lhs, rhs, 0, false});
+    }
+  }
+
+  std::uint16_t parseXor() {
+    std::uint16_t lhs = parseAnd();
+    for (;;) {
+      if (peek() != '^') return lhs;
+      ++pos_;
+      std::uint16_t rhs = parseAnd();
+      lhs = push({BoolExpr::Op::kXor, lhs, rhs, 0, false});
+    }
+  }
+
+  /// AND binds by '*', '&' or juxtaposition ("A B").
+  std::uint16_t parseAnd() {
+    std::uint16_t lhs = parseUnary();
+    for (;;) {
+      char c = peek();
+      if (c == '*' || c == '&') {
+        ++pos_;
+        if (peek() == '&') ++pos_;  // tolerate '&&'
+      } else if (c == '(' || c == '!' ||
+                 std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                 c == '_') {
+        // juxtaposition
+      } else {
+        return lhs;
+      }
+      std::uint16_t rhs = parseUnary();
+      lhs = push({BoolExpr::Op::kAnd, lhs, rhs, 0, false});
+    }
+  }
+
+  std::uint16_t parseUnary() {
+    if (peek() == '!') {
+      ++pos_;
+      std::uint16_t operand = parseUnary();
+      return push({BoolExpr::Op::kNot, operand, 0, 0, false});
+    }
+    std::uint16_t node = parsePrimary();
+    while (peek() == '\'') {
+      ++pos_;
+      node = push({BoolExpr::Op::kNot, node, 0, 0, false});
+    }
+    return node;
+  }
+
+  std::uint16_t parsePrimary() {
+    char c = peek();
+    if (c == '(') {
+      ++pos_;
+      std::uint16_t inner = parseOr();
+      if (peek() != ')') throw BoolExprError("expected ')'");
+      ++pos_;
+      while (peek() == '\'') {
+        ++pos_;
+        inner = push({BoolExpr::Op::kNot, inner, 0, 0, false});
+      }
+      return inner;
+    }
+    if (c == '0' || c == '1') {
+      ++pos_;
+      return push({BoolExpr::Op::kConst, 0, 0, 0, c == '1'});
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      std::size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) != 0 ||
+              text_[pos_] == '_' || text_[pos_] == '[' ||
+              text_[pos_] == ']')) {
+        ++pos_;
+      }
+      std::string name(text_.substr(start, pos_ - start));
+      std::uint16_t var_idx = 0;
+      for (; var_idx < expr_.vars_.size(); ++var_idx) {
+        if (expr_.vars_[var_idx] == name) break;
+      }
+      if (var_idx == expr_.vars_.size()) expr_.vars_.push_back(name);
+      return push({BoolExpr::Op::kVar, 0, 0, var_idx, false});
+    }
+    throw BoolExprError("unexpected character in function: " +
+                        std::string(text_));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  BoolExpr expr_;
+};
+
+BoolExpr BoolExpr::parse(std::string_view text) {
+  return BoolExprParser(text).run();
+}
+
+bool BoolExpr::eval(const std::vector<bool>& values) const {
+  if (nodes_.empty()) throw BoolExprError("eval of empty expression");
+  return evalNode(static_cast<std::uint16_t>(nodes_.size() - 1), values);
+}
+
+bool BoolExpr::evalNode(std::uint16_t idx,
+                        const std::vector<bool>& values) const {
+  const Node& n = nodes_[idx];
+  switch (n.op) {
+    case Op::kVar:
+      return values.at(n.var);
+    case Op::kConst:
+      return n.value;
+    case Op::kNot:
+      return !evalNode(n.a, values);
+    case Op::kAnd:
+      return evalNode(n.a, values) && evalNode(n.b, values);
+    case Op::kOr:
+      return evalNode(n.a, values) || evalNode(n.b, values);
+    case Op::kXor:
+      return evalNode(n.a, values) != evalNode(n.b, values);
+  }
+  return false;
+}
+
+std::uint64_t BoolExpr::truthTable() const {
+  if (vars_.size() > 6) {
+    throw BoolExprError("truth table limited to 6 variables");
+  }
+  std::uint64_t table = 0;
+  const std::size_t rows = std::size_t{1} << vars_.size();
+  std::vector<bool> values(vars_.size());
+  for (std::size_t row = 0; row < rows; ++row) {
+    for (std::size_t v = 0; v < vars_.size(); ++v) {
+      values[v] = ((row >> v) & 1u) != 0;
+    }
+    if (eval(values)) table |= std::uint64_t{1} << row;
+  }
+  return table;
+}
+
+std::string BoolExpr::str() const {
+  if (nodes_.empty()) return "";
+  std::string out;
+  strNode(static_cast<std::uint16_t>(nodes_.size() - 1), out);
+  return out;
+}
+
+void BoolExpr::strNode(std::uint16_t idx, std::string& out) const {
+  const Node& n = nodes_[idx];
+  switch (n.op) {
+    case Op::kVar:
+      out += vars_[n.var];
+      break;
+    case Op::kConst:
+      out += n.value ? '1' : '0';
+      break;
+    case Op::kNot:
+      out += '!';
+      out += '(';
+      strNode(n.a, out);
+      out += ')';
+      break;
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor: {
+      out += '(';
+      strNode(n.a, out);
+      out += n.op == Op::kAnd ? '*' : n.op == Op::kOr ? '+' : '^';
+      strNode(n.b, out);
+      out += ')';
+      break;
+    }
+  }
+}
+
+bool BoolExpr::isLiteral(std::string* var, bool* negated) const {
+  if (nodes_.empty()) return false;
+  std::uint16_t idx = static_cast<std::uint16_t>(nodes_.size() - 1);
+  bool neg = false;
+  while (nodes_[idx].op == Op::kNot) {
+    neg = !neg;
+    idx = nodes_[idx].a;
+  }
+  if (nodes_[idx].op != Op::kVar) return false;
+  if (var != nullptr) *var = vars_[nodes_[idx].var];
+  if (negated != nullptr) *negated = neg;
+  return true;
+}
+
+}  // namespace desync::liberty

@@ -1,0 +1,71 @@
+// Liberty boolean function expressions.
+//
+// Parses the function strings found in .lib pin groups ("(A*B)'",
+// "((SE*SI)+(SE'*D))", ...) into an AST that can be evaluated against pin
+// values or compiled into a truth table for the simulator.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace desync::liberty {
+
+class BoolExprError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A parsed boolean expression over named variables.
+class BoolExpr {
+ public:
+  enum class Op : std::uint8_t { kVar, kConst, kNot, kAnd, kOr, kXor };
+
+  /// Parses a Liberty function string.  Supported operators, highest
+  /// precedence first: postfix ' and prefix ! (NOT); * and & and juxtaposition
+  /// (AND); ^ (XOR); + and | (OR); constants 0/1; parentheses.
+  static BoolExpr parse(std::string_view text);
+
+  BoolExpr() = default;
+
+  [[nodiscard]] bool empty() const { return nodes_.empty(); }
+
+  /// Variable names in first-appearance order.
+  [[nodiscard]] const std::vector<std::string>& vars() const { return vars_; }
+
+  /// Evaluates with `values[i]` the value of vars()[i].
+  [[nodiscard]] bool eval(const std::vector<bool>& values) const;
+
+  /// Truth table over vars() (vars()[0] is bit 0 of the row index).
+  /// Requires vars().size() <= 6.
+  [[nodiscard]] std::uint64_t truthTable() const;
+
+  /// Re-serializes to a normalized Liberty-style string.
+  [[nodiscard]] std::string str() const;
+
+  /// True when the expression is exactly one (possibly negated) variable;
+  /// then reports the variable and whether it is negated.
+  [[nodiscard]] bool isLiteral(std::string* var, bool* negated) const;
+
+ private:
+  struct Node {
+    Op op = Op::kConst;
+    std::uint16_t a = 0, b = 0;  // child node indices
+    std::uint16_t var = 0;       // for kVar: index into vars_
+    bool value = false;          // for kConst
+  };
+
+  [[nodiscard]] bool evalNode(std::uint16_t idx,
+                              const std::vector<bool>& values) const;
+  void strNode(std::uint16_t idx, std::string& out) const;
+
+  std::vector<Node> nodes_;  // nodes_.back() is the root
+  std::vector<std::string> vars_;
+
+  friend class BoolExprParser;
+};
+
+}  // namespace desync::liberty

@@ -1,0 +1,457 @@
+#include "liberty/gatefile.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace desync::liberty {
+namespace {
+
+/// A boolean function represented extensionally over a fixed variable list:
+/// supports cofactoring and equivalence queries used to take flip-flop
+/// next_state expressions apart.
+class TruthFn {
+ public:
+  TruthFn(const BoolExpr& expr) : vars_(expr.vars()) {  // NOLINT(runtime/explicit)
+    if (vars_.size() > 16) {
+      throw LibraryError("sequential function with too many inputs");
+    }
+    rows_.resize(std::size_t{1} << vars_.size());
+    std::vector<bool> values(vars_.size());
+    for (std::size_t row = 0; row < rows_.size(); ++row) {
+      for (std::size_t v = 0; v < vars_.size(); ++v) {
+        values[v] = ((row >> v) & 1u) != 0;
+      }
+      rows_[row] = expr.eval(values);
+    }
+  }
+
+  [[nodiscard]] const std::vector<std::string>& vars() const { return vars_; }
+
+  [[nodiscard]] int varIndex(std::string_view name) const {
+    for (std::size_t i = 0; i < vars_.size(); ++i) {
+      if (vars_[i] == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  /// Restricts variable `v` to `value` (function keeps the same var list;
+  /// the restricted variable simply becomes irrelevant).
+  [[nodiscard]] TruthFn cofactor(int v, bool value) const {
+    TruthFn out(*this);
+    const std::size_t mask = std::size_t{1} << v;
+    for (std::size_t row = 0; row < rows_.size(); ++row) {
+      const std::size_t base = value ? (row | mask) : (row & ~mask);
+      out.rows_[row] = rows_[base];
+    }
+    return out;
+  }
+
+  [[nodiscard]] bool dependsOn(int v) const {
+    const std::size_t mask = std::size_t{1} << v;
+    for (std::size_t row = 0; row < rows_.size(); ++row) {
+      if ((row & mask) == 0 && rows_[row] != rows_[row | mask]) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool isConst(bool value) const {
+    return std::all_of(rows_.begin(), rows_.end(),
+                       [value](bool r) { return r == value; });
+  }
+
+  /// True when the function equals variable `v` (non-negated).
+  [[nodiscard]] bool isVar(int v) const {
+    const std::size_t mask = std::size_t{1} << v;
+    for (std::size_t row = 0; row < rows_.size(); ++row) {
+      if (rows_[row] != ((row & mask) != 0)) return false;
+    }
+    return true;
+  }
+
+  /// Index of the single variable this function equals, or -1.
+  [[nodiscard]] int asSingleVar() const {
+    for (std::size_t v = 0; v < vars_.size(); ++v) {
+      if (isVar(static_cast<int>(v))) return static_cast<int>(v);
+    }
+    return -1;
+  }
+
+ private:
+  std::vector<std::string> vars_;
+  std::vector<bool> rows_;
+};
+
+/// Parses a Liberty control expression that must be a single (possibly
+/// negated) pin, e.g. clocked_on "CP", clear "CDN'".
+void literalPin(const std::string& text, std::string* pin, bool* negated,
+                const char* what) {
+  if (text.empty()) {
+    pin->clear();
+    return;
+  }
+  BoolExpr e = BoolExpr::parse(text);
+  if (!e.isLiteral(pin, negated)) {
+    throw LibraryError(std::string("unsupported ") + what +
+                       " expression: " + text);
+  }
+}
+
+}  // namespace
+
+Gatefile::Gatefile(const Library& lib) : lib_(&lib) {
+  double best_latch_area = 0;
+  lib.forEachCell([&](const LibCell& c) {
+    classifyCell(c);
+    if (c.kind == CellKind::kLatch) {
+      // Pick the plain latch with the fewest pins (then smallest area).
+      const SeqClass& sc = seq_class_.at(c.name);
+      const bool plain = !sc.isScan() && sc.sync_pin.empty() &&
+                         sc.async_clear_pin.empty() &&
+                         sc.async_preset_pin.empty();
+      if (plain && (simple_latch_.empty() || c.area < best_latch_area)) {
+        simple_latch_ = c.name;
+        best_latch_area = c.area;
+      }
+    }
+  });
+}
+
+void Gatefile::classifyCell(const LibCell& cell) {
+  if (cell.kind == CellKind::kCombinational) {
+    const auto inputs = cell.inputPins();
+    const auto outputs = cell.outputPins();
+    bool buf = false, inv = false;
+    if (inputs.size() == 1 && outputs.size() == 1) {
+      const LibPin* z = cell.findPin(outputs[0]);
+      if (z != nullptr && !z->function.empty()) {
+        std::string var;
+        bool negated = false;
+        if (z->function.isLiteral(&var, &negated) && var == inputs[0]) {
+          buf = !negated;
+          inv = negated;
+        }
+      }
+    }
+    is_buffer_[cell.name] = buf;
+    is_inverter_[cell.name] = inv;
+    return;
+  }
+
+  if (!cell.seq) {
+    throw LibraryError("sequential cell without ff/latch group: " +
+                       cell.name);
+  }
+  const SeqInfo& seq = *cell.seq;
+  SeqClass sc;
+
+  // Clock / enable.
+  const std::string& clk_expr =
+      !seq.clocked_on.empty() ? seq.clocked_on : seq.enable;
+  literalPin(clk_expr, &sc.clock_pin, &sc.clock_inverted, "clock/enable");
+
+  // Asynchronous controls: Liberty semantics are "active when expression is
+  // true", so "CDN'" means clear asserted while CDN is low.
+  if (!seq.clear.empty()) {
+    literalPin(seq.clear, &sc.async_clear_pin, &sc.async_clear_active_low,
+               "clear");
+  }
+  if (!seq.preset.empty()) {
+    literalPin(seq.preset, &sc.async_preset_pin, &sc.async_preset_active_low,
+               "preset");
+  }
+
+  // Outputs: which pin carries the state variable / its complement.
+  for (const LibPin& p : cell.pins) {
+    if (p.dir != PinDir::kOutput || p.function.empty()) continue;
+    std::string var;
+    bool negated = false;
+    if (p.function.isLiteral(&var, &negated)) {
+      if (var == seq.state_var && !negated) sc.q_pin = p.name;
+      if ((var == seq.state_var && negated) ||
+          (var == seq.state_var_n && !negated)) {
+        sc.qn_pin = p.name;
+      }
+    } else if (cell.kind == CellKind::kClockGate) {
+      sc.q_pin = p.name;  // gated-clock output (function IQ*CP)
+    }
+  }
+
+  // Data function decomposition.
+  const std::string& data_expr =
+      !seq.next_state.empty() ? seq.next_state : seq.data_in;
+  if (!data_expr.empty()) {
+    BoolExpr expr = BoolExpr::parse(data_expr);
+    TruthFn f(expr);
+
+    // Iteratively peel structure until a bare data literal remains.
+    for (;;) {
+      int d = f.asSingleVar();
+      if (d >= 0) {
+        sc.data_pin = f.vars()[static_cast<std::size_t>(d)];
+        break;
+      }
+
+      // Scan mux: find SE with f|SE=1 == some var SI and f|SE=0
+      // independent of both SE and SI.
+      bool peeled = false;
+      if (sc.scan_enable.empty()) {
+        for (int se = 0; se < static_cast<int>(f.vars().size()); ++se) {
+          const LibPin* sepin =
+              cell.findPin(f.vars()[static_cast<std::size_t>(se)]);
+          if (sepin != nullptr && sepin->nextstate_type == "data") continue;
+          TruthFn f1 = f.cofactor(se, true);
+          int si = f1.asSingleVar();
+          if (si < 0 || si == se) continue;
+          TruthFn f0 = f.cofactor(se, false);
+          if (f0.dependsOn(si) || f0.dependsOn(se)) continue;
+          // The functional path must still carry data: a constant f0 means
+          // this was a sync set/reset or gating structure, not a scan mux.
+          if (f0.isConst(false) || f0.isConst(true)) continue;
+          sc.scan_enable = f.vars()[static_cast<std::size_t>(se)];
+          sc.scan_in = f.vars()[static_cast<std::size_t>(si)];
+          f = f0;
+          peeled = true;
+          break;
+        }
+      }
+      if (peeled) continue;
+
+      // Synchronous set/reset: a var that forces the function constant while
+      // the opposite cofactor still carries the data function.  A pin the
+      // library marks nextstate_type:data can never be the control (this
+      // breaks the inherent symmetry of e.g. "(D*RN)").
+      if (sc.sync_pin.empty()) {
+        for (int r = 0; r < static_cast<int>(f.vars().size()) && !peeled;
+             ++r) {
+          if (!f.dependsOn(r)) continue;
+          const LibPin* rpin = cell.findPin(f.vars()[static_cast<std::size_t>(r)]);
+          if (rpin != nullptr && rpin->nextstate_type == "data") continue;
+          for (bool level : {false, true}) {
+            TruthFn fr = f.cofactor(r, level);
+            const bool forces0 = fr.isConst(false);
+            const bool forces1 = fr.isConst(true);
+            if (!forces0 && !forces1) continue;
+            TruthFn rest = f.cofactor(r, !level);
+            if (rest.isConst(false) || rest.isConst(true)) continue;
+            sc.sync_pin = f.vars()[static_cast<std::size_t>(r)];
+            sc.sync_active_low = !level;
+            sc.sync_is_set = forces1;
+            f = rest;
+            peeled = true;
+            break;
+          }
+        }
+      }
+      if (peeled) continue;
+
+      throw LibraryError("cannot classify next_state of " + cell.name + ": " +
+                         data_expr);
+    }
+  }
+
+  seq_class_.emplace(cell.name, std::move(sc));
+}
+
+bool Gatefile::knownType(std::string_view type) const {
+  return lib_->findCell(type) != nullptr;
+}
+
+std::optional<netlist::PortDir> Gatefile::pinDir(std::string_view type,
+                                                 std::string_view pin) const {
+  const LibCell* c = lib_->findCell(type);
+  if (c == nullptr) return std::nullopt;
+  const LibPin* p = c->findPin(pin);
+  if (p == nullptr) return std::nullopt;
+  return p->dir == PinDir::kInput ? netlist::PortDir::kInput
+                                  : netlist::PortDir::kOutput;
+}
+
+std::vector<std::string> Gatefile::pinOrder(std::string_view type) const {
+  const LibCell* c = lib_->findCell(type);
+  if (c == nullptr) return {};
+  std::vector<std::string> out;
+  out.reserve(c->pins.size());
+  for (const LibPin& p : c->pins) out.push_back(p.name);
+  return out;
+}
+
+CellKind Gatefile::kind(std::string_view type) const {
+  return lib_->cell(type).kind;
+}
+
+bool Gatefile::isFlipFlop(std::string_view type) const {
+  const LibCell* c = lib_->findCell(type);
+  return c != nullptr && c->kind == CellKind::kFlipFlop;
+}
+
+bool Gatefile::isLatch(std::string_view type) const {
+  const LibCell* c = lib_->findCell(type);
+  return c != nullptr && c->kind == CellKind::kLatch;
+}
+
+bool Gatefile::isSequential(std::string_view type) const {
+  const LibCell* c = lib_->findCell(type);
+  return c != nullptr && c->kind != CellKind::kCombinational;
+}
+
+bool Gatefile::isCombinational(std::string_view type) const {
+  const LibCell* c = lib_->findCell(type);
+  return c != nullptr && c->kind == CellKind::kCombinational;
+}
+
+bool Gatefile::isBuffer(std::string_view type) const {
+  auto it = is_buffer_.find(type);
+  return it != is_buffer_.end() && it->second;
+}
+
+bool Gatefile::isInverter(std::string_view type) const {
+  auto it = is_inverter_.find(type);
+  return it != is_inverter_.end() && it->second;
+}
+
+const SeqClass* Gatefile::seqClass(std::string_view type) const {
+  auto it = seq_class_.find(type);
+  return it == seq_class_.end() ? nullptr : &it->second;
+}
+
+std::string Gatefile::toText() const {
+  std::ostringstream out;
+  out << "# gatefile v1 library=" << lib_->name << "\n";
+  lib_->forEachCell([&](const LibCell& c) {
+    const char* kind = c.kind == CellKind::kCombinational ? "comb"
+                       : c.kind == CellKind::kFlipFlop    ? "ff"
+                       : c.kind == CellKind::kLatch       ? "latch"
+                                                          : "clockgate";
+    out << "cell " << c.name << " " << kind << " area=" << c.area << "\n";
+    for (const LibPin& p : c.pins) {
+      out << "  pin " << p.name << " "
+          << (p.dir == PinDir::kInput ? "input" : "output");
+      if (p.is_clock) out << " clock";
+      if (!p.function_str.empty()) out << " func=" << p.function_str;
+      out << "\n";
+    }
+    if (const SeqClass* sc = seqClass(c.name)) {
+      out << "  class clock=" << sc->clock_pin
+          << (sc->clock_inverted ? "(inv)" : "");
+      if (!sc->data_pin.empty()) out << " data=" << sc->data_pin;
+      if (sc->isScan()) {
+        out << " scan_in=" << sc->scan_in << " scan_en=" << sc->scan_enable;
+      }
+      if (!sc->sync_pin.empty()) {
+        out << (sc->sync_is_set ? " sync_set=" : " sync_reset=")
+            << sc->sync_pin << (sc->sync_active_low ? "(low)" : "(high)");
+      }
+      if (!sc->async_clear_pin.empty()) {
+        out << " clear=" << sc->async_clear_pin
+            << (sc->async_clear_active_low ? "(low)" : "(high)");
+      }
+      if (!sc->async_preset_pin.empty()) {
+        out << " preset=" << sc->async_preset_pin
+            << (sc->async_preset_active_low ? "(low)" : "(high)");
+      }
+      if (!sc->q_pin.empty()) out << " q=" << sc->q_pin;
+      if (!sc->qn_pin.empty()) out << " qn=" << sc->qn_pin;
+      out << "\n";
+    }
+  });
+  return out.str();
+}
+
+Gatefile::Text Gatefile::parseText(const std::string& text) {
+  Text out;
+  std::istringstream in(text);
+  std::string line;
+  TextEntry* current = nullptr;
+
+  auto tokens = [](const std::string& s) {
+    std::vector<std::string> toks;
+    std::istringstream ts(s);
+    std::string t;
+    while (ts >> t) toks.push_back(t);
+    return toks;
+  };
+  // Splits "key=value(mod)" into key, value, modifier.
+  auto kv = [](const std::string& s, std::string* key, std::string* value,
+               std::string* mod) {
+    std::size_t eq = s.find('=');
+    if (eq == std::string::npos) return false;
+    *key = s.substr(0, eq);
+    std::string rest = s.substr(eq + 1);
+    std::size_t par = rest.find('(');
+    if (par != std::string::npos && rest.back() == ')') {
+      *value = rest.substr(0, par);
+      *mod = rest.substr(par + 1, rest.size() - par - 2);
+    } else {
+      *value = rest;
+      mod->clear();
+    }
+    return true;
+  };
+
+  while (std::getline(in, line)) {
+    std::vector<std::string> toks = tokens(line);
+    if (toks.empty()) continue;
+    if (toks[0] == "#") {
+      for (const std::string& t : toks) {
+        std::string k, v, m;
+        if (kv(t, &k, &v, &m) && k == "library") out.library = v;
+      }
+      continue;
+    }
+    if (toks[0] == "cell") {
+      if (toks.size() < 3) throw LibraryError("bad gatefile cell line");
+      TextEntry entry;
+      entry.kind = toks[2];
+      for (std::size_t i = 3; i < toks.size(); ++i) {
+        std::string k, v, m;
+        if (kv(toks[i], &k, &v, &m) && k == "area") entry.area = std::stod(v);
+      }
+      current = &out.cells.emplace(toks[1], std::move(entry)).first->second;
+      continue;
+    }
+    if (current == nullptr) throw LibraryError("gatefile line outside cell");
+    if (toks[0] == "pin") {
+      if (toks.size() < 3) throw LibraryError("bad gatefile pin line");
+      current->pins.emplace_back(toks[1], toks[2] == "input");
+      continue;
+    }
+    if (toks[0] == "class") {
+      SeqClass sc;
+      for (std::size_t i = 1; i < toks.size(); ++i) {
+        std::string k, v, m;
+        if (!kv(toks[i], &k, &v, &m)) continue;
+        const bool low = m == "low";
+        if (k == "clock") {
+          sc.clock_pin = v;
+          sc.clock_inverted = m == "inv";
+        } else if (k == "data") {
+          sc.data_pin = v;
+        } else if (k == "scan_in") {
+          sc.scan_in = v;
+        } else if (k == "scan_en") {
+          sc.scan_enable = v;
+        } else if (k == "sync_reset" || k == "sync_set") {
+          sc.sync_pin = v;
+          sc.sync_active_low = low;
+          sc.sync_is_set = k == "sync_set";
+        } else if (k == "clear") {
+          sc.async_clear_pin = v;
+          sc.async_clear_active_low = low;
+        } else if (k == "preset") {
+          sc.async_preset_pin = v;
+          sc.async_preset_active_low = low;
+        } else if (k == "q") {
+          sc.q_pin = v;
+        } else if (k == "qn") {
+          sc.qn_pin = v;
+        }
+      }
+      current->seq = std::move(sc);
+      continue;
+    }
+    throw LibraryError("unknown gatefile line: " + line);
+  }
+  return out;
+}
+
+}  // namespace desync::liberty

@@ -1,0 +1,112 @@
+// The "gatefile": drdesync's digest of a technology library (thesis §3.1.1).
+//
+// The original flow parsed the vendor .lib with a custom script and produced
+// a gatefile holding, for each cell, its name, type (flip-flop / latch /
+// combinational), its pins with name and type, plus the replacement rules
+// used by flip-flop substitution.  This class computes the same digest from
+// a parsed Library: it classifies every sequential cell's pins by analyzing
+// the Liberty next_state / clocked_on / clear / preset expressions with
+// boolean cofactoring (so scan muxes and synchronous set/reset are
+// recognized structurally, not by pin-name convention), and implements the
+// netlist CellTypeProvider interface so parsers and passes can resolve pin
+// directions.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "liberty/library.h"
+#include "netlist/cell_type_provider.h"
+
+namespace desync::liberty {
+
+/// Structural classification of a sequential cell's pins.
+struct SeqClass {
+  std::string clock_pin;        ///< ff clock / latch enable source pin
+  bool clock_inverted = false;  ///< true: active on falling edge / low level
+  std::string data_pin;
+  std::string scan_in;          ///< empty when not a scan cell
+  std::string scan_enable;
+  std::string sync_pin;         ///< synchronous set/reset control (empty: none)
+  bool sync_active_low = false;
+  bool sync_is_set = false;     ///< true: sync set, false: sync reset
+  std::string async_clear_pin;  ///< empty when none
+  bool async_clear_active_low = false;
+  std::string async_preset_pin;
+  bool async_preset_active_low = false;
+  std::string q_pin;            ///< output wired to the state variable
+  std::string qn_pin;           ///< output wired to its complement (optional)
+
+  [[nodiscard]] bool isScan() const { return !scan_enable.empty(); }
+};
+
+/// Library digest + pin-direction provider.
+class Gatefile final : public netlist::CellTypeProvider {
+ public:
+  /// Builds the gatefile from a parsed library.  Throws LibraryError when a
+  /// sequential cell's behaviour cannot be classified (e.g. >6 inputs in
+  /// next_state).
+  explicit Gatefile(const Library& lib);
+
+  [[nodiscard]] const Library& library() const { return *lib_; }
+
+  // --- CellTypeProvider ----------------------------------------------
+  [[nodiscard]] bool knownType(std::string_view type) const override;
+  [[nodiscard]] std::optional<netlist::PortDir> pinDir(
+      std::string_view type, std::string_view pin) const override;
+  [[nodiscard]] std::vector<std::string> pinOrder(
+      std::string_view type) const override;
+
+  // --- classification --------------------------------------------------
+  [[nodiscard]] CellKind kind(std::string_view type) const;
+  [[nodiscard]] bool isFlipFlop(std::string_view type) const;
+  [[nodiscard]] bool isLatch(std::string_view type) const;
+  [[nodiscard]] bool isSequential(std::string_view type) const;
+  [[nodiscard]] bool isCombinational(std::string_view type) const;
+  /// Single-input combinational cell computing identity.
+  [[nodiscard]] bool isBuffer(std::string_view type) const;
+  /// Single-input combinational cell computing complement.
+  [[nodiscard]] bool isInverter(std::string_view type) const;
+
+  /// Sequential pin classification; nullptr for combinational cells.
+  [[nodiscard]] const SeqClass* seqClass(std::string_view type) const;
+
+  /// Name of the simplest plain transparent latch in the library (fewest
+  /// pins / smallest area); used as the master/slave building block.
+  [[nodiscard]] const std::string& simpleLatch() const { return simple_latch_; }
+
+  /// Serializes the digest to the gatefile text format.
+  [[nodiscard]] std::string toText() const;
+
+ public:
+  /// Parsed form of the gatefile text — what the original drdesync loaded
+  /// at startup instead of re-deriving everything from the .lib.  Carries
+  /// the per-cell classification without timing data.
+  struct TextEntry {
+    std::string kind;  ///< "comb" / "ff" / "latch" / "clockgate"
+    double area = 0;
+    std::vector<std::pair<std::string, bool>> pins;  ///< (name, is_input)
+    std::optional<SeqClass> seq;
+  };
+  struct Text {
+    std::string library;
+    std::map<std::string, TextEntry, std::less<>> cells;
+  };
+  /// Parses the toText() format.  Throws LibraryError on malformed input.
+  static Text parseText(const std::string& text);
+
+ private:
+  void classifyCell(const LibCell& cell);
+
+  const Library* lib_;
+  std::map<std::string, SeqClass, std::less<>> seq_class_;
+  std::map<std::string, bool, std::less<>> is_buffer_;    // type -> buffer?
+  std::map<std::string, bool, std::less<>> is_inverter_;
+  std::string simple_latch_;
+};
+
+}  // namespace desync::liberty

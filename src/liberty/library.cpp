@@ -1,0 +1,32 @@
+#include "liberty/library.h"
+
+namespace desync::liberty {
+
+LibCell& Library::addCell(LibCell cell) {
+  auto [it, inserted] = cells_.emplace(cell.name, std::move(cell));
+  if (!inserted) {
+    throw LibraryError("duplicate cell: " + it->first);
+  }
+  order_.push_back(it->first);
+  return it->second;
+}
+
+const LibCell* Library::findCell(std::string_view name) const {
+  auto it = cells_.find(name);
+  return it == cells_.end() ? nullptr : &it->second;
+}
+
+LibCell* Library::findCell(std::string_view name) {
+  auto it = cells_.find(name);
+  return it == cells_.end() ? nullptr : &it->second;
+}
+
+const LibCell& Library::cell(std::string_view name) const {
+  const LibCell* c = findCell(name);
+  if (c == nullptr) {
+    throw LibraryError("unknown cell: " + std::string(name));
+  }
+  return *c;
+}
+
+}  // namespace desync::liberty

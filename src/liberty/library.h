@@ -1,0 +1,148 @@
+// Technology library data model.
+//
+// Holds the subset of Liberty information the desynchronization flow needs
+// (thesis §3.1.1): cell name, kind (combinational / flip-flop / latch /
+// clock-gate), area, leakage, pins with direction, capacitance and function,
+// sequential behaviour (clock, next-state, asynchronous set/clear) and a
+// linear (intrinsic + resistance * load) timing model per arc.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "liberty/bool_expr.h"
+
+namespace desync::liberty {
+
+class LibraryError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class CellKind : std::uint8_t {
+  kCombinational,
+  kFlipFlop,
+  kLatch,
+  kClockGate,  ///< integrated clock-gating cell (latch + AND)
+};
+
+enum class PinDir : std::uint8_t { kInput, kOutput };
+
+enum class ArcType : std::uint8_t {
+  kCombinational,  ///< input -> output propagation
+  kClockToQ,       ///< active clock/enable edge -> output
+  kSetup,          ///< constraint on data vs clock
+  kHold,           ///< constraint on data vs clock
+};
+
+/// One timing arc.  Delays are in library time units (ns); resistances in
+/// ns per library cap unit (pF), i.e. delay = intrinsic + resistance * load.
+struct TimingArc {
+  std::string related_pin;
+  ArcType type = ArcType::kCombinational;
+  double intrinsic_rise = 0.0;
+  double intrinsic_fall = 0.0;
+  double rise_resistance = 0.0;
+  double fall_resistance = 0.0;
+};
+
+struct LibPin {
+  std::string name;
+  PinDir dir = PinDir::kInput;
+  double capacitance = 0.0;       ///< input pin load (pF)
+  double max_capacitance = 0.0;   ///< output drive limit (pF), 0 = unlimited
+  bool is_clock = false;
+  /// Liberty nextstate_type attribute ("data", "scan_in", "scan_enable",
+  /// ...). Disambiguates structurally symmetric next_state decompositions
+  /// (e.g. "(D*RN)" cannot distinguish data from sync-reset by function
+  /// alone).  Empty when the library does not annotate.
+  std::string nextstate_type;
+  std::string function_str;       ///< output function, may reference state vars
+  BoolExpr function;              ///< parsed form of function_str
+  std::vector<TimingArc> arcs;    ///< delay arcs (outputs) / constraints (inputs)
+};
+
+/// Sequential behaviour of a flip-flop or latch (Liberty ff()/latch() group).
+struct SeqInfo {
+  std::string state_var;       ///< e.g. "IQ"
+  std::string state_var_n;     ///< e.g. "IQN" (may be empty)
+  std::string clocked_on;      ///< ff: clock expression (e.g. "CP")
+  std::string next_state;      ///< ff: next-state expression
+  std::string enable;          ///< latch: enable expression
+  std::string data_in;         ///< latch: data expression
+  std::string clear;           ///< async clear expression (active when true)
+  std::string preset;          ///< async preset expression (active when true)
+};
+
+struct LibCell {
+  std::string name;
+  CellKind kind = CellKind::kCombinational;
+  double area = 0.0;            ///< um^2
+  double leakage = 0.0;         ///< nW
+  std::vector<LibPin> pins;
+  std::optional<SeqInfo> seq;
+
+  [[nodiscard]] const LibPin* findPin(std::string_view pin) const {
+    for (const LibPin& p : pins) {
+      if (p.name == pin) return &p;
+    }
+    return nullptr;
+  }
+  [[nodiscard]] LibPin* findPin(std::string_view pin) {
+    for (LibPin& p : pins) {
+      if (p.name == pin) return &p;
+    }
+    return nullptr;
+  }
+  /// All input pin names, in declaration order.
+  [[nodiscard]] std::vector<std::string> inputPins() const {
+    std::vector<std::string> out;
+    for (const LibPin& p : pins) {
+      if (p.dir == PinDir::kInput) out.push_back(p.name);
+    }
+    return out;
+  }
+  [[nodiscard]] std::vector<std::string> outputPins() const {
+    std::vector<std::string> out;
+    for (const LibPin& p : pins) {
+      if (p.dir == PinDir::kOutput) out.push_back(p.name);
+    }
+    return out;
+  }
+};
+
+/// A technology library: named cells plus global units/defaults.
+class Library {
+ public:
+  std::string name;
+  double default_wire_cap = 0.002;  ///< pF per fanout (simple wire model)
+
+  /// Adds a cell; throws on duplicate name.
+  LibCell& addCell(LibCell cell);
+
+  [[nodiscard]] const LibCell* findCell(std::string_view name) const;
+  [[nodiscard]] LibCell* findCell(std::string_view name);
+  /// Like findCell but throws when absent.
+  [[nodiscard]] const LibCell& cell(std::string_view name) const;
+
+  [[nodiscard]] std::size_t size() const { return order_.size(); }
+  /// Cells in insertion order.
+  [[nodiscard]] const std::vector<std::string>& cellNames() const {
+    return order_;
+  }
+
+  template <typename F>
+  void forEachCell(F&& f) const {
+    for (const std::string& n : order_) f(cells_.at(n));
+  }
+
+ private:
+  std::map<std::string, LibCell, std::less<>> cells_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace desync::liberty

@@ -1,0 +1,300 @@
+#include "liberty/stdlib90.h"
+
+#include <initializer_list>
+
+#include "liberty/liberty_io.h"
+
+namespace desync::liberty {
+namespace {
+
+/// Scale factors distinguishing the two variants.  The Low-Leakage flavour
+/// trades ~1.7x delay for ~20x lower leakage (typical of 90nm HS vs LL
+/// transistor options).
+struct VariantScale {
+  double delay = 1.0;
+  double leakage = 1.0;
+};
+
+VariantScale scaleFor(LibVariant v) {
+  if (v == LibVariant::kLowLeakage) return {1.7, 0.05};
+  return {1.0, 1.0};
+}
+
+class Builder {
+ public:
+  explicit Builder(LibVariant variant) : s_(scaleFor(variant)) {
+    lib_.name = variant == LibVariant::kHighSpeed ? "core9gp_hs_90nm"
+                                                  : "core9gp_ll_90nm";
+    lib_.default_wire_cap = 0.002;
+  }
+
+  Library take() { return std::move(lib_); }
+
+  /// Adds a combinational cell: every input pin has capacitance `cap` and
+  /// drives an identical arc to Z.
+  void comb(const std::string& name, const std::string& function,
+            std::initializer_list<const char*> inputs, double area,
+            double cap, double intrinsic, double resistance,
+            double leakage) {
+    LibCell c;
+    c.name = name;
+    c.kind = CellKind::kCombinational;
+    c.area = area;
+    c.leakage = leakage * s_.leakage;
+    for (const char* in : inputs) {
+      LibPin p;
+      p.name = in;
+      p.dir = PinDir::kInput;
+      p.capacitance = cap;
+      c.pins.push_back(std::move(p));
+    }
+    LibPin z;
+    z.name = "Z";
+    z.dir = PinDir::kOutput;
+    z.max_capacitance = 0.25;
+    z.function_str = function;
+    z.function = BoolExpr::parse(function);
+    for (const char* in : inputs) {
+      TimingArc arc;
+      arc.related_pin = in;
+      arc.type = ArcType::kCombinational;
+      arc.intrinsic_rise = intrinsic * s_.delay;
+      arc.intrinsic_fall = intrinsic * 0.9 * s_.delay;
+      arc.rise_resistance = resistance * s_.delay;
+      arc.fall_resistance = resistance * 0.85 * s_.delay;
+      z.arcs.push_back(arc);
+    }
+    c.pins.push_back(std::move(z));
+    lib_.addCell(std::move(c));
+  }
+
+  struct FfSpec {
+    std::string name;
+    std::string next_state;            // over data pins
+    std::vector<std::string> data_pins;
+    std::string clear;                 // e.g. "CDN'"
+    std::string preset;
+    double area = 0;
+    double leakage = 0;
+  };
+
+  void ff(const FfSpec& spec) {
+    LibCell c;
+    c.name = spec.name;
+    c.kind = CellKind::kFlipFlop;
+    c.area = spec.area;
+    c.leakage = spec.leakage * s_.leakage;
+    SeqInfo seq;
+    seq.state_var = "IQ";
+    seq.state_var_n = "IQN";
+    seq.clocked_on = "CP";
+    seq.next_state = spec.next_state;
+    seq.clear = spec.clear;
+    seq.preset = spec.preset;
+    c.seq = seq;
+
+    auto input = [&](const std::string& n, double cap, bool clock = false) {
+      LibPin p;
+      p.name = n;
+      p.dir = PinDir::kInput;
+      p.capacitance = cap;
+      p.is_clock = clock;
+      if (n == "D") p.nextstate_type = "data";
+      if (n == "SI") p.nextstate_type = "scan_in";
+      if (n == "SE") p.nextstate_type = "scan_enable";
+      if (!clock && (n == "D" || n == "SI" || n == "SE")) {
+        TimingArc setup;
+        setup.related_pin = "CP";
+        setup.type = ArcType::kSetup;
+        setup.intrinsic_rise = setup.intrinsic_fall = 0.08 * s_.delay;
+        p.arcs.push_back(setup);
+        TimingArc hold;
+        hold.related_pin = "CP";
+        hold.type = ArcType::kHold;
+        hold.intrinsic_rise = hold.intrinsic_fall = 0.02 * s_.delay;
+        p.arcs.push_back(hold);
+      }
+      c.pins.push_back(std::move(p));
+    };
+    for (const std::string& d : spec.data_pins) input(d, 0.004);
+    input("CP", 0.003, /*clock=*/true);
+    if (!spec.clear.empty()) input("CDN", 0.004);
+    if (!spec.preset.empty()) input("SDN", 0.004);
+
+    auto output = [&](const std::string& n, const std::string& fn) {
+      LibPin p;
+      p.name = n;
+      p.dir = PinDir::kOutput;
+      p.max_capacitance = 0.20;
+      p.function_str = fn;
+      p.function = BoolExpr::parse(fn);
+      TimingArc arc;
+      arc.related_pin = "CP";
+      arc.type = ArcType::kClockToQ;
+      arc.intrinsic_rise = arc.intrinsic_fall = 0.10 * s_.delay;
+      arc.rise_resistance = arc.fall_resistance = 1.0 * s_.delay;
+      p.arcs.push_back(arc);
+      c.pins.push_back(std::move(p));
+    };
+    output("Q", "IQ");
+    output("QN", "IQN");
+    lib_.addCell(std::move(c));
+  }
+
+  void latch() {
+    LibCell c;
+    c.name = "LD";
+    c.kind = CellKind::kLatch;
+    c.area = 12.9;
+    c.leakage = 310 * s_.leakage;
+    SeqInfo seq;
+    seq.state_var = "IQ";
+    seq.state_var_n = "IQN";
+    seq.enable = "G";
+    seq.data_in = "D";
+    c.seq = seq;
+
+    LibPin d;
+    d.name = "D";
+    d.dir = PinDir::kInput;
+    d.capacitance = 0.004;
+    {
+      TimingArc setup;
+      setup.related_pin = "G";
+      setup.type = ArcType::kSetup;
+      setup.intrinsic_rise = setup.intrinsic_fall = 0.05 * s_.delay;
+      d.arcs.push_back(setup);
+      TimingArc hold;
+      hold.related_pin = "G";
+      hold.type = ArcType::kHold;
+      hold.intrinsic_rise = hold.intrinsic_fall = 0.02 * s_.delay;
+      d.arcs.push_back(hold);
+    }
+    c.pins.push_back(std::move(d));
+
+    LibPin g;
+    g.name = "G";
+    g.dir = PinDir::kInput;
+    g.capacitance = 0.003;
+    g.is_clock = true;
+    c.pins.push_back(std::move(g));
+
+    LibPin q;
+    q.name = "Q";
+    q.dir = PinDir::kOutput;
+    q.max_capacitance = 0.20;
+    q.function_str = "IQ";
+    q.function = BoolExpr::parse("IQ");
+    {
+      TimingArc en;  // enable edge -> Q
+      en.related_pin = "G";
+      en.type = ArcType::kClockToQ;
+      en.intrinsic_rise = en.intrinsic_fall = 0.09 * s_.delay;
+      en.rise_resistance = en.fall_resistance = 1.0 * s_.delay;
+      q.arcs.push_back(en);
+      TimingArc dq;  // transparent D -> Q
+      dq.related_pin = "D";
+      dq.type = ArcType::kCombinational;
+      dq.intrinsic_rise = dq.intrinsic_fall = 0.06 * s_.delay;
+      dq.rise_resistance = dq.fall_resistance = 1.0 * s_.delay;
+      q.arcs.push_back(dq);
+    }
+    c.pins.push_back(std::move(q));
+    lib_.addCell(std::move(c));
+  }
+
+  void clockGate() {
+    LibCell c;
+    c.name = "CGL";
+    c.kind = CellKind::kClockGate;
+    c.area = 15.7;
+    c.leakage = 400 * s_.leakage;
+    SeqInfo seq;  // enable latch transparent while CP low
+    seq.state_var = "IQ";
+    seq.enable = "CP'";
+    seq.data_in = "E";
+    c.seq = seq;
+
+    LibPin e;
+    e.name = "E";
+    e.dir = PinDir::kInput;
+    e.capacitance = 0.004;
+    c.pins.push_back(std::move(e));
+    LibPin cp;
+    cp.name = "CP";
+    cp.dir = PinDir::kInput;
+    cp.capacitance = 0.003;
+    cp.is_clock = true;
+    c.pins.push_back(std::move(cp));
+    LibPin z;
+    z.name = "Z";
+    z.dir = PinDir::kOutput;
+    z.max_capacitance = 0.25;
+    z.function_str = "(IQ*CP)";
+    z.function = BoolExpr::parse("(IQ*CP)");
+    TimingArc arc;
+    arc.related_pin = "CP";
+    arc.type = ArcType::kClockToQ;
+    arc.intrinsic_rise = arc.intrinsic_fall = 0.05 * s_.delay;
+    arc.rise_resistance = arc.fall_resistance = 0.9 * s_.delay;
+    z.arcs.push_back(arc);
+    c.pins.push_back(std::move(z));
+    lib_.addCell(std::move(c));
+  }
+
+  void buildAll() {
+    // name, function, inputs, area, cap, intrinsic, resistance, leakage(nW)
+    comb("IV", "A'", {"A"}, 2.8, 0.0030, 0.012, 1.00, 120);
+    comb("BF", "A", {"A"}, 4.2, 0.0030, 0.025, 0.70, 150);
+    comb("ND2", "(A*B)'", {"A", "B"}, 3.7, 0.0035, 0.014, 1.20, 160);
+    comb("ND3", "(A*B*C)'", {"A", "B", "C"}, 5.0, 0.0040, 0.018, 1.40, 200);
+    comb("ND4", "(A*B*C*D)'", {"A", "B", "C", "D"}, 6.4, 0.0045, 0.022, 1.60,
+         240);
+    comb("NR2", "(A+B)'", {"A", "B"}, 3.7, 0.0035, 0.016, 1.40, 160);
+    comb("NR3", "(A+B+C)'", {"A", "B", "C"}, 5.5, 0.0040, 0.022, 1.70, 200);
+    comb("AN2", "(A*B)", {"A", "B"}, 4.6, 0.0030, 0.030, 0.90, 180);
+    comb("AN3", "(A*B*C)", {"A", "B", "C"}, 5.5, 0.0035, 0.034, 1.00, 220);
+    comb("AN2B1", "(A*B')", {"A", "B"}, 5.0, 0.0032, 0.032, 0.95, 190);
+    comb("OR2", "(A+B)", {"A", "B"}, 4.6, 0.0030, 0.032, 0.95, 180);
+    comb("OR3", "(A+B+C)", {"A", "B", "C"}, 5.5, 0.0035, 0.036, 1.05, 220);
+    comb("OR2B1", "(A+B')", {"A", "B"}, 5.0, 0.0032, 0.034, 1.00, 190);
+    comb("EO", "(A^B)", {"A", "B"}, 7.4, 0.0050, 0.040, 1.10, 260);
+    comb("EN", "(A^B)'", {"A", "B"}, 7.4, 0.0050, 0.040, 1.10, 260);
+    comb("MUX21", "((S*B)+(S'*A))", {"A", "B", "S"}, 7.4, 0.0040, 0.038, 1.00,
+         280);
+    comb("AOI21", "((A*B)+C)'", {"A", "B", "C"}, 4.6, 0.0038, 0.020, 1.30,
+         190);
+    comb("OAI21", "((A+B)*C)'", {"A", "B", "C"}, 4.6, 0.0038, 0.020, 1.30,
+         190);
+    comb("MAJ3", "((A*B)+(A*C)+(B*C))", {"A", "B", "C"}, 8.3, 0.0045, 0.045,
+         1.10, 300);
+
+    ff({"DFF", "D", {"D"}, "", "", 23.0, 620});
+    ff({"DFFR", "D", {"D"}, "CDN'", "", 26.0, 680});
+    ff({"DFFS", "D", {"D"}, "", "SDN'", 26.0, 680});
+    ff({"DFFSYNR", "(D*RN)", {"D", "RN"}, "", "", 26.5, 690});
+    ff({"SDFF", "((SE*SI)+(SE'*D))", {"D", "SI", "SE"}, "", "", 28.5, 740});
+    ff({"SDFFR", "((SE*SI)+(SE'*D))", {"D", "SI", "SE"}, "CDN'", "", 31.2,
+        800});
+    latch();
+    clockGate();
+  }
+
+ private:
+  VariantScale s_;
+  Library lib_;
+};
+
+}  // namespace
+
+Library makeStdLib90(LibVariant variant) {
+  Builder b(variant);
+  b.buildAll();
+  return b.take();
+}
+
+std::string stdLib90Text(LibVariant variant) {
+  return writeLiberty(makeStdLib90(variant));
+}
+
+}  // namespace desync::liberty

@@ -1,0 +1,29 @@
+// Synthetic 90nm-class standard-cell libraries.
+//
+// Stand-in for the STMicroelectronics CORE9 90nm library used in the paper
+// (which is proprietary).  Two variants mirror the paper's setup: High-Speed
+// (used for DLX, thesis §5.2) and Low-Leakage (used for ARM, §5.3).  Cell
+// areas, input capacitances and linear-model delays are chosen to be
+// plausible for a 90nm process; all flow code consumes them through the
+// Liberty parser so the code path matches a real library migration.
+//
+// Deliberate property (thesis §3.1.2): the library contains only the
+// simplest transparent latch (LD), no scan latches and no two-clock
+// flip-flops, forcing the desynchronizer's "extra latches" construction.
+#pragma once
+
+#include "liberty/library.h"
+
+namespace desync::liberty {
+
+/// Library variant selector.
+enum class LibVariant { kHighSpeed, kLowLeakage };
+
+/// Builds the synthetic library in memory.
+Library makeStdLib90(LibVariant variant);
+
+/// Returns the Liberty text of the library (what a vendor would ship); used
+/// with readLiberty() to exercise the parser end-to-end.
+std::string stdLib90Text(LibVariant variant);
+
+}  // namespace desync::liberty

@@ -1,0 +1,18 @@
+// Structural BLIF export (thesis §3.2.7: drdesync also exports BLIF for the
+// SIS tool).  Cells are emitted as .subckt references; the consumer binds
+// them against a genlib/library description.
+#pragma once
+
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace desync::netlist {
+
+/// Serializes `module` as a structural BLIF .model.
+std::string writeBlif(const Module& module);
+
+/// Writes the top module of `design` to `path` as BLIF.
+void writeBlifFile(const Design& design, const std::string& path);
+
+}  // namespace desync::netlist

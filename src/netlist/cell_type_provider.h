@@ -1,0 +1,53 @@
+// Interface through which the netlist layer learns about library cell types.
+//
+// The netlist database itself is library-agnostic: a cell instance stores its
+// type name only.  Passes that need pin directions or port order (e.g. the
+// Verilog parser) receive a CellTypeProvider; the Liberty gatefile implements
+// it for library cells, and the parser layers a Design's own modules on top.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace desync::netlist {
+
+/// Resolves cell type names to pin metadata.
+class CellTypeProvider {
+ public:
+  virtual ~CellTypeProvider() = default;
+
+  /// True when `type` is a known cell type.
+  [[nodiscard]] virtual bool knownType(std::string_view type) const = 0;
+
+  /// Direction of pin `pin` on cell type `type`; nullopt when unknown.
+  [[nodiscard]] virtual std::optional<PortDir> pinDir(
+      std::string_view type, std::string_view pin) const = 0;
+
+  /// Declaration-order pin names of `type` (used for positional connections).
+  /// May return empty when the provider does not track order.
+  [[nodiscard]] virtual std::vector<std::string> pinOrder(
+      std::string_view type) const = 0;
+};
+
+/// Provider that knows nothing; connections must then resolve against the
+/// design's own modules.
+class EmptyCellTypeProvider final : public CellTypeProvider {
+ public:
+  [[nodiscard]] bool knownType(std::string_view) const override {
+    return false;
+  }
+  [[nodiscard]] std::optional<PortDir> pinDir(std::string_view,
+                                              std::string_view) const override {
+    return std::nullopt;
+  }
+  [[nodiscard]] std::vector<std::string> pinOrder(
+      std::string_view) const override {
+    return {};
+  }
+};
+
+}  // namespace desync::netlist

@@ -1,0 +1,40 @@
+// Netlist "logic cleaning" passes (thesis §3.2.2 "Logic Cleaning").
+//
+// Synthesis tools insert buffers and inverter pairs purely for drive
+// strength; those cells introduce false logic dependencies between the
+// combinational clouds the grouping algorithm wants to separate (thesis
+// Fig 3.5).  These passes strip them.  In an in-place-optimization backend
+// flow the removed cells are not restored — the backend re-buffers.
+#pragma once
+
+#include <functional>
+#include <string_view>
+
+#include "netlist/netlist.h"
+
+namespace desync::netlist {
+
+/// Classification callbacks used by the cleaning passes.  Typically bound to
+/// the Liberty gatefile's buffer/inverter queries.
+struct CleaningRules {
+  std::function<bool(std::string_view type)> is_buffer;
+  std::function<bool(std::string_view type)> is_inverter;
+  /// Name of the single data input pin of a buffer or inverter, given its
+  /// type.  Defaults assume the first input pin when unset.
+  std::function<std::string(std::string_view type)> input_pin;
+  std::function<std::string(std::string_view type)> output_pin;
+};
+
+struct CleaningStats {
+  std::size_t buffers_removed = 0;
+  std::size_t inverter_pairs_removed = 0;
+};
+
+/// Removes all buffer cells by shorting their output net onto their input
+/// net, and collapses back-to-back inverter pairs (the second inverter's
+/// output is re-driven by the first inverter's input; a first inverter left
+/// without sinks is removed too).  Buffers driving primary output ports are
+/// also removed; the writer re-establishes the port alias.
+CleaningStats cleanLogic(Module& module, const CleaningRules& rules);
+
+}  // namespace desync::netlist

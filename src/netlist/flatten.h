@@ -1,0 +1,31 @@
+// Hierarchy flattening.
+//
+// drdesync operates on flat gate-level netlists; composite cells (extra
+// latches built from standard cells, latch controllers, C-Muller modules)
+// are authored as Modules and dissolved into the top module with
+// slash-separated prefix names, exactly like an industrial flattening step.
+#pragma once
+
+#include "netlist/netlist.h"
+
+namespace desync::netlist {
+
+struct FlattenStats {
+  std::size_t instances_flattened = 0;
+};
+
+/// Recursively replaces every instance of a Module of the same Design inside
+/// `module` with the instantiated module's contents.  Inner object names are
+/// prefixed with "<instance>/".  Instances of unknown (library) types are
+/// left untouched.
+FlattenStats flatten(Module& module);
+
+/// Flattens the design's top module.
+FlattenStats flattenTop(Design& design);
+
+/// Deep-copies `src` (and, recursively, every module of src's design it
+/// instantiates) into `dst`.  Returns the copy.  No-op if a module with the
+/// same name already exists in `dst`.
+Module& cloneModule(Design& dst, const Module& src);
+
+}  // namespace desync::netlist

@@ -1,0 +1,86 @@
+// Strongly-typed identifiers for netlist objects.
+//
+// All netlist objects (nets, cells, ports, interned names) are referred to by
+// small index-like ids.  Each id type is a distinct struct so that a NetId
+// cannot be accidentally passed where a CellId is expected.  Ids are stable
+// for the lifetime of the owning Module: removal tombstones the slot instead
+// of reindexing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace desync::netlist {
+
+namespace detail {
+
+/// CRTP base providing the common id plumbing (validity, comparison, hashing).
+template <typename Tag>
+struct Id {
+  static constexpr std::uint32_t kInvalidValue =
+      std::numeric_limits<std::uint32_t>::max();
+
+  std::uint32_t value = kInvalidValue;
+
+  constexpr Id() = default;
+  constexpr explicit Id(std::uint32_t v) : value(v) {}
+
+  [[nodiscard]] constexpr bool valid() const { return value != kInvalidValue; }
+  [[nodiscard]] constexpr std::uint32_t index() const { return value; }
+
+  friend constexpr bool operator==(Id a, Id b) { return a.value == b.value; }
+  friend constexpr bool operator!=(Id a, Id b) { return a.value != b.value; }
+  friend constexpr bool operator<(Id a, Id b) { return a.value < b.value; }
+};
+
+}  // namespace detail
+
+/// Identifies a net within a Module.
+struct NetId : detail::Id<NetId> {
+  using Id::Id;
+};
+
+/// Identifies a cell instance within a Module.
+struct CellId : detail::Id<CellId> {
+  using Id::Id;
+};
+
+/// Identifies a top-level port within a Module.
+struct PortId : detail::Id<PortId> {
+  using Id::Id;
+};
+
+/// Identifies an interned name within a Design's NameTable.
+struct NameId : detail::Id<NameId> {
+  using Id::Id;
+};
+
+}  // namespace desync::netlist
+
+namespace std {
+template <>
+struct hash<desync::netlist::NetId> {
+  size_t operator()(desync::netlist::NetId id) const noexcept {
+    return hash<uint32_t>{}(id.value);
+  }
+};
+template <>
+struct hash<desync::netlist::CellId> {
+  size_t operator()(desync::netlist::CellId id) const noexcept {
+    return hash<uint32_t>{}(id.value);
+  }
+};
+template <>
+struct hash<desync::netlist::PortId> {
+  size_t operator()(desync::netlist::PortId id) const noexcept {
+    return hash<uint32_t>{}(id.value);
+  }
+};
+template <>
+struct hash<desync::netlist::NameId> {
+  size_t operator()(desync::netlist::NameId id) const noexcept {
+    return hash<uint32_t>{}(id.value);
+  }
+};
+}  // namespace std

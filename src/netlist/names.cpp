@@ -1,0 +1,39 @@
+#include "netlist/names.h"
+
+#include <cassert>
+
+namespace desync::netlist {
+
+NameId NameTable::intern(std::string_view s) {
+  if (auto it = index_.find(s); it != index_.end()) {
+    return it->second;
+  }
+  strings_.emplace_back(s);
+  NameId id{static_cast<std::uint32_t>(strings_.size() - 1)};
+  index_.emplace(std::string_view(strings_.back()), id);
+  return id;
+}
+
+NameId NameTable::find(std::string_view s) const {
+  auto it = index_.find(s);
+  return it == index_.end() ? NameId{} : it->second;
+}
+
+std::string_view NameTable::str(NameId id) const {
+  assert(id.valid() && id.index() < strings_.size());
+  return strings_[id.index()];
+}
+
+NameId NameTable::makeUnique(std::string_view base) {
+  if (!find(base).valid()) {
+    return intern(base);
+  }
+  for (int suffix = 1;; ++suffix) {
+    std::string candidate = std::string(base) + "_" + std::to_string(suffix);
+    if (!find(candidate).valid()) {
+      return intern(candidate);
+    }
+  }
+}
+
+}  // namespace desync::netlist

@@ -1,0 +1,45 @@
+// String interning for netlist object names.
+//
+// A NameTable maps strings to dense NameIds and back.  Every Module in a
+// Design shares one table so that name comparisons across modules are integer
+// comparisons.
+#pragma once
+
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "netlist/ids.h"
+
+namespace desync::netlist {
+
+/// Bidirectional string <-> NameId interner.  Strings are never removed;
+/// NameIds stay valid for the table's lifetime.
+class NameTable {
+ public:
+  /// Interns `s`, returning the existing id when already present.
+  NameId intern(std::string_view s);
+
+  /// Looks up an existing name; returns an invalid NameId if absent.
+  [[nodiscard]] NameId find(std::string_view s) const;
+
+  /// Returns the string for an interned id.  Precondition: id is valid and
+  /// was produced by this table.
+  [[nodiscard]] std::string_view str(NameId id) const;
+
+  [[nodiscard]] std::size_t size() const { return strings_.size(); }
+
+  /// Produces a name not yet present in the table by appending a numeric
+  /// suffix to `base` if needed, and interns it.
+  NameId makeUnique(std::string_view base);
+
+ private:
+  // deque keeps string objects at stable addresses, so the string_view keys
+  // in index_ (which point into the stored strings, including SSO buffers)
+  // remain valid as the table grows.
+  std::deque<std::string> strings_;
+  std::unordered_map<std::string_view, NameId> index_;
+};
+
+}  // namespace desync::netlist

@@ -1,0 +1,419 @@
+#include "netlist/netlist.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace desync::netlist {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& msg) { throw NetlistError(msg); }
+
+}  // namespace
+
+// ---------------------------------------------------------------- Module
+
+Module::Module(Design& design, NameId name) : design_(&design), name_(name) {}
+
+NameTable& Module::names() { return design_->names(); }
+const NameTable& Module::names() const { return design_->names(); }
+
+std::string_view Module::name() const { return names().str(name_); }
+
+NetId Module::addNet(std::string_view name) {
+  NameId nid = names().intern(name);
+  if (net_by_name_.count(nid) != 0) {
+    fail("duplicate net name: " + std::string(name));
+  }
+  NetId id{static_cast<std::uint32_t>(nets_.size())};
+  Net n;
+  n.name = nid;
+  nets_.push_back(std::move(n));
+  net_by_name_.emplace(nid, id);
+  ++live_nets_;
+  return id;
+}
+
+NetId Module::addNet(std::string_view name, std::string_view bus_name,
+                     std::int32_t bit) {
+  NetId id = addNet(name);
+  nets_[id.index()].bus = BusRef{names().intern(bus_name), bit};
+  return id;
+}
+
+NetId Module::findNet(std::string_view name) const {
+  NameId nid = names().find(name);
+  if (!nid.valid()) return NetId{};
+  auto it = net_by_name_.find(nid);
+  return it == net_by_name_.end() ? NetId{} : it->second;
+}
+
+NetId Module::constNet(bool value) {
+  NetId& slot = const_net_[value ? 1 : 0];
+  if (slot.valid() && nets_[slot.index()].valid) return slot;
+  std::string base = value ? "const1" : "const0";
+  NameId nid = names().makeUnique(base);
+  slot = addNet(names().str(nid));
+  nets_[slot.index()].driver =
+      TermRef{value ? TermKind::kConst1 : TermKind::kConst0, 0, 0};
+  return slot;
+}
+
+void Module::removeNet(NetId id) {
+  Net& n = net(id);
+  // Detach any remaining terminals.
+  if (n.driver.isCellPin()) {
+    cells_.at(n.driver.index).pins.at(n.driver.pin).net = NetId{};
+  } else if (n.driver.isPort()) {
+    ports_.at(n.driver.index).net = NetId{};
+  }
+  for (const TermRef& t : n.sinks) {
+    if (t.isCellPin()) {
+      cells_.at(t.index).pins.at(t.pin).net = NetId{};
+    } else if (t.isPort()) {
+      ports_.at(t.index).net = NetId{};
+    }
+  }
+  n.sinks.clear();
+  n.driver = TermRef{};
+  n.valid = false;
+  net_by_name_.erase(n.name);
+  --live_nets_;
+}
+
+void Module::mergeNetInto(NetId from, NetId to) {
+  if (from == to) return;
+  Net& src = net(from);
+  // Re-point every sink of `from` to `to`.
+  std::vector<TermRef> sinks = src.sinks;  // copy: attachTerm mutates lists
+  for (const TermRef& t : sinks) {
+    if (t.isCellPin()) {
+      connectPin(t.cell(), t.pin, to);
+    } else if (t.isPort()) {
+      Port& p = ports_.at(t.index);
+      // attach/detachTerm take the *pin-equivalent* direction: an output
+      // port consumes the net like an input pin does.
+      const PortDir as_pin =
+          p.dir == PortDir::kInput ? PortDir::kOutput : PortDir::kInput;
+      detachTerm(from, t, as_pin);
+      p.net = to;
+      attachTerm(to, t, as_pin);
+    }
+  }
+  removeNet(from);
+}
+
+Net& Module::net(NetId id) {
+  Net& n = nets_.at(id.index());
+  if (!n.valid) fail("access to removed net");
+  return n;
+}
+
+const Net& Module::net(NetId id) const {
+  const Net& n = nets_.at(id.index());
+  if (!n.valid) fail("access to removed net");
+  return n;
+}
+
+std::string_view Module::netName(NetId id) const {
+  return names().str(net(id).name);
+}
+
+CellId Module::addCell(std::string_view name, std::string_view type,
+                       const std::vector<PinInit>& pins) {
+  NameId nid = names().intern(name);
+  if (cell_by_name_.count(nid) != 0) {
+    fail("duplicate cell name: " + std::string(name));
+  }
+  CellId id{static_cast<std::uint32_t>(cells_.size())};
+  Cell c;
+  c.name = nid;
+  c.type = names().intern(type);
+  c.pins.reserve(pins.size());
+  for (const PinInit& p : pins) {
+    c.pins.push_back(PinConn{names().intern(p.name), p.dir, NetId{}});
+  }
+  cells_.push_back(std::move(c));
+  cell_by_name_.emplace(nid, id);
+  ++live_cells_;
+  for (std::size_t i = 0; i < pins.size(); ++i) {
+    if (pins[i].net.valid()) connectPin(id, i, pins[i].net);
+  }
+  return id;
+}
+
+CellId Module::findCell(std::string_view name) const {
+  NameId nid = names().find(name);
+  if (!nid.valid()) return CellId{};
+  auto it = cell_by_name_.find(nid);
+  return it == cell_by_name_.end() ? CellId{} : it->second;
+}
+
+void Module::removeCell(CellId id) {
+  Cell& c = cell(id);
+  for (std::size_t i = 0; i < c.pins.size(); ++i) {
+    if (c.pins[i].net.valid()) disconnectPin(id, i);
+  }
+  c.valid = false;
+  cell_by_name_.erase(c.name);
+  --live_cells_;
+}
+
+void Module::connectPin(CellId cell_id, std::size_t pin_index, NetId net_id) {
+  Cell& c = cell(cell_id);
+  PinConn& pin = c.pins.at(pin_index);
+  if (pin.net.valid()) disconnectPin(cell_id, pin_index);
+  (void)net(net_id);  // validate
+  pin.net = net_id;
+  TermRef term{TermKind::kCellPin, cell_id.value,
+               static_cast<std::uint16_t>(pin_index)};
+  attachTerm(net_id, term, pin.dir);
+}
+
+void Module::disconnectPin(CellId cell_id, std::size_t pin_index) {
+  Cell& c = cell(cell_id);
+  PinConn& pin = c.pins.at(pin_index);
+  if (!pin.net.valid()) return;
+  TermRef term{TermKind::kCellPin, cell_id.value,
+               static_cast<std::uint16_t>(pin_index)};
+  detachTerm(pin.net, term, pin.dir);
+  pin.net = NetId{};
+}
+
+std::size_t Module::findPin(CellId cell_id, std::string_view pin) const {
+  const Cell& c = cell(cell_id);
+  NameId nid = names().find(pin);
+  if (!nid.valid()) return npos;
+  for (std::size_t i = 0; i < c.pins.size(); ++i) {
+    if (c.pins[i].name == nid) return i;
+  }
+  return npos;
+}
+
+NetId Module::pinNet(CellId cell_id, std::string_view pin) const {
+  std::size_t idx = findPin(cell_id, pin);
+  return idx == npos ? NetId{} : cell(cell_id).pins[idx].net;
+}
+
+Cell& Module::cell(CellId id) {
+  Cell& c = cells_.at(id.index());
+  if (!c.valid) fail("access to removed cell");
+  return c;
+}
+
+const Cell& Module::cell(CellId id) const {
+  const Cell& c = cells_.at(id.index());
+  if (!c.valid) fail("access to removed cell");
+  return c;
+}
+
+std::string_view Module::cellName(CellId id) const {
+  return names().str(cell(id).name);
+}
+
+std::string_view Module::cellType(CellId id) const {
+  return names().str(cell(id).type);
+}
+
+void Module::renameCell(CellId id, std::string_view new_name) {
+  Cell& c = cell(id);
+  NameId nid = names().intern(new_name);
+  if (cell_by_name_.count(nid) != 0) {
+    fail("duplicate cell name on rename: " + std::string(new_name));
+  }
+  cell_by_name_.erase(c.name);
+  c.name = nid;
+  cell_by_name_.emplace(nid, id);
+}
+
+PortId Module::addPort(std::string_view name, PortDir dir, NetId net_id) {
+  NameId nid = names().intern(name);
+  if (port_by_name_.count(nid) != 0) {
+    fail("duplicate port name: " + std::string(name));
+  }
+  PortId id{static_cast<std::uint32_t>(ports_.size())};
+  ports_.push_back(Port{nid, dir, NetId{}, BusRef{}});
+  port_by_name_.emplace(nid, id);
+  if (net_id.valid()) {
+    ports_.back().net = net_id;
+    TermRef term{TermKind::kPort, id.value, 0};
+    // An input port *drives* its net; an output port is a sink of it.
+    attachTerm(net_id, term,
+               dir == PortDir::kInput ? PortDir::kOutput : PortDir::kInput);
+  }
+  return id;
+}
+
+PortId Module::addPort(std::string_view name, PortDir dir, NetId net_id,
+                       std::string_view bus_name, std::int32_t bit) {
+  PortId id = addPort(name, dir, net_id);
+  ports_.at(id.index()).bus = BusRef{names().intern(bus_name), bit};
+  return id;
+}
+
+PortId Module::findPort(std::string_view name) const {
+  NameId nid = names().find(name);
+  if (!nid.valid()) return PortId{};
+  auto it = port_by_name_.find(nid);
+  return it == port_by_name_.end() ? PortId{} : it->second;
+}
+
+std::vector<CellId> Module::cellIds() const {
+  std::vector<CellId> out;
+  out.reserve(live_cells_);
+  forEachCell([&](CellId id) { out.push_back(id); });
+  return out;
+}
+
+std::vector<NetId> Module::netIds() const {
+  std::vector<NetId> out;
+  out.reserve(live_nets_);
+  forEachNet([&](NetId id) { out.push_back(id); });
+  return out;
+}
+
+void Module::attachTerm(NetId net_id, TermRef term, PortDir dir) {
+  Net& n = net(net_id);
+  // By convention the `dir` argument is the direction of the *pin*: an
+  // output pin drives the net, an input pin is a sink.  (For ports the
+  // caller already flipped the direction.)
+  const bool drives = (dir == PortDir::kOutput || dir == PortDir::kInout);
+  if (drives) {
+    if (n.driver.kind != TermKind::kNone) {
+      fail("net '" + std::string(names().str(n.name)) +
+           "' has multiple drivers");
+    }
+    n.driver = term;
+  } else {
+    n.sinks.push_back(term);
+  }
+}
+
+void Module::detachTerm(NetId net_id, TermRef term, PortDir dir) {
+  Net& n = net(net_id);
+  const bool drives = (dir == PortDir::kOutput || dir == PortDir::kInout);
+  if (drives && n.driver == term) {
+    n.driver = TermRef{};
+    return;
+  }
+  auto it = std::find(n.sinks.begin(), n.sinks.end(), term);
+  if (it != n.sinks.end()) {
+    n.sinks.erase(it);
+  }
+}
+
+std::vector<std::string> Module::checkInvariants() const {
+  std::vector<std::string> problems;
+  auto report = [&](const std::string& s) { problems.push_back(s); };
+
+  forEachCell([&](CellId cid) {
+    const Cell& c = cells_[cid.index()];
+    for (std::size_t p = 0; p < c.pins.size(); ++p) {
+      const PinConn& pin = c.pins[p];
+      if (!pin.net.valid()) continue;
+      if (pin.net.index() >= nets_.size() || !nets_[pin.net.index()].valid) {
+        report("cell " + std::string(names().str(c.name)) +
+               " pin references dead net");
+        continue;
+      }
+      const Net& n = nets_[pin.net.index()];
+      TermRef expect{TermKind::kCellPin, cid.value,
+                     static_cast<std::uint16_t>(p)};
+      if (pin.dir == PortDir::kOutput) {
+        if (!(n.driver == expect)) {
+          report("output pin of " + std::string(names().str(c.name)) +
+                 " not registered as driver of " +
+                 std::string(names().str(n.name)));
+        }
+      } else {
+        if (std::find(n.sinks.begin(), n.sinks.end(), expect) ==
+            n.sinks.end()) {
+          report("input pin of " + std::string(names().str(c.name)) +
+                 " not registered as sink of " +
+                 std::string(names().str(n.name)));
+        }
+      }
+    }
+  });
+
+  forEachNet([&](NetId nid) {
+    const Net& n = nets_[nid.index()];
+    auto checkTerm = [&](const TermRef& t, bool as_driver) {
+      if (t.kind == TermKind::kNone || t.isConst()) return;
+      if (t.isCellPin()) {
+        if (t.index >= cells_.size() || !cells_[t.index].valid) {
+          report("net " + std::string(names().str(n.name)) +
+                 " references dead cell");
+          return;
+        }
+        const Cell& c = cells_[t.index];
+        if (t.pin >= c.pins.size() || !(c.pins[t.pin].net == nid)) {
+          report("net " + std::string(names().str(n.name)) +
+                 " terminal not mirrored on cell pin");
+          return;
+        }
+        const bool pin_drives = c.pins[t.pin].dir != PortDir::kInput;
+        if (pin_drives != as_driver) {
+          report("net " + std::string(names().str(n.name)) +
+                 " direction mismatch with cell pin");
+        }
+      } else if (t.isPort()) {
+        if (t.index >= ports_.size() || !(ports_[t.index].net == nid)) {
+          report("net " + std::string(names().str(n.name)) +
+                 " terminal not mirrored on port");
+        }
+      }
+    };
+    checkTerm(n.driver, /*as_driver=*/true);
+    for (const TermRef& t : n.sinks) checkTerm(t, /*as_driver=*/false);
+  });
+
+  return problems;
+}
+
+// ---------------------------------------------------------------- Design
+
+Module& Design::addModule(std::string_view name) {
+  NameId nid = names_.intern(name);
+  if (module_by_name_.count(nid) != 0) {
+    fail("duplicate module name: " + std::string(name));
+  }
+  modules_.emplace_back(*this, nid);
+  Module& m = modules_.back();
+  module_by_name_.emplace(nid, &m);
+  if (top_ == nullptr) top_ = &m;
+  return m;
+}
+
+Module* Design::findModule(std::string_view name) {
+  NameId nid = names_.find(name);
+  if (!nid.valid()) return nullptr;
+  auto it = module_by_name_.find(nid);
+  return it == module_by_name_.end() ? nullptr : it->second;
+}
+
+const Module* Design::findModule(std::string_view name) const {
+  NameId nid = names_.find(name);
+  if (!nid.valid()) return nullptr;
+  auto it = module_by_name_.find(nid);
+  return it == module_by_name_.end() ? nullptr : it->second;
+}
+
+void Design::setTop(std::string_view name) {
+  Module* m = findModule(name);
+  if (m == nullptr) fail("setTop: no module named " + std::string(name));
+  top_ = m;
+}
+
+Module& Design::top() {
+  if (top_ == nullptr) fail("design has no top module");
+  return *top_;
+}
+
+const Module& Design::top() const {
+  if (top_ == nullptr) fail("design has no top module");
+  return *top_;
+}
+
+}  // namespace desync::netlist

@@ -1,0 +1,301 @@
+// Gate-level netlist database.
+//
+// A Design owns a set of Modules sharing one NameTable.  A Module is a flat
+// graph of cell instances and nets; hierarchy is expressed by instantiating
+// another Module of the same Design as a cell (resolved by type name) and is
+// normally removed with flatten() before desynchronization, mirroring the
+// paper's gate-level-only operating point (thesis §3.2.1).
+//
+// The database maintains full connectivity in both directions: every net
+// knows its driver and sinks, every cell pin knows its net.  All mutation
+// goes through Module member functions which keep the two views consistent;
+// checkInvariants() verifies the cross-links after algorithmic passes.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/ids.h"
+#include "netlist/names.h"
+
+namespace desync::netlist {
+
+/// Error raised on netlist consistency violations (double driver, dangling
+/// id, duplicate name, ...).
+class NetlistError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class PortDir : std::uint8_t { kInput, kOutput, kInout };
+
+/// Kind of object a net terminal refers to.
+enum class TermKind : std::uint8_t {
+  kNone,     ///< unconnected
+  kCellPin,  ///< pin `pin` of cell `index`
+  kPort,     ///< top-level port `index`
+  kConst0,   ///< constant-zero driver
+  kConst1,   ///< constant-one driver
+};
+
+/// One endpoint of a net: a cell pin, a module port, or a constant source.
+struct TermRef {
+  TermKind kind = TermKind::kNone;
+  std::uint32_t index = 0;  ///< CellId / PortId value depending on kind
+  std::uint16_t pin = 0;    ///< pin index within the cell, for kCellPin
+
+  [[nodiscard]] bool isCellPin() const { return kind == TermKind::kCellPin; }
+  [[nodiscard]] bool isPort() const { return kind == TermKind::kPort; }
+  [[nodiscard]] bool isConst() const {
+    return kind == TermKind::kConst0 || kind == TermKind::kConst1;
+  }
+  [[nodiscard]] CellId cell() const { return CellId{index}; }
+  [[nodiscard]] PortId port() const { return PortId{index}; }
+
+  friend bool operator==(const TermRef& a, const TermRef& b) {
+    return a.kind == b.kind && a.index == b.index && a.pin == b.pin;
+  }
+};
+
+/// Membership of a scalar net in a named bus, e.g. data[3] -> {data, 3}.
+/// Recorded at parse/build time; the grouping algorithm's by-name bus
+/// heuristic (thesis §3.2.2 "Buses") consumes it.
+struct BusRef {
+  NameId bus;       ///< invalid when the net is a plain scalar
+  std::int32_t bit = 0;
+
+  [[nodiscard]] bool valid() const { return bus.valid(); }
+};
+
+/// Connection of one cell pin to a net.
+struct PinConn {
+  NameId name;                 ///< pin name in the cell's type (e.g. "A", "Q")
+  PortDir dir = PortDir::kInput;
+  NetId net;                   ///< invalid when the pin is left unconnected
+};
+
+/// A cell instance.
+struct Cell {
+  NameId name;
+  NameId type;              ///< library cell or module name
+  std::vector<PinConn> pins;
+  bool valid = true;        ///< false once removed (slot tombstoned)
+  bool size_only = false;   ///< SDC set_size_only: resizing allowed, no resynthesis
+  bool dont_touch = false;  ///< excluded from optimization passes
+};
+
+/// A net (single scalar wire).
+struct Net {
+  NameId name;
+  BusRef bus;                  ///< bus membership, if any
+  TermRef driver;              ///< kNone when undriven
+  std::vector<TermRef> sinks;  ///< input cell pins and output ports
+  bool valid = true;
+  bool false_path = false;  ///< user-marked: ignored by grouping (thesis §3.2.2)
+};
+
+/// A top-level module port.
+struct Port {
+  NameId name;
+  PortDir dir = PortDir::kInput;
+  NetId net;
+  BusRef bus;
+};
+
+class Design;
+
+/// A flat module: cells + nets + ports with bidirectional connectivity.
+class Module {
+ public:
+  Module(Design& design, NameId name);
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+  Module(Module&&) = default;
+  Module& operator=(Module&&) = default;
+
+  [[nodiscard]] NameId nameId() const { return name_; }
+  [[nodiscard]] std::string_view name() const;
+  [[nodiscard]] Design& design() { return *design_; }
+  [[nodiscard]] const Design& design() const { return *design_; }
+
+  // --- nets -----------------------------------------------------------
+
+  /// Creates a scalar net.  Throws NetlistError on duplicate name.
+  NetId addNet(std::string_view name);
+  /// Creates a net that is bit `bit` of bus `bus_name` (net name is usually
+  /// "bus[bit]" but any unique name is accepted).
+  NetId addNet(std::string_view name, std::string_view bus_name,
+               std::int32_t bit);
+  /// Returns the net named `name`, or an invalid id.
+  [[nodiscard]] NetId findNet(std::string_view name) const;
+  /// Lazily creates and returns the module's constant-0 / constant-1 net.
+  NetId constNet(bool value);
+  /// Removes a net.  All connected pins/ports are disconnected first.
+  void removeNet(NetId id);
+  /// Moves every sink of `from` onto `to` and removes `from`.  The driver of
+  /// `from` (if any) is disconnected.  Used by buffer-removal cleaning.
+  void mergeNetInto(NetId from, NetId to);
+
+  [[nodiscard]] Net& net(NetId id);
+  [[nodiscard]] const Net& net(NetId id) const;
+  [[nodiscard]] std::string_view netName(NetId id) const;
+  [[nodiscard]] std::size_t numNets() const { return live_nets_; }
+  [[nodiscard]] std::uint32_t netCapacity() const {
+    return static_cast<std::uint32_t>(nets_.size());
+  }
+
+  // --- cells ----------------------------------------------------------
+
+  /// Pin specification for addCell.  Owns the pin name so callers can build
+  /// specs from temporaries safely.
+  struct PinInit {
+    std::string name;
+    PortDir dir = PortDir::kInput;
+    NetId net;  ///< may be invalid for an unconnected pin
+  };
+
+  /// Creates a cell instance of `type` and wires its pins.  Output pins
+  /// become drivers of their nets (double drive throws), inputs become sinks.
+  CellId addCell(std::string_view name, std::string_view type,
+                 const std::vector<PinInit>& pins);
+  [[nodiscard]] CellId findCell(std::string_view name) const;
+  /// Disconnects and tombstones the cell.
+  void removeCell(CellId id);
+
+  /// Connects pin `pin_index` of `cell` to `net` (disconnecting any previous
+  /// net on that pin).
+  void connectPin(CellId cell, std::size_t pin_index, NetId net);
+  void disconnectPin(CellId cell, std::size_t pin_index);
+  /// Finds a pin index by name on a cell; returns npos when absent.
+  [[nodiscard]] std::size_t findPin(CellId cell, std::string_view pin) const;
+  /// Net connected to named pin of cell, or invalid id.
+  [[nodiscard]] NetId pinNet(CellId cell, std::string_view pin) const;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  [[nodiscard]] Cell& cell(CellId id);
+  [[nodiscard]] const Cell& cell(CellId id) const;
+  /// True when the id refers to a live (not removed) cell.
+  [[nodiscard]] bool isLiveCell(CellId id) const {
+    return id.valid() && id.index() < cells_.size() &&
+           cells_[id.index()].valid;
+  }
+  [[nodiscard]] std::string_view cellName(CellId id) const;
+  [[nodiscard]] std::string_view cellType(CellId id) const;
+  [[nodiscard]] std::size_t numCells() const { return live_cells_; }
+  [[nodiscard]] std::uint32_t cellCapacity() const {
+    return static_cast<std::uint32_t>(cells_.size());
+  }
+
+  /// Renames an existing cell (new name must be unused).
+  void renameCell(CellId id, std::string_view new_name);
+
+  // --- ports ----------------------------------------------------------
+
+  PortId addPort(std::string_view name, PortDir dir, NetId net);
+  PortId addPort(std::string_view name, PortDir dir, NetId net,
+                 std::string_view bus_name, std::int32_t bit);
+  [[nodiscard]] PortId findPort(std::string_view name) const;
+  [[nodiscard]] Port& port(PortId id) { return ports_.at(id.index()); }
+  [[nodiscard]] const Port& port(PortId id) const {
+    return ports_.at(id.index());
+  }
+  [[nodiscard]] std::size_t numPorts() const { return ports_.size(); }
+  [[nodiscard]] const std::vector<Port>& ports() const { return ports_; }
+
+  // --- iteration ------------------------------------------------------
+
+  /// Ids of all live cells, in creation order.
+  [[nodiscard]] std::vector<CellId> cellIds() const;
+  /// Ids of all live nets, in creation order.
+  [[nodiscard]] std::vector<NetId> netIds() const;
+
+  template <typename F>
+  void forEachCell(F&& f) const {
+    for (std::uint32_t i = 0; i < cells_.size(); ++i) {
+      if (cells_[i].valid) f(CellId{i});
+    }
+  }
+  template <typename F>
+  void forEachNet(F&& f) const {
+    for (std::uint32_t i = 0; i < nets_.size(); ++i) {
+      if (nets_[i].valid) f(NetId{i});
+    }
+  }
+
+  // --- validation -----------------------------------------------------
+
+  /// Structural consistency check: every pin's net lists the pin back as
+  /// driver/sink, no double drivers, tombstoned objects unreferenced.
+  /// Returns human-readable problem descriptions (empty = consistent).
+  [[nodiscard]] std::vector<std::string> checkInvariants() const;
+
+ private:
+  void attachTerm(NetId net, TermRef term, PortDir dir);
+  void detachTerm(NetId net, TermRef term, PortDir dir);
+  [[nodiscard]] NameTable& names();
+  [[nodiscard]] const NameTable& names() const;
+
+  Design* design_;
+  NameId name_;
+  std::vector<Net> nets_;
+  std::vector<Cell> cells_;
+  std::vector<Port> ports_;
+  std::unordered_map<NameId, NetId> net_by_name_;
+  std::unordered_map<NameId, CellId> cell_by_name_;
+  std::unordered_map<NameId, PortId> port_by_name_;
+  std::size_t live_nets_ = 0;
+  std::size_t live_cells_ = 0;
+  NetId const_net_[2];  // lazily created constant 0 / 1 nets
+};
+
+/// A design: shared name table + a set of modules, one of which is top.
+class Design {
+ public:
+  Design() = default;
+  Design(const Design&) = delete;
+  Design& operator=(const Design&) = delete;
+  Design(Design&&) = default;
+  Design& operator=(Design&&) = default;
+
+  [[nodiscard]] NameTable& names() { return names_; }
+  [[nodiscard]] const NameTable& names() const { return names_; }
+
+  /// Creates a module.  Throws NetlistError on duplicate name.
+  Module& addModule(std::string_view name);
+  /// Finds a module by name; nullptr if absent.
+  [[nodiscard]] Module* findModule(std::string_view name);
+  [[nodiscard]] const Module* findModule(std::string_view name) const;
+
+  /// Declares which module is the top of the design.
+  void setTop(std::string_view name);
+  [[nodiscard]] Module& top();
+  [[nodiscard]] const Module& top() const;
+  [[nodiscard]] bool hasTop() const { return top_ != nullptr; }
+
+  [[nodiscard]] std::size_t numModules() const { return modules_.size(); }
+  template <typename F>
+  void forEachModule(F&& f) {
+    for (auto& m : modules_) f(m);
+  }
+  template <typename F>
+  void forEachModule(F&& f) const {
+    for (const auto& m : modules_) f(m);
+  }
+
+ private:
+  NameTable names_;
+  std::deque<Module> modules_;  // deque: stable addresses
+  std::unordered_map<NameId, Module*> module_by_name_;
+  Module* top_ = nullptr;
+};
+
+}  // namespace desync::netlist

@@ -1,0 +1,803 @@
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <variant>
+
+#include "netlist/verilog.h"
+
+namespace desync::netlist {
+namespace {
+
+// ------------------------------------------------------------------ Lexer
+
+enum class TokKind {
+  kEof,
+  kIdent,    // plain or escaped identifier (text holds the raw name)
+  kNumber,   // sized or unsized constant (text holds full literal)
+  kPunct,    // single-char punctuation, kind in `punct`
+};
+
+struct Token {
+  TokKind kind = TokKind::kEof;
+  std::string text;
+  char punct = 0;
+  int line = 0;
+  bool escaped = false;  // identifier came from a \escaped form
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  const Token& peek() {
+    if (!have_) {
+      cur_ = lex();
+      have_ = true;
+    }
+    return cur_;
+  }
+
+  Token next() {
+    const Token& t = peek();
+    have_ = false;
+    return t;
+  }
+
+  [[nodiscard]] int line() const { return line_; }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw VerilogError("verilog:" + std::to_string(line_) + ": " + msg);
+  }
+
+  void skipSpaceAndComments() {
+    for (;;) {
+      while (pos_ < src_.size() &&
+             std::isspace(static_cast<unsigned char>(src_[pos_]))) {
+        if (src_[pos_] == '\n') ++line_;
+        ++pos_;
+      }
+      if (pos_ + 1 < src_.size() && src_[pos_] == '/' && src_[pos_ + 1] == '/') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      if (pos_ + 1 < src_.size() && src_[pos_] == '/' && src_[pos_ + 1] == '*') {
+        pos_ += 2;
+        while (pos_ + 1 < src_.size() &&
+               !(src_[pos_] == '*' && src_[pos_ + 1] == '/')) {
+          if (src_[pos_] == '\n') ++line_;
+          ++pos_;
+        }
+        if (pos_ + 1 >= src_.size()) fail("unterminated block comment");
+        pos_ += 2;
+        continue;
+      }
+      // Compiler directives (`timescale etc.): skip to end of line.
+      if (pos_ < src_.size() && src_[pos_] == '`') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      break;
+    }
+  }
+
+  Token lex() {
+    skipSpaceAndComments();
+    Token t;
+    t.line = line_;
+    if (pos_ >= src_.size()) return t;
+    char c = src_[pos_];
+    if (c == '\\') {
+      // Escaped identifier: up to next whitespace, backslash dropped.
+      ++pos_;
+      std::size_t start = pos_;
+      while (pos_ < src_.size() &&
+             !std::isspace(static_cast<unsigned char>(src_[pos_]))) {
+        ++pos_;
+      }
+      t.kind = TokKind::kIdent;
+      t.text = std::string(src_.substr(start, pos_ - start));
+      t.escaped = true;
+      return t;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = pos_;
+      while (pos_ < src_.size() &&
+             (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+              src_[pos_] == '_' || src_[pos_] == '$')) {
+        ++pos_;
+      }
+      t.kind = TokKind::kIdent;
+      t.text = std::string(src_.substr(start, pos_ - start));
+      return t;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '\'') {
+      // Number: [size]'[base]digits or plain decimal.
+      std::size_t start = pos_;
+      while (pos_ < src_.size() &&
+             std::isdigit(static_cast<unsigned char>(src_[pos_]))) {
+        ++pos_;
+      }
+      if (pos_ < src_.size() && src_[pos_] == '\'') {
+        ++pos_;
+        if (pos_ < src_.size()) ++pos_;  // base char
+        while (pos_ < src_.size() &&
+               (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+                src_[pos_] == '_' || src_[pos_] == 'x' || src_[pos_] == 'z')) {
+          ++pos_;
+        }
+      }
+      t.kind = TokKind::kNumber;
+      t.text = std::string(src_.substr(start, pos_ - start));
+      return t;
+    }
+    static constexpr std::string_view kPunct = "()[]{},;:.=#*";
+    if (kPunct.find(c) != std::string_view::npos) {
+      ++pos_;
+      t.kind = TokKind::kPunct;
+      t.punct = c;
+      return t;
+    }
+    fail(std::string("unexpected character '") + c + "'");
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  Token cur_;
+  bool have_ = false;
+};
+
+// --------------------------------------------------------------- Parser
+
+/// One bit of an elaborated expression: a net or a constant.
+struct BitRef {
+  NetId net;          // valid -> net bit
+  bool const_val = false;  // used when net invalid
+};
+
+struct BusDecl {
+  std::int32_t msb = 0;
+  std::int32_t lsb = 0;
+};
+
+class Parser {
+ public:
+  Parser(Design& design, std::string_view src, const CellTypeProvider& types,
+         const VerilogReadOptions& options)
+      : design_(design), lex_(src), types_(types), options_(options) {}
+
+  void parseFile() {
+    while (lex_.peek().kind != TokKind::kEof) {
+      expectIdent("module");
+      parseModule();
+    }
+  }
+
+  [[nodiscard]] std::string_view lastModule() const { return last_module_; }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) {
+    throw VerilogError("verilog:" + std::to_string(lex_.line()) + ": " + msg);
+  }
+
+  Token expect(TokKind kind, const char* what) {
+    Token t = lex_.next();
+    if (t.kind != kind) fail(std::string("expected ") + what);
+    return t;
+  }
+
+  Token expectPunct(char p) {
+    Token t = lex_.next();
+    if (t.kind != TokKind::kPunct || t.punct != p) {
+      fail(std::string("expected '") + p + "'");
+    }
+    return t;
+  }
+
+  void expectIdent(std::string_view kw) {
+    Token t = lex_.next();
+    if (t.kind != TokKind::kIdent || t.text != kw) {
+      fail("expected keyword '" + std::string(kw) + "'");
+    }
+  }
+
+  bool peekPunct(char p) {
+    const Token& t = lex_.peek();
+    return t.kind == TokKind::kPunct && t.punct == p;
+  }
+
+  bool peekIdent(std::string_view kw) {
+    const Token& t = lex_.peek();
+    return t.kind == TokKind::kIdent && t.text == kw;
+  }
+
+  /// Maps possibly-escaped identifiers to the module-local simple name.
+  std::string canonName(const Token& t) {
+    if (!t.escaped || !options_.simplify_escaped_names) return t.text;
+    auto it = escaped_map_.find(t.text);
+    if (it != escaped_map_.end()) return it->second;
+    std::string simple;
+    simple.reserve(t.text.size() + 4);
+    for (char c : t.text) {
+      simple.push_back(std::isalnum(static_cast<unsigned char>(c)) != 0
+                           ? c
+                           : '_');
+    }
+    if (simple.empty() ||
+        std::isdigit(static_cast<unsigned char>(simple.front()))) {
+      simple.insert(simple.begin(), 'n');
+    }
+    // Ensure the substitution does not collide with an existing name.
+    simple =
+        std::string(design_.names().str(design_.names().makeUnique(simple)));
+    escaped_map_.emplace(t.text, simple);
+    return simple;
+  }
+
+  // --- range / declarations ------------------------------------------
+
+  std::optional<BusDecl> parseOptionalRange() {
+    if (!peekPunct('[')) return std::nullopt;
+    lex_.next();
+    BusDecl d;
+    d.msb = parseInt();
+    expectPunct(':');
+    d.lsb = parseInt();
+    expectPunct(']');
+    return d;
+  }
+
+  std::int32_t parseInt() {
+    Token t = expect(TokKind::kNumber, "integer");
+    std::int32_t v = 0;
+    auto [p, ec] = std::from_chars(t.text.data(), t.text.data() + t.text.size(), v);
+    if (ec != std::errc() || p != t.text.data() + t.text.size()) {
+      fail("bad integer '" + t.text + "'");
+    }
+    return v;
+  }
+
+  /// Returns/creates the scalar net for bit `bit` of `base` (or the scalar
+  /// net `base` itself when scalar).
+  NetId netForBit(const std::string& base, std::optional<std::int32_t> bit) {
+    std::string name = base;
+    if (bit) name += "[" + std::to_string(*bit) + "]";
+    NetId id = module_->findNet(name);
+    if (id.valid()) return id;
+    if (bit) return module_->addNet(name, base, *bit);
+    return module_->addNet(name);
+  }
+
+  void declareNets(const std::string& base, std::optional<BusDecl> range) {
+    if (!range) {
+      if (!module_->findNet(base).valid()) module_->addNet(base);
+      buses_.erase(base);
+      return;
+    }
+    buses_[base] = *range;
+    const std::int32_t step = range->msb >= range->lsb ? -1 : 1;
+    for (std::int32_t b = range->msb;; b += step) {
+      std::string name = base + "[" + std::to_string(b) + "]";
+      if (!module_->findNet(name).valid()) module_->addNet(name, base, b);
+      if (b == range->lsb) break;
+    }
+  }
+
+  void declarePorts(const std::string& base, std::optional<BusDecl> range,
+                    PortDir dir) {
+    declareNets(base, range);
+    if (!range) {
+      if (!module_->findPort(base).valid()) {
+        module_->addPort(base, dir, module_->findNet(base));
+      }
+      return;
+    }
+    const std::int32_t step = range->msb >= range->lsb ? -1 : 1;
+    for (std::int32_t b = range->msb;; b += step) {
+      std::string name = base + "[" + std::to_string(b) + "]";
+      if (!module_->findPort(name).valid()) {
+        module_->addPort(name, dir, module_->findNet(name), base, b);
+      }
+      if (b == range->lsb) break;
+    }
+  }
+
+  // --- expressions -----------------------------------------------------
+
+  /// Elaborates an expression to a MSB-first vector of bits.
+  std::vector<BitRef> parseExpr() {
+    if (peekPunct('{')) {
+      lex_.next();
+      std::vector<BitRef> bits;
+      for (;;) {
+        auto part = parseExpr();
+        bits.insert(bits.end(), part.begin(), part.end());
+        if (peekPunct(',')) {
+          lex_.next();
+          continue;
+        }
+        expectPunct('}');
+        break;
+      }
+      return bits;
+    }
+    const Token& p = lex_.peek();
+    if (p.kind == TokKind::kNumber) {
+      Token t = lex_.next();
+      return constBits(t.text);
+    }
+    if (p.kind == TokKind::kIdent) {
+      Token t = lex_.next();
+      std::string base = canonName(t);
+      if (peekPunct('[')) {
+        lex_.next();
+        std::int32_t hi = parseInt();
+        std::int32_t lo = hi;
+        if (peekPunct(':')) {
+          lex_.next();
+          lo = parseInt();
+        }
+        expectPunct(']');
+        std::vector<BitRef> bits;
+        const std::int32_t step = hi >= lo ? -1 : 1;
+        for (std::int32_t b = hi;; b += step) {
+          bits.push_back(BitRef{netForBit(base, b), false});
+          if (b == lo) break;
+        }
+        return bits;
+      }
+      auto bus = buses_.find(base);
+      if (bus != buses_.end()) {
+        std::vector<BitRef> bits;
+        const BusDecl& d = bus->second;
+        const std::int32_t step = d.msb >= d.lsb ? -1 : 1;
+        for (std::int32_t b = d.msb;; b += step) {
+          bits.push_back(BitRef{netForBit(base, b), false});
+          if (b == d.lsb) break;
+        }
+        return bits;
+      }
+      return {BitRef{netForBit(base, std::nullopt), false}};
+    }
+    fail("expected expression");
+  }
+
+  std::vector<BitRef> constBits(const std::string& literal) {
+    // Parse [size]'[base]digits; unsized plain decimal treated as 32-bit
+    // truncated to the needed width by the caller via width matching.
+    std::size_t tick = literal.find('\'');
+    std::uint64_t value = 0;
+    int width = 32;
+    if (tick == std::string::npos) {
+      value = std::stoull(literal);
+    } else {
+      if (tick > 0) width = std::stoi(literal.substr(0, tick));
+      char base = static_cast<char>(
+          std::tolower(static_cast<unsigned char>(literal[tick + 1])));
+      std::string digits = literal.substr(tick + 2);
+      digits.erase(std::remove(digits.begin(), digits.end(), '_'),
+                   digits.end());
+      int radix = base == 'b' ? 2 : base == 'o' ? 8 : base == 'd' ? 10 : 16;
+      for (char c : digits) {
+        int d = 0;
+        if (c >= '0' && c <= '9') {
+          d = c - '0';
+        } else if (c >= 'a' && c <= 'f') {
+          d = c - 'a' + 10;
+        } else if (c >= 'A' && c <= 'F') {
+          d = c - 'A' + 10;
+        } else if (c == 'x' || c == 'z' || c == 'X' || c == 'Z') {
+          d = 0;  // x/z treated as 0 for gate-level constants
+        } else {
+          fail("bad constant digit in '" + literal + "'");
+        }
+        value = value * static_cast<std::uint64_t>(radix) +
+                static_cast<std::uint64_t>(d);
+      }
+    }
+    std::vector<BitRef> bits(static_cast<std::size_t>(width));
+    for (int i = 0; i < width; ++i) {
+      BitRef b;
+      b.const_val = ((value >> (width - 1 - i)) & 1u) != 0;
+      bits[static_cast<std::size_t>(i)] = b;  // MSB first
+    }
+    return bits;
+  }
+
+  // --- module ----------------------------------------------------------
+
+  void parseModule() {
+    Token name = expect(TokKind::kIdent, "module name");
+    module_ = &design_.addModule(name.text);
+    last_module_ = name.text;
+    buses_.clear();
+    escaped_map_.clear();
+    header_ports_.clear();
+    pending_assigns_.clear();
+
+    if (peekPunct('(')) {
+      lex_.next();
+      if (!peekPunct(')')) parsePortHeader();
+      expectPunct(')');
+    }
+    expectPunct(';');
+
+    while (!peekIdent("endmodule")) {
+      parseItem();
+    }
+    lex_.next();  // endmodule
+
+    resolveAssigns();
+  }
+
+  void parsePortHeader() {
+    for (;;) {
+      const Token& p = lex_.peek();
+      if (p.kind == TokKind::kIdent &&
+          (p.text == "input" || p.text == "output" || p.text == "inout")) {
+        // ANSI style: direction [range] name {, [direction [range]] name}
+        parseAnsiPortGroup();
+      } else {
+        Token t = expect(TokKind::kIdent, "port name");
+        header_ports_.push_back(canonName(t));
+      }
+      if (peekPunct(',')) {
+        lex_.next();
+        continue;
+      }
+      break;
+    }
+  }
+
+  void parseAnsiPortGroup() {
+    Token dir_tok = lex_.next();
+    PortDir dir = dir_tok.text == "input"    ? PortDir::kInput
+                  : dir_tok.text == "output" ? PortDir::kOutput
+                                             : PortDir::kInout;
+    if (peekIdent("wire") || peekIdent("reg")) lex_.next();
+    auto range = parseOptionalRange();
+    Token name = expect(TokKind::kIdent, "port name");
+    declarePorts(canonName(name), range, dir);
+  }
+
+  void parseItem() {
+    Token t = lex_.next();
+    if (t.kind != TokKind::kIdent) fail("expected module item");
+    if (t.text == "input" || t.text == "output" || t.text == "inout") {
+      PortDir dir = t.text == "input"    ? PortDir::kInput
+                    : t.text == "output" ? PortDir::kOutput
+                                         : PortDir::kInout;
+      if (peekIdent("wire") || peekIdent("reg")) lex_.next();
+      auto range = parseOptionalRange();
+      for (;;) {
+        Token name = expect(TokKind::kIdent, "port name");
+        declarePorts(canonName(name), range, dir);
+        if (peekPunct(',')) {
+          lex_.next();
+          continue;
+        }
+        break;
+      }
+      expectPunct(';');
+      return;
+    }
+    if (t.text == "wire" || t.text == "tri" || t.text == "reg") {
+      auto range = parseOptionalRange();
+      for (;;) {
+        Token name = expect(TokKind::kIdent, "net name");
+        declareNets(canonName(name), range);
+        if (peekPunct(',')) {
+          lex_.next();
+          continue;
+        }
+        break;
+      }
+      expectPunct(';');
+      return;
+    }
+    if (t.text == "supply0" || t.text == "supply1") {
+      bool one = t.text == "supply1";
+      for (;;) {
+        Token name = expect(TokKind::kIdent, "net name");
+        NetId id = netForBit(canonName(name), std::nullopt);
+        module_->net(id).driver =
+            TermRef{one ? TermKind::kConst1 : TermKind::kConst0, 0, 0};
+        if (peekPunct(',')) {
+          lex_.next();
+          continue;
+        }
+        break;
+      }
+      expectPunct(';');
+      return;
+    }
+    if (t.text == "assign") {
+      auto lhs = parseExpr();
+      expectPunct('=');
+      auto rhs = parseExpr();
+      expectPunct(';');
+      if (rhs.size() > lhs.size()) {
+        // Drop excess MSBs of an (unsized) constant.
+        rhs.erase(rhs.begin(),
+                  rhs.begin() + static_cast<std::ptrdiff_t>(rhs.size() - lhs.size()));
+      }
+      if (lhs.size() != rhs.size()) fail("assign width mismatch");
+      for (std::size_t i = 0; i < lhs.size(); ++i) {
+        if (!lhs[i].net.valid()) fail("assign to constant");
+        pending_assigns_.push_back({lhs[i].net, rhs[i]});
+      }
+      return;
+    }
+    // Otherwise: an instance.  t.text is the cell/module type name.
+    parseInstance(t.text);
+  }
+
+  struct PinBinding {
+    std::string pin;       // empty for positional
+    std::vector<BitRef> bits;
+    bool explicit_empty = false;  // .pin() with no expression
+  };
+
+  void parseInstance(const std::string& type) {
+    // Skip parameter lists: #( ... )
+    if (peekPunct('#')) {
+      lex_.next();
+      expectPunct('(');
+      int depth = 1;
+      while (depth > 0) {
+        Token t = lex_.next();
+        if (t.kind == TokKind::kEof) fail("unterminated parameter list");
+        if (t.kind == TokKind::kPunct && t.punct == '(') ++depth;
+        if (t.kind == TokKind::kPunct && t.punct == ')') --depth;
+      }
+    }
+    Token inst = expect(TokKind::kIdent, "instance name");
+    std::string inst_name = canonName(inst);
+    expectPunct('(');
+    std::vector<PinBinding> bindings;
+    bool named = peekPunct('.');
+    if (!peekPunct(')')) {
+      for (;;) {
+        PinBinding b;
+        if (named) {
+          expectPunct('.');
+          Token pin = expect(TokKind::kIdent, "pin name");
+          b.pin = pin.text;
+          expectPunct('(');
+          if (peekPunct(')')) {
+            b.explicit_empty = true;
+          } else {
+            b.bits = parseExpr();
+          }
+          expectPunct(')');
+        } else {
+          b.bits = parseExpr();
+        }
+        bindings.push_back(std::move(b));
+        if (peekPunct(',')) {
+          lex_.next();
+          continue;
+        }
+        break;
+      }
+    }
+    expectPunct(')');
+    expectPunct(';');
+    makeInstance(type, inst_name, named, bindings);
+  }
+
+  /// Width and direction of a pin of `type`; consults module definitions
+  /// first, then the external provider.
+  struct PinMeta {
+    PortDir dir = PortDir::kInput;
+    std::vector<std::string> bit_names;  // MSB-first scalar pin names
+  };
+
+  std::optional<PinMeta> pinMeta(const std::string& type,
+                                 const std::string& pin) {
+    if (const Module* sub = design_.findModule(type)) {
+      // Scalar port?
+      PortId pid = sub->findPort(pin);
+      if (pid.valid()) {
+        PinMeta m;
+        m.dir = sub->port(pid).dir;
+        m.bit_names = {pin};
+        return m;
+      }
+      // Bus port: collect bits, order by descending bit index (MSB first).
+      NameId bus_id = design_.names().find(pin);
+      if (bus_id.valid()) {
+        std::map<std::int32_t, std::pair<std::string, PortDir>, std::greater<>>
+            bits;
+        for (const Port& p : sub->ports()) {
+          if (p.bus.valid() && p.bus.bus == bus_id) {
+            bits.emplace(p.bus.bit,
+                         std::make_pair(
+                             std::string(design_.names().str(p.name)), p.dir));
+          }
+        }
+        if (!bits.empty()) {
+          PinMeta m;
+          m.dir = bits.begin()->second.second;
+          for (auto& [bit, np] : bits) m.bit_names.push_back(np.first);
+          return m;
+        }
+      }
+      return std::nullopt;
+    }
+    if (auto dir = types_.pinDir(type, pin)) {
+      PinMeta m;
+      m.dir = *dir;
+      m.bit_names = {pin};
+      return m;
+    }
+    return std::nullopt;
+  }
+
+  void makeInstance(const std::string& type, const std::string& inst_name,
+                    bool named, std::vector<PinBinding>& bindings) {
+    if (!named && !bindings.empty()) {
+      std::vector<std::string> order;
+      if (design_.findModule(type) != nullptr) {
+        // Positional connection to a submodule: reconstruct header order.
+        // We use declaration order of scalar ports / bus groups.
+        order = modulePinOrder(type);
+      } else {
+        order = types_.pinOrder(type);
+      }
+      if (order.size() < bindings.size()) {
+        fail("positional connection count exceeds pins of " + type);
+      }
+      for (std::size_t i = 0; i < bindings.size(); ++i) {
+        bindings[i].pin = order[i];
+      }
+    }
+    std::vector<Module::PinInit> pins;
+    for (PinBinding& b : bindings) {
+      auto meta = pinMeta(type, b.pin);
+      if (!meta) {
+        fail("unknown pin '" + b.pin + "' on cell type '" + type + "'");
+      }
+      if (b.explicit_empty) {
+        for (const std::string& bit_name : meta->bit_names) {
+          pins.push_back(Module::PinInit{bit_name, meta->dir, NetId{}});
+        }
+        continue;
+      }
+      if (b.bits.size() > meta->bit_names.size()) {
+        b.bits.erase(b.bits.begin(),
+                     b.bits.begin() + static_cast<std::ptrdiff_t>(
+                                          b.bits.size() - meta->bit_names.size()));
+      }
+      if (b.bits.size() != meta->bit_names.size()) {
+        fail("width mismatch on pin '" + b.pin + "' of '" + type + "'");
+      }
+      for (std::size_t i = 0; i < b.bits.size(); ++i) {
+        NetId net = b.bits[i].net;
+        if (!net.valid()) {
+          net = module_->constNet(b.bits[i].const_val);
+        }
+        pins.push_back(Module::PinInit{meta->bit_names[i], meta->dir, net});
+      }
+    }
+    module_->addCell(inst_name, type, pins);
+  }
+
+  std::vector<std::string> modulePinOrder(const std::string& type) {
+    std::vector<std::string> order;
+    const Module* sub = design_.findModule(type);
+    std::string last_bus;
+    for (const Port& p : sub->ports()) {
+      if (p.bus.valid()) {
+        std::string bus(design_.names().str(p.bus.bus));
+        if (bus != last_bus) {
+          order.push_back(bus);
+          last_bus = bus;
+        }
+      } else {
+        order.push_back(std::string(design_.names().str(p.name)));
+        last_bus.clear();
+      }
+    }
+    return order;
+  }
+
+  // --- assign folding ---------------------------------------------------
+
+  struct PendingAssign {
+    NetId lhs;
+    BitRef rhs;
+  };
+
+  void resolveAssigns() {
+    // Folding merges nets; later assigns may reference nets already merged
+    // away, so forward ids through the merge history.
+    std::unordered_map<std::uint32_t, NetId> forwarded;
+    auto resolve = [&](NetId id) {
+      for (;;) {
+        auto it = forwarded.find(id.value);
+        if (it == forwarded.end()) return id;
+        id = it->second;
+      }
+    };
+    auto merge = [&](NetId from, NetId to) {
+      module_->mergeNetInto(from, to);
+      forwarded.emplace(from.value, to);
+    };
+    for (const PendingAssign& a : pending_assigns_) {
+      NetId lhs_id = resolve(a.lhs);
+      Net& lhs = module_->net(lhs_id);
+      if (!a.rhs.net.valid()) {
+        // Constant drive.
+        if (lhs.driver.kind != TermKind::kNone) {
+          fail("assign target already driven: " +
+               std::string(module_->netName(lhs_id)));
+        }
+        lhs.driver = TermRef{
+            a.rhs.const_val ? TermKind::kConst1 : TermKind::kConst0, 0, 0};
+        continue;
+      }
+      if (!options_.fold_assigns) continue;
+      NetId rhs_id = resolve(a.rhs.net);
+      if (lhs_id == rhs_id) continue;
+      // `assign lhs = rhs` -> rhs drives lhs: merge lhs into rhs, unless lhs
+      // is itself a port-driven net (then merge rhs into lhs when rhs has no
+      // other driver).
+      const Net& lhs_net = module_->net(lhs_id);
+      if (lhs_net.driver.kind == TermKind::kNone) {
+        merge(lhs_id, rhs_id);
+      } else if (lhs_net.driver.isPort() &&
+                 module_->net(rhs_id).driver.kind == TermKind::kNone) {
+        merge(rhs_id, lhs_id);
+      } else {
+        fail("cannot fold assign onto driven net " +
+             std::string(module_->netName(lhs_id)));
+      }
+    }
+    pending_assigns_.clear();
+  }
+
+  Design& design_;
+  Lexer lex_;
+  const CellTypeProvider& types_;
+  VerilogReadOptions options_;
+
+  Module* module_ = nullptr;
+  std::string last_module_;
+  std::map<std::string, BusDecl> buses_;
+  std::map<std::string, std::string> escaped_map_;
+  std::vector<std::string> header_ports_;
+  std::vector<PendingAssign> pending_assigns_;
+};
+
+}  // namespace
+
+void readVerilog(Design& design, std::string_view source,
+                 const CellTypeProvider& types,
+                 const VerilogReadOptions& options,
+                 std::string_view top_hint) {
+  Parser parser(design, source, types, options);
+  parser.parseFile();
+  if (!top_hint.empty() && design.findModule(top_hint) != nullptr) {
+    design.setTop(top_hint);
+  } else if (!parser.lastModule().empty()) {
+    design.setTop(parser.lastModule());
+  }
+}
+
+void readVerilogFile(Design& design, const std::string& path,
+                     const CellTypeProvider& types,
+                     const VerilogReadOptions& options,
+                     std::string_view top_hint) {
+  std::ifstream in(path);
+  if (!in) throw VerilogError("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  readVerilog(design, ss.str(), types, options, top_hint);
+}
+
+}  // namespace desync::netlist

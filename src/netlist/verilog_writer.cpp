@@ -1,0 +1,234 @@
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "netlist/verilog.h"
+
+namespace desync::netlist {
+namespace {
+
+/// True when `name` can be emitted without escaping.
+bool isSimpleName(std::string_view name) {
+  if (name.empty()) return false;
+  if (std::isdigit(static_cast<unsigned char>(name.front())) != 0) return false;
+  for (char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c)) == 0 && c != '_' &&
+        c != '$') {
+      return false;
+    }
+  }
+  return true;
+}
+
+class Writer {
+ public:
+  explicit Writer(const Module& m) : m_(m) {}
+
+  std::string run() {
+    collectBuses();
+    emitHeader();
+    emitDeclarations();
+    emitInstances();
+    out_ << "endmodule\n";
+    return out_.str();
+  }
+
+ private:
+  struct BusInfo {
+    std::int32_t min_bit = 0;
+    std::int32_t max_bit = 0;
+    std::set<std::int32_t> bits;
+    [[nodiscard]] bool contiguous() const {
+      return static_cast<std::int32_t>(bits.size()) ==
+             max_bit - min_bit + 1;
+    }
+  };
+
+  /// Name of a net as referenced in expressions (bus select or escaped).
+  std::string ref(NetId id) const {
+    const Net& n = m_.net(id);
+    std::string_view name = m_.design().names().str(n.name);
+    if (n.bus.valid()) {
+      std::string bus(m_.design().names().str(n.bus.bus));
+      auto it = buses_.find(bus);
+      if (it != buses_.end() && it->second.contiguous()) {
+        return bus + "[" + std::to_string(n.bus.bit) + "]";
+      }
+    }
+    if (isSimpleName(name)) return std::string(name);
+    return "\\" + std::string(name) + " ";
+  }
+
+  std::string refName(std::string_view name) const {
+    if (isSimpleName(name)) return std::string(name);
+    return "\\" + std::string(name) + " ";
+  }
+
+  void collectBuses() {
+    m_.forEachNet([&](NetId id) {
+      const Net& n = m_.net(id);
+      if (!n.bus.valid()) return;
+      std::string bus(m_.design().names().str(n.bus.bus));
+      auto [it, inserted] = buses_.try_emplace(bus);
+      BusInfo& info = it->second;
+      if (inserted) {
+        info.min_bit = info.max_bit = n.bus.bit;
+      } else {
+        info.min_bit = std::min(info.min_bit, n.bus.bit);
+        info.max_bit = std::max(info.max_bit, n.bus.bit);
+      }
+      info.bits.insert(n.bus.bit);
+    });
+  }
+
+  void emitHeader() {
+    out_ << "module " << refName(m_.name()) << " (";
+    bool first = true;
+    std::string last_bus;
+    for (const Port& p : m_.ports()) {
+      std::string token;
+      if (p.bus.valid()) {
+        std::string bus(m_.design().names().str(p.bus.bus));
+        auto it = buses_.find(bus);
+        if (it != buses_.end() && it->second.contiguous()) {
+          if (bus == last_bus) continue;  // already listed
+          last_bus = bus;
+          token = refName(bus);
+        }
+      }
+      if (token.empty()) {
+        last_bus.clear();
+        token = refName(m_.design().names().str(p.name));
+      }
+      if (!first) out_ << ", ";
+      out_ << token;
+      first = false;
+    }
+    out_ << ");\n";
+  }
+
+  void emitDeclarations() {
+    // Port directions.
+    std::set<std::string> done_port_bus;
+    for (const Port& p : m_.ports()) {
+      const char* dir = p.dir == PortDir::kInput    ? "input"
+                        : p.dir == PortDir::kOutput ? "output"
+                                                    : "inout";
+      if (p.bus.valid()) {
+        std::string bus(m_.design().names().str(p.bus.bus));
+        auto it = buses_.find(bus);
+        if (it != buses_.end() && it->second.contiguous()) {
+          if (done_port_bus.insert(bus).second) {
+            out_ << "  " << dir << " [" << it->second.max_bit << ":"
+                 << it->second.min_bit << "] " << refName(bus) << ";\n";
+          }
+          continue;
+        }
+      }
+      out_ << "  " << dir << " "
+           << refName(m_.design().names().str(p.name)) << ";\n";
+    }
+    // Wire declarations (skip nets that are ports — Verilog implies them).
+    // A port declaration implicitly declares a net of the same name, so skip
+    // the wire declaration only when the connected net actually carries the
+    // port's name.
+    std::set<NetId> port_nets;
+    for (const Port& p : m_.ports()) {
+      if (p.net.valid() && m_.net(p.net).name == p.name) {
+        port_nets.insert(p.net);
+      }
+    }
+    std::set<std::string> done_wire_bus;
+    std::ostringstream consts;
+    m_.forEachNet([&](NetId id) {
+      const Net& n = m_.net(id);
+      const bool is_port_net = port_nets.count(id) != 0;
+      if (n.bus.valid()) {
+        std::string bus(m_.design().names().str(n.bus.bus));
+        auto it = buses_.find(bus);
+        if (it != buses_.end() && it->second.contiguous()) {
+          if (!is_port_net && done_port_bus.count(bus) == 0 &&
+              done_wire_bus.insert(bus).second) {
+            out_ << "  wire [" << it->second.max_bit << ":"
+                 << it->second.min_bit << "] " << refName(bus) << ";\n";
+          }
+          if (n.driver.isConst()) {
+            consts << "  assign " << ref(id) << " = 1'b"
+                   << (n.driver.kind == TermKind::kConst1 ? 1 : 0) << ";\n";
+          }
+          return;
+        }
+      }
+      if (!is_port_net) {
+        out_ << "  wire " << ref(id) << ";\n";
+      }
+      if (n.driver.isConst()) {
+        consts << "  assign " << ref(id) << " = 1'b"
+               << (n.driver.kind == TermKind::kConst1 ? 1 : 0) << ";\n";
+      }
+    });
+    out_ << consts.str();
+    // Ports whose connected net carries a different name need an explicit
+    // alias (this arises after cleaning passes merge nets across a removed
+    // buffer).
+    for (const Port& p : m_.ports()) {
+      if (!p.net.valid()) continue;
+      const Net& n = m_.net(p.net);
+      if (n.name == p.name) continue;
+      std::string port_ref = refName(m_.design().names().str(p.name));
+      if (p.dir == PortDir::kInput) {
+        out_ << "  assign " << ref(p.net) << " = " << port_ref << ";\n";
+      } else {
+        out_ << "  assign " << port_ref << " = " << ref(p.net) << ";\n";
+      }
+    }
+  }
+
+  void emitInstances() {
+    m_.forEachCell([&](CellId id) {
+      const Cell& c = m_.cell(id);
+      out_ << "  " << refName(m_.design().names().str(c.type)) << " "
+           << refName(m_.design().names().str(c.name)) << " (";
+      bool first = true;
+      for (const PinConn& pin : c.pins) {
+        if (!first) out_ << ", ";
+        first = false;
+        out_ << "." << m_.design().names().str(pin.name) << "(";
+        if (pin.net.valid()) out_ << ref(pin.net);
+        out_ << ")";
+      }
+      out_ << ");\n";
+    });
+  }
+
+  const Module& m_;
+  std::map<std::string, BusInfo> buses_;
+  std::ostringstream out_;
+};
+
+}  // namespace
+
+std::string writeVerilog(const Module& module) { return Writer(module).run(); }
+
+std::string writeVerilog(const Design& design) {
+  std::string out;
+  const Module* top = design.hasTop() ? &design.top() : nullptr;
+  design.forEachModule([&](const Module& m) {
+    if (&m == top) return;
+    out += writeVerilog(m);
+    out += "\n";
+  });
+  if (top != nullptr) out += writeVerilog(*top);
+  return out;
+}
+
+void writeVerilogFile(const Design& design, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw VerilogError("cannot open for write: " + path);
+  out << writeVerilog(design);
+}
+
+}  // namespace desync::netlist

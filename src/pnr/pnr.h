@@ -1,0 +1,85 @@
+// Backend "PnR-lite": placement, clock-tree synthesis and area reporting
+// (thesis §4.7, §5.2.1, §5.3.1).
+//
+// Substitutes for the Synopsys Astro step of the paper's flow.  It performs
+// the operations whose *results* the evaluation tables report:
+//   - clock-tree synthesis: balanced buffer trees on the clock (synchronous
+//     version) — the desynchronized version's enable trees were already
+//     built by the flow — which accounts for the paper's post-layout
+//     cell/net growth;
+//   - row-based placement in connectivity (BFS) order with half-perimeter
+//     wirelength;
+//   - a routability model that grows the core until estimated routing
+//     demand fits, yielding the core size and utilization figures of
+//     Tables 5.1/5.2.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "liberty/gatefile.h"
+#include "netlist/netlist.h"
+
+namespace desync::pnr {
+
+struct PnrOptions {
+  /// Placement row target utilization before routability adjustment.
+  double target_utilization = 0.96;
+  /// Max sinks per clock-tree buffer.
+  int cts_max_fanout = 12;
+  /// Clock/enable-like input ports to tree (empty entries ignored).
+  std::vector<std::string> clock_ports = {"clk"};
+  /// Routing supply per um^2 of core area (um of wire per um^2): 90nm-class
+  /// metal stack (4 routing layers at ~0.28um pitch, ~50% usable),
+  /// calibrated so the reference synchronous DLX lands near the paper's
+  /// 95% utilization.
+  double routing_supply = 20.0;
+  /// Average wire detour factor over HPWL.
+  double routing_detour = 1.35;
+  double row_height_um = 2.8;  ///< 90nm-class standard cell row height
+};
+
+/// Placement of one cell.
+struct Placement {
+  netlist::CellId cell;
+  double x = 0, y = 0;  ///< um, cell origin
+};
+
+struct PnrResult {
+  // Post-synthesis accounting (before CTS buffers).
+  std::size_t cells_pre = 0;
+  std::size_t nets_pre = 0;
+  double cell_area_pre = 0;  ///< um^2
+  double comb_area_pre = 0;
+  double seq_area_pre = 0;
+
+  // Post-layout accounting.
+  std::size_t cells_post = 0;
+  std::size_t nets_post = 0;
+  double std_cell_area = 0;  ///< um^2 incl. CTS buffers
+  double core_size = 0;      ///< um^2
+  double utilization = 0;    ///< std_cell_area / core_size
+  std::size_t cts_buffers = 0;
+
+  double total_hpwl_um = 0;  ///< half-perimeter wirelength
+  std::vector<Placement> placement;
+};
+
+/// Runs the backend on `module` (mutating: CTS buffers are inserted).
+PnrResult placeAndRoute(netlist::Module& module,
+                        const liberty::Gatefile& gatefile,
+                        const PnrOptions& options = {});
+
+/// Area accounting only (no placement, no mutation): the "post synthesis"
+/// rows of Tables 5.1/5.2.
+struct AreaStats {
+  std::size_t cells = 0;
+  std::size_t nets = 0;
+  double cell_area = 0;
+  double comb_area = 0;
+  double seq_area = 0;
+};
+AreaStats areaStats(const netlist::Module& module,
+                    const liberty::Gatefile& gatefile);
+
+}  // namespace desync::pnr

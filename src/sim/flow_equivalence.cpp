@@ -1,0 +1,87 @@
+#include "sim/flow_equivalence.h"
+
+#include <algorithm>
+
+namespace desync::sim {
+
+FlowEqReport checkFlowEquivalence(const Simulator& sync_sim,
+                                  const Simulator& desync_sim,
+                                  const FlowEqOptions& options) {
+  FlowEqReport report;
+  auto mapName = options.map_name
+                     ? options.map_name
+                     : [](const std::string& n) { return n + "_Ls"; };
+
+  for (const CaptureLog& sync_log : sync_sim.captures()) {
+    const CaptureLog* desync_log = desync_sim.captureOf(mapName(sync_log.element));
+    if (desync_log == nullptr) {
+      ++report.skipped;
+      continue;
+    }
+    // Strip leading X captures on both sides (pre-reset garbage).
+    auto firstKnown = [&](const std::vector<Val>& v) {
+      std::size_t i = 0;
+      if (options.skip_leading_x) {
+        while (i < v.size() && v[i] == Val::kX) ++i;
+      }
+      return i;
+    };
+    std::size_t si = firstKnown(sync_log.values);
+    const std::size_t di0 = firstKnown(desync_log->values);
+    if (std::min(sync_log.values.size() - si,
+                 desync_log->values.size() - di0) < options.min_common) {
+      ++report.skipped;
+      continue;
+    }
+    ++report.elements_compared;
+
+    // Try alignments: the desync side may lead with reset-epoch captures.
+    auto mismatchesAt = [&](std::size_t di, std::size_t* compared) {
+      const std::size_t common = std::min(sync_log.values.size() - si,
+                                          desync_log->values.size() - di);
+      std::size_t bad = 0;
+      for (std::size_t k = 0; k < common; ++k) {
+        if (sync_log.values[si + k] != desync_log->values[di + k]) ++bad;
+      }
+      *compared = common;
+      return bad;
+    };
+    std::size_t best_di = di0, best_bad = ~std::size_t{0}, best_common = 0;
+    for (std::size_t skip = 0; skip <= options.max_initial_skip; ++skip) {
+      const std::size_t di = di0 + skip;
+      if (di >= desync_log->values.size()) break;
+      std::size_t common = 0;
+      std::size_t bad = mismatchesAt(di, &common);
+      if (common < options.min_common) break;
+      if (bad < best_bad) {
+        best_bad = bad;
+        best_di = di;
+        best_common = common;
+      }
+      if (bad == 0) break;
+    }
+
+    report.values_compared += best_common;
+    if (best_bad != 0) {
+      report.mismatches += best_bad;
+      report.equivalent = false;
+      const std::size_t common = best_common;
+      for (std::size_t k = 0; k < common; ++k) {
+        Val a = sync_log.values[si + k];
+        Val b = desync_log->values[best_di + k];
+        if (a != b && report.details.size() < options.max_details) {
+          report.details.push_back(
+              sync_log.element + " capture #" + std::to_string(k) +
+              ": sync=" + toChar(a) + " desync=" + toChar(b));
+        }
+      }
+    }
+  }
+  if (report.elements_compared == 0) {
+    report.equivalent = false;
+    report.details.push_back("no comparable sequential elements");
+  }
+  return report;
+}
+
+}  // namespace desync::sim

@@ -1,0 +1,52 @@
+// Flow-equivalence checking (thesis §2.1).
+//
+// Desynchronization preserves flow-equivalence: every sequential element of
+// the desynchronized circuit stores exactly the same value sequence as its
+// synchronous counterpart.  This checker compares the capture logs recorded
+// by two simulations: the synchronous flip-flop's stored sequence against
+// the corresponding slave latch's stored sequence in the desynchronized
+// version.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace desync::sim {
+
+struct FlowEqReport {
+  bool equivalent = true;
+  std::size_t elements_compared = 0;
+  std::size_t values_compared = 0;
+  std::size_t mismatches = 0;
+  std::size_t skipped = 0;          ///< sync elements without a counterpart
+  std::vector<std::string> details;  ///< first few mismatch descriptions
+};
+
+struct FlowEqOptions {
+  /// Maps a synchronous flip-flop cell name to the desynchronized slave
+  /// latch cell name.  Default: append "_Ls" (drdesync's naming).
+  std::function<std::string(const std::string&)> map_name;
+  /// Minimum number of common captures an element must have for the
+  /// comparison to count (shorter logs are reported as skipped).
+  std::size_t min_common = 2;
+  /// Ignore leading X captures (before reset propagated).
+  bool skip_leading_x = true;
+  /// The desynchronized side may record extra reset-epoch captures: latches
+  /// with asynchronous controls are forced transparent during reset
+  /// (Fig 3.1c) and log the reset value when the forcing releases.  Up to
+  /// this many leading desync captures may be skipped to align the
+  /// sequences; the remainder must then match exactly.
+  std::size_t max_initial_skip = 2;
+  std::size_t max_details = 8;
+};
+
+/// Compares the stored-value sequences of every sequential element of
+/// `sync_sim` against the mapped element of `desync_sim`.
+FlowEqReport checkFlowEquivalence(const Simulator& sync_sim,
+                                  const Simulator& desync_sim,
+                                  const FlowEqOptions& options = {});
+
+}  // namespace desync::sim

@@ -1,0 +1,38 @@
+#include "sim/power.h"
+
+namespace desync::sim {
+
+PowerReport estimatePower(const Simulator& sim,
+                          const liberty::Gatefile& gatefile, Time window_ps,
+                          const PowerOptions& options) {
+  if (window_ps <= 0) throw SimError("power window must be positive");
+  const netlist::Module& m = sim.module();
+  const liberty::Library& lib = gatefile.library();
+
+  PowerReport report;
+  // Switched energy: every 0<->1 toggle charges the net load plus the
+  // driver's internal capacitance.  E = 1/2 C V^2; with C in pF and V in
+  // volts the energy comes out in pJ.
+  const double v2 = options.vdd * options.vdd;
+  m.forEachNet([&](netlist::NetId id) {
+    const std::uint64_t n = sim.toggles()[id.value];
+    if (n == 0) return;
+    report.toggles += n;
+    const double cap = sim.netLoads()[id.value] + options.internal_cap_pf;
+    report.switched_energy_pj += 0.5 * cap * v2 * static_cast<double>(n);
+  });
+  // pJ / ns = mW.
+  report.dynamic_mw = report.switched_energy_pj / psToNs(window_ps);
+
+  // Leakage: sum of Liberty cell leakage (nW).
+  double leak_nw = 0.0;
+  m.forEachCell([&](netlist::CellId id) {
+    if (const liberty::LibCell* c = lib.findCell(m.cellType(id))) {
+      leak_nw += c->leakage;
+    }
+  });
+  report.leakage_mw = leak_nw * 1e-6;
+  return report;
+}
+
+}  // namespace desync::sim

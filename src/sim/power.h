@@ -1,0 +1,36 @@
+// Activity-based power estimation (thesis §5.2.3).
+//
+// The original flow dumped VCD, converted it to SAIF and fed Design Compiler
+// for power reports.  Here the simulator's per-net toggle counters play the
+// SAIF role: dynamic power is the switched-capacitance energy over the
+// simulated window, leakage comes from the Liberty cell leakage numbers.
+#pragma once
+
+#include "liberty/gatefile.h"
+#include "sim/simulator.h"
+
+namespace desync::sim {
+
+struct PowerReport {
+  double dynamic_mw = 0.0;
+  double leakage_mw = 0.0;
+  [[nodiscard]] double total_mw() const { return dynamic_mw + leakage_mw; }
+  double switched_energy_pj = 0.0;  ///< total switched energy in the window
+  std::uint64_t toggles = 0;
+};
+
+struct PowerOptions {
+  double vdd = 1.0;  ///< supply voltage (V); corners override
+  /// Internal switching capacitance charged per output toggle, on top of
+  /// the external net load (pF).  Calibration constant for short-circuit +
+  /// internal node power.
+  double internal_cap_pf = 0.0015;
+};
+
+/// Estimates power over the window [0, window_ps] from the simulator's
+/// toggle counts.  Run the simulation first.
+PowerReport estimatePower(const Simulator& sim,
+                          const liberty::Gatefile& gatefile, Time window_ps,
+                          const PowerOptions& options = {});
+
+}  // namespace desync::sim

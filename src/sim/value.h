@@ -1,0 +1,30 @@
+// Three-valued simulation logic (0 / 1 / X).
+#pragma once
+
+#include <cstdint>
+
+namespace desync::sim {
+
+enum class Val : std::uint8_t { k0 = 0, k1 = 1, kX = 2 };
+
+[[nodiscard]] constexpr bool isKnown(Val v) { return v != Val::kX; }
+[[nodiscard]] constexpr Val fromBool(bool b) { return b ? Val::k1 : Val::k0; }
+[[nodiscard]] constexpr char toChar(Val v) {
+  return v == Val::k0 ? '0' : v == Val::k1 ? '1' : 'x';
+}
+[[nodiscard]] constexpr Val invert(Val v) {
+  return v == Val::kX ? Val::kX : fromBool(v == Val::k0);
+}
+
+/// Simulation time in picoseconds.
+using Time = std::int64_t;
+
+constexpr double kPsPerNs = 1000.0;
+[[nodiscard]] constexpr Time nsToPs(double ns) {
+  return static_cast<Time>(ns * kPsPerNs + 0.5);
+}
+[[nodiscard]] constexpr double psToNs(Time ps) {
+  return static_cast<double>(ps) / kPsPerNs;
+}
+
+}  // namespace desync::sim

@@ -1,0 +1,68 @@
+#include "sim/vcd.h"
+
+#include <fstream>
+
+namespace desync::sim {
+
+struct VcdWriter::Impl {
+  std::ofstream out;
+  Time last_time = -1;
+
+  void emit(Time t, const std::string& code, Val v) {
+    if (t != last_time) {
+      out << "#" << t << "\n";
+      last_time = t;
+    }
+    out << toChar(v) << code << "\n";
+  }
+};
+
+namespace {
+
+/// VCD identifier codes: printable ASCII 33..126, multi-char as needed.
+std::string vcdCode(std::size_t index) {
+  std::string code;
+  do {
+    code.push_back(static_cast<char>(33 + index % 94));
+    index /= 94;
+  } while (index > 0);
+  return code;
+}
+
+}  // namespace
+
+VcdWriter::VcdWriter(Simulator& sim, const std::string& path,
+                     const std::vector<std::string>& nets)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->out.open(path);
+  if (!impl_->out) throw SimError("cannot open VCD file: " + path);
+
+  std::vector<std::string> watch = nets;
+  if (watch.empty()) {
+    for (const netlist::Port& p : sim.module().ports()) {
+      watch.push_back(
+          std::string(sim.module().design().names().str(p.name)));
+    }
+  }
+
+  auto& out = impl_->out;
+  out << "$timescale 1ps $end\n$scope module "
+      << std::string(sim.module().name()) << " $end\n";
+  for (std::size_t i = 0; i < watch.size(); ++i) {
+    std::string code = vcdCode(i);
+    out << "$var wire 1 " << code << " " << watch[i] << " $end\n";
+  }
+  out << "$upscope $end\n$enddefinitions $end\n#0\n";
+  impl_->last_time = 0;
+  for (std::size_t i = 0; i < watch.size(); ++i) {
+    std::string code = vcdCode(i);
+    out << toChar(sim.value(watch[i])) << code << "\n";
+    Impl* impl = impl_.get();
+    sim.watchNet(watch[i],
+                 [impl, code](Time t, Val v) { impl->emit(t, code, v); });
+  }
+}
+
+VcdWriter::~VcdWriter() = default;
+
+}  // namespace desync::sim

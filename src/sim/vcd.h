@@ -1,0 +1,34 @@
+// VCD (Value Change Dump) waveform writer.
+//
+// The original flow wrote VCD during simulation and converted it to SAIF
+// activity for power analysis (thesis §5.2.3); here the VCD serves waveform
+// inspection while the power model taps the simulator's toggle counters
+// directly.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace desync::sim {
+
+/// Streams value changes of selected nets to a VCD file.  Attach before
+/// running; the file is finalized on destruction.
+class VcdWriter {
+ public:
+  /// Watches `nets` (net or port names); empty = all named ports.
+  VcdWriter(Simulator& sim, const std::string& path,
+            const std::vector<std::string>& nets);
+  ~VcdWriter();
+
+  VcdWriter(const VcdWriter&) = delete;
+  VcdWriter& operator=(const VcdWriter&) = delete;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace desync::sim

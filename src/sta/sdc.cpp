@@ -1,0 +1,191 @@
+#include "sta/sdc.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace desync::sta {
+
+namespace {
+
+/// Splits SDC text into tokens, treating []{} as standalone punctuation.
+std::vector<std::string> tokenize(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::string cur;
+  auto flush = [&] {
+    if (!cur.empty()) {
+      tokens.push_back(cur);
+      cur.clear();
+    }
+  };
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c == '#') {
+      while (i < text.size() && text[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0 || c == '\n') {
+      flush();
+      if (c == '\n') tokens.push_back("\n");
+      continue;
+    }
+    if (c == '[' || c == ']' || c == '{' || c == '}') {
+      flush();
+      tokens.push_back(std::string(1, c));
+      continue;
+    }
+    if (c == '"') {
+      flush();
+      ++i;
+      while (i < text.size() && text[i] != '"') cur.push_back(text[i++]);
+      flush();
+      continue;
+    }
+    cur.push_back(c);
+  }
+  flush();
+  return tokens;
+}
+
+}  // namespace
+
+std::string SdcFile::toText() const {
+  std::ostringstream out;
+  out << "# drdesync generated constraints\n";
+  for (const SdcClock& c : clocks) {
+    out << "create_clock -name \"" << c.name << "\" -period " << c.period_ns
+        << " -waveform {" << c.rise_at_ns << " " << c.fall_at_ns << "} ["
+        << (c.targets_are_pins ? "get_pins" : "get_ports") << " {";
+    for (std::size_t i = 0; i < c.targets.size(); ++i) {
+      if (i > 0) out << " ";
+      out << c.targets[i];
+    }
+    out << "}]\n";
+  }
+  for (const DisabledArc& d : disabled) {
+    out << "set_disable_timing [get_cells {" << d.cell << "}]";
+    if (!d.from_pin.empty()) out << " -from " << d.from_pin;
+    out << "\n";
+  }
+  for (const std::string& s : size_only) {
+    out << "set_size_only [get_cells {" << s << "}]\n";
+  }
+  for (const SdcPathDelay& p : path_delays) {
+    out << (p.is_max ? "set_max_delay" : "set_min_delay") << " " << p.value_ns
+        << " -from " << p.from << " -to " << p.to << "\n";
+  }
+  return out.str();
+}
+
+SdcFile SdcFile::parse(const std::string& text) {
+  SdcFile sdc;
+  std::vector<std::string> tokens = tokenize(text);
+  std::size_t i = 0;
+
+  auto at = [&](std::size_t k) -> const std::string& {
+    static const std::string empty;
+    return k < tokens.size() ? tokens[k] : empty;
+  };
+  auto expect = [&](const std::string& t) {
+    if (at(i) != t) throw SdcError("expected '" + t + "' got '" + at(i) + "'");
+    ++i;
+  };
+  auto number = [&]() {
+    try {
+      return std::stod(tokens.at(i++));
+    } catch (const std::exception&) {
+      throw SdcError("expected number in SDC");
+    }
+  };
+  /// Parses [get_xxx {a b}] or [get_xxx a]; returns the names and whether
+  /// the collection was pins.
+  auto collection = [&](bool* is_pins) {
+    std::vector<std::string> names;
+    expect("[");
+    std::string kind = at(i++);
+    if (is_pins != nullptr) *is_pins = kind == "get_pins";
+    if (at(i) == "{") {
+      ++i;
+      while (at(i) != "}" && i < tokens.size()) names.push_back(tokens[i++]);
+      expect("}");
+    } else {
+      names.push_back(tokens[i++]);
+    }
+    expect("]");
+    return names;
+  };
+
+  while (i < tokens.size()) {
+    const std::string& cmd = tokens[i];
+    if (cmd == "\n") {
+      ++i;
+      continue;
+    }
+    if (cmd == "create_clock") {
+      ++i;
+      SdcClock clock;
+      while (i < tokens.size() && at(i) != "\n") {
+        if (at(i) == "-name") {
+          ++i;
+          clock.name = tokens.at(i++);
+        } else if (at(i) == "-period") {
+          ++i;
+          clock.period_ns = number();
+        } else if (at(i) == "-waveform") {
+          ++i;
+          expect("{");
+          clock.rise_at_ns = number();
+          clock.fall_at_ns = number();
+          expect("}");
+        } else if (at(i) == "[") {
+          clock.targets = collection(&clock.targets_are_pins);
+        } else {
+          ++i;
+        }
+      }
+      sdc.clocks.push_back(std::move(clock));
+      continue;
+    }
+    if (cmd == "set_disable_timing") {
+      ++i;
+      DisabledArc d;
+      auto cells = collection(nullptr);
+      if (!cells.empty()) d.cell = cells[0];
+      if (at(i) == "-from") {
+        ++i;
+        d.from_pin = tokens.at(i++);
+      }
+      sdc.disabled.push_back(std::move(d));
+      continue;
+    }
+    if (cmd == "set_size_only") {
+      ++i;
+      for (const std::string& c : collection(nullptr)) {
+        sdc.size_only.push_back(c);
+      }
+      continue;
+    }
+    if (cmd == "set_max_delay" || cmd == "set_min_delay") {
+      SdcPathDelay p;
+      p.is_max = cmd == "set_max_delay";
+      ++i;
+      p.value_ns = number();
+      while (i < tokens.size() && at(i) != "\n") {
+        if (at(i) == "-from") {
+          ++i;
+          p.from = tokens.at(i++);
+        } else if (at(i) == "-to") {
+          ++i;
+          p.to = tokens.at(i++);
+        } else {
+          ++i;
+        }
+      }
+      sdc.path_delays.push_back(std::move(p));
+      continue;
+    }
+    throw SdcError("unknown SDC command: " + cmd);
+  }
+  return sdc;
+}
+
+}  // namespace desync::sta

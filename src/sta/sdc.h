@@ -1,0 +1,52 @@
+// Synopsys Design Constraints (SDC) subset.
+//
+// drdesync exports the backend timing constraints as SDC (thesis §4.4-§4.6):
+// the master/slave latch-enable clocks replacing the original clock
+// definition (Fig 4.2), the set_disable_timing cuts breaking the controller
+// timing loops (Fig 4.5) and set_size_only markers keeping resynthesis away
+// from the hazard-free controllers.  Reader and writer round-trip this
+// subset so the backend stage can consume the constraints from text.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sta/sta.h"
+
+namespace desync::sta {
+
+class SdcError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// create_clock -name N -period P -waveform {rise fall} [get_ports/pins T..]
+struct SdcClock {
+  std::string name;
+  double period_ns = 0.0;
+  double rise_at_ns = 0.0;
+  double fall_at_ns = 0.0;
+  std::vector<std::string> targets;
+  bool targets_are_pins = false;  ///< get_pins vs get_ports
+};
+
+/// set_max_delay/set_min_delay -from F -to T V
+struct SdcPathDelay {
+  bool is_max = true;
+  double value_ns = 0.0;
+  std::string from;
+  std::string to;
+};
+
+struct SdcFile {
+  std::vector<SdcClock> clocks;
+  std::vector<DisabledArc> disabled;   ///< set_disable_timing
+  std::vector<std::string> size_only;  ///< set_size_only targets
+  std::vector<SdcPathDelay> path_delays;
+
+  [[nodiscard]] std::string toText() const;
+  static SdcFile parse(const std::string& text);
+};
+
+}  // namespace desync::sta

@@ -1,0 +1,93 @@
+// Desynchronization handshake protocols (thesis §2.2, Fig 2.4).
+//
+// A protocol constrains the enable signals A (upstream latch) and B
+// (downstream latch) of two latches in sequence.  Fig 2.4 orders five
+// protocols by allowed concurrency and classifies them: the most concurrent
+// ("fall-decoupled", 10 states) is live but NOT flow-equivalent (data can be
+// overwritten); the least concurrent ("non-overlapping", 4 states) is not
+// live when composed in rings; the middle three (de-synchronization model 8,
+// semi-decoupled 6, simple 5) are live and flow-equivalent.
+//
+// Each protocol is a set of cross-causality arcs between the A+/A-/B+/B-
+// transitions, layered on top of the per-signal alternation cycle.  Flow
+// equivalence is checked *semantically* here: a datum-flow monitor runs over
+// every reachable trace and verifies that the sequence of values committed
+// into B (at each B- closing edge) is exactly datum 1, 2, 3, ... — i.e. the
+// same sequence a synchronous latch would store.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "stg/stg.h"
+
+namespace desync::stg {
+
+/// Protocols of thesis Fig 2.4, most concurrent first.
+enum class Protocol {
+  kFallDecoupled,   ///< Furber&Day fully/rise-decoupled family; 10 states
+  kDesyncModel,     ///< de-synchronization model; 8 states
+  kSemiDecoupled,   ///< Furber&Day semi-decoupled; 6 states
+  kSimple,          ///< Furber&Day simple; 5 states
+  kNonOverlapping,  ///< non-overlapping clocks; 4 states
+};
+
+[[nodiscard]] const char* protocolName(Protocol p);
+
+/// Events of the two-latch abstraction.
+enum class Evt : std::uint8_t { kAp, kAm, kBp, kBm };
+
+/// One cross-causality arc of a protocol template.
+struct ProtocolArc {
+  Evt from;
+  Evt to;
+  /// Tokens on the arc's place in the canonical pair STG (A master first).
+  std::uint8_t marked = 0;
+};
+
+/// The arc set defining each protocol.
+[[nodiscard]] std::vector<ProtocolArc> protocolArcs(Protocol p);
+
+/// Builds the canonical two-latch STG: signals "A" and "B", per-signal
+/// alternation (x- -> x+ marked) plus the protocol's cross arcs.
+[[nodiscard]] Stg makePairStg(Protocol p);
+/// Same, from an explicit arc set (used by the protocol-lattice search).
+[[nodiscard]] Stg makePairStg(const std::vector<ProtocolArc>& arcs);
+
+/// Builds a ring of `n` latches L0 -> L1 -> ... -> L(n-1) -> L0 with the
+/// protocol applied between each adjacent pair.  Forward ("data ready")
+/// arcs are initially marked when the upstream latch is odd, modelling the
+/// reset state in which slave latch outputs hold valid data; backward
+/// ("space available") arcs are always marked.  Used for the liveness
+/// classification: non-overlapping deadlocks in rings.
+[[nodiscard]] Stg makeRingStg(Protocol p, int n);
+
+/// Result of the semantic flow-equivalence check.
+struct FlowEqResult {
+  bool holds = true;
+  std::string violation;     ///< first offending trace condition
+  std::size_t states = 0;    ///< product states explored
+};
+
+/// Runs the datum-flow monitor over every reachable trace of `stg`, where
+/// `a` / `b` are the upstream / downstream latch enable signals.  Initially
+/// both latches are opaque and datum 0 (the reset value) sits in both.
+[[nodiscard]] FlowEqResult checkFlowEquivalence(const Stg& stg, SignalIdx a,
+                                                SignalIdx b);
+/// Convenience overload on the canonical pair STG.
+[[nodiscard]] FlowEqResult checkFlowEquivalence(Protocol p);
+
+/// Full classification of one protocol: pair-STG state count, liveness of
+/// the pair and of ring compositions, and flow-equivalence.
+struct ProtocolClass {
+  Protocol protocol;
+  std::size_t pair_states = 0;
+  bool pair_live = false;
+  bool ring_live = false;  ///< live in a 4-latch ring (2 master/slave pairs)
+  bool flow_equivalent = false;
+};
+
+[[nodiscard]] ProtocolClass classifyProtocol(Protocol p);
+
+}  // namespace desync::stg

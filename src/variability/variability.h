@@ -1,0 +1,73 @@
+// PVT corner and manufacturing-variability model (thesis ch.1, §2.5, §5.2.2).
+//
+// The paper's library ships best- and worst-case corners only (footnote in
+// §5); the typical point sits between them, and the desynchronized circuit's
+// effective speed across fabricated parts is modelled — exactly as the
+// thesis does for Fig 5.4 — as a normal distribution spanning the two
+// extreme corners ("exactly like SSTA does for variability factors").
+//
+// Two variability components are modelled:
+//   * inter-die (global): one delay multiplier per chip sample, shared by
+//     every cell — this is what delay elements track perfectly, because
+//     they live on the same die as the logic they match;
+//   * intra-die (local): a small per-cell multiplier, deterministic per
+//     (seed, sample, cell-name) so simulations are reproducible.  This is
+//     the component the delay-element margin must absorb.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace desync::variability {
+
+enum class Corner { kBest, kTypical, kWorst };
+
+struct CornerSpec {
+  const char* name;
+  double delay_scale;  ///< multiplier on nominal (typical) delays
+  double vdd;          ///< supply voltage at the corner (V)
+};
+
+/// 90nm-class corner definitions (typical = 1.0x at 1.2V; best ≈ fast
+/// process / high V / low T; worst ≈ slow / low V / high T).
+[[nodiscard]] CornerSpec cornerSpec(Corner corner);
+
+/// Variation magnitudes, as fractions of nominal delay.
+struct VariationModel {
+  double inter_die_sigma = 0.0;  ///< set from corners by makeSpanModel()
+  double intra_die_sigma = 0.03;
+  std::uint64_t seed = 1;
+};
+
+/// Model whose inter-die +-3 sigma spread spans exactly [best, worst]
+/// corner delay scales, per the thesis Fig 5.4 construction.
+[[nodiscard]] VariationModel makeSpanModel(std::uint64_t seed = 1);
+
+/// One sampled chip: a global factor plus a per-cell local factor function.
+struct ChipSample {
+  double global = 1.0;  ///< inter-die delay multiplier
+  /// Local multiplier for a named cell instance (deterministic).
+  std::function<double(std::string_view)> cell_factor;
+  /// Combined factor for a cell: global * local.
+  [[nodiscard]] double factor(std::string_view cell) const {
+    return global * (cell_factor ? cell_factor(cell) : 1.0);
+  }
+};
+
+/// Draws chip sample `index` from the model (Monte-Carlo over dies).
+[[nodiscard]] ChipSample sampleChip(const VariationModel& model,
+                                    std::uint64_t index);
+
+/// Inter-die delay scale at cumulative probability `q` in (0,1): the normal
+/// quantile of the Fig 5.4 distribution.  q=0.5 gives the typical scale.
+[[nodiscard]] double interDieScaleAtQuantile(double q);
+
+/// Standard normal quantile (inverse CDF), exposed for the benches.
+[[nodiscard]] double normalQuantile(double q);
+
+/// Standard normal CDF.
+[[nodiscard]] double normalCdf(double x);
+
+}  // namespace desync::variability

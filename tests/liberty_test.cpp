@@ -1,0 +1,281 @@
+// Unit tests for boolean expressions, Liberty IO and gatefile classification.
+#include <gtest/gtest.h>
+
+#include "liberty/bool_expr.h"
+#include "liberty/gatefile.h"
+#include "liberty/liberty_io.h"
+#include "liberty/stdlib90.h"
+
+namespace lib = desync::liberty;
+
+namespace {
+
+TEST(BoolExpr, BasicOperators) {
+  auto tt = [](const char* s) { return lib::BoolExpr::parse(s).truthTable(); };
+  EXPECT_EQ(tt("A"), 0b10u);
+  EXPECT_EQ(tt("A'"), 0b01u);
+  EXPECT_EQ(tt("!A"), 0b01u);
+  EXPECT_EQ(tt("(A*B)"), 0b1000u);
+  EXPECT_EQ(tt("(A+B)"), 0b1110u);
+  EXPECT_EQ(tt("(A^B)"), 0b0110u);
+  EXPECT_EQ(tt("(A*B)'"), 0b0111u);
+  EXPECT_EQ(tt("(A&B)"), 0b1000u);
+  EXPECT_EQ(tt("(A|B)"), 0b1110u);
+  EXPECT_EQ(tt("A B"), 0b1000u);  // juxtaposition = AND
+}
+
+TEST(BoolExpr, PrecedenceAndNesting) {
+  // OR lowest, then XOR, then AND, then NOT.
+  auto e = lib::BoolExpr::parse("A*B+C");
+  // vars order: A,B,C; expect (A&B)|C
+  std::uint64_t expect = 0;
+  for (int row = 0; row < 8; ++row) {
+    bool a = row & 1, b = row & 2, c = row & 4;
+    if ((a && b) || c) expect |= 1ull << row;
+  }
+  EXPECT_EQ(e.truthTable(), expect);
+
+  auto scan = lib::BoolExpr::parse("((SE*SI)+(SE'*D))");
+  EXPECT_EQ(scan.vars().size(), 3u);
+}
+
+TEST(BoolExpr, EvalAndStr) {
+  auto e = lib::BoolExpr::parse("((S*B)+(S'*A))");
+  // vars: S, B, A
+  EXPECT_TRUE(e.eval({true, true, false}));
+  EXPECT_FALSE(e.eval({true, false, true}));
+  EXPECT_TRUE(e.eval({false, false, true}));
+  // str() must re-parse to the same function.
+  auto e2 = lib::BoolExpr::parse(e.str());
+  EXPECT_EQ(e.truthTable(), e2.truthTable());
+}
+
+TEST(BoolExpr, Literal) {
+  std::string var;
+  bool neg = false;
+  EXPECT_TRUE(lib::BoolExpr::parse("IQ").isLiteral(&var, &neg));
+  EXPECT_EQ(var, "IQ");
+  EXPECT_FALSE(neg);
+  EXPECT_TRUE(lib::BoolExpr::parse("CDN'").isLiteral(&var, &neg));
+  EXPECT_EQ(var, "CDN");
+  EXPECT_TRUE(neg);
+  EXPECT_FALSE(lib::BoolExpr::parse("(A*B)").isLiteral(&var, &neg));
+}
+
+TEST(BoolExpr, Errors) {
+  EXPECT_THROW(lib::BoolExpr::parse("(A*B"), lib::BoolExprError);
+  EXPECT_THROW(lib::BoolExpr::parse("A )"), lib::BoolExprError);
+  EXPECT_THROW(lib::BoolExpr::parse(""), lib::BoolExprError);
+}
+
+TEST(Liberty, LibraryRoundTrip) {
+  lib::Library l1 = lib::makeStdLib90(lib::LibVariant::kHighSpeed);
+  std::string text = lib::writeLiberty(l1);
+  lib::Library l2 = lib::readLiberty(text);
+  EXPECT_EQ(l2.name, l1.name);
+  EXPECT_EQ(l2.size(), l1.size());
+
+  const lib::LibCell& nd2 = l2.cell("ND2");
+  EXPECT_EQ(nd2.kind, lib::CellKind::kCombinational);
+  EXPECT_DOUBLE_EQ(nd2.area, 3.7);
+  ASSERT_NE(nd2.findPin("Z"), nullptr);
+  EXPECT_EQ(nd2.findPin("Z")->function.truthTable(),
+            lib::BoolExpr::parse("(A*B)'").truthTable());
+  EXPECT_EQ(nd2.findPin("Z")->arcs.size(), 2u);
+  EXPECT_GT(nd2.findPin("Z")->arcs[0].intrinsic_rise, 0.0);
+
+  const lib::LibCell& dff = l2.cell("DFF");
+  EXPECT_EQ(dff.kind, lib::CellKind::kFlipFlop);
+  ASSERT_TRUE(dff.seq.has_value());
+  EXPECT_EQ(dff.seq->clocked_on, "CP");
+  EXPECT_EQ(dff.seq->next_state, "D");
+
+  const lib::LibCell& ld = l2.cell("LD");
+  EXPECT_EQ(ld.kind, lib::CellKind::kLatch);
+  EXPECT_EQ(ld.seq->enable, "G");
+}
+
+TEST(Liberty, SkipsUnknownGroupsAndComments) {
+  const char* text = R"(
+    /* header comment */
+    library (mini) {
+      operating_conditions (typ) { process : 1; temperature : 25; }
+      wire_load ("small") { resistance : 0; }
+      cell (INVX1) {
+        area : 1.0;
+        pin (A) { direction : input; capacitance : 0.002; }
+        pin (Y) { direction : output; function : "A'";
+          timing () { related_pin : "A"; intrinsic_rise : 0.03;
+                      intrinsic_fall : 0.03; rise_resistance : 1.1;
+                      fall_resistance : 1.0; }
+        }
+      }
+    }
+  )";
+  lib::Library l = lib::readLiberty(text);
+  EXPECT_EQ(l.name, "mini");
+  EXPECT_EQ(l.size(), 1u);
+  EXPECT_TRUE(l.cell("INVX1").findPin("Y")->function.isLiteral(nullptr,
+                                                               nullptr));
+}
+
+TEST(Liberty, ParseErrors) {
+  EXPECT_THROW(lib::readLiberty("cell (X) {}"), lib::LibertyParseError);
+  EXPECT_THROW(lib::readLiberty("library (x) { cell (A) { area : oops; } }"),
+               lib::LibertyParseError);
+}
+
+TEST(Liberty, LowLeakageVariantScales) {
+  lib::Library hs = lib::makeStdLib90(lib::LibVariant::kHighSpeed);
+  lib::Library ll = lib::makeStdLib90(lib::LibVariant::kLowLeakage);
+  const lib::TimingArc& hs_arc = hs.cell("ND2").findPin("Z")->arcs[0];
+  const lib::TimingArc& ll_arc = ll.cell("ND2").findPin("Z")->arcs[0];
+  EXPECT_GT(ll_arc.intrinsic_rise, hs_arc.intrinsic_rise * 1.5);
+  EXPECT_LT(ll.cell("ND2").leakage, hs.cell("ND2").leakage * 0.1);
+  // Same footprint: area identical across variants.
+  EXPECT_DOUBLE_EQ(ll.cell("ND2").area, hs.cell("ND2").area);
+}
+
+// ------------------------------------------------------------- Gatefile
+
+const lib::Gatefile& gf() {
+  static const lib::Library l = lib::makeStdLib90(lib::LibVariant::kHighSpeed);
+  static const lib::Gatefile g(l);
+  return g;
+}
+
+TEST(Gatefile, ClassifiesCombinational) {
+  EXPECT_TRUE(gf().isCombinational("ND2"));
+  EXPECT_FALSE(gf().isSequential("ND2"));
+  EXPECT_TRUE(gf().isBuffer("BF"));
+  EXPECT_FALSE(gf().isBuffer("IV"));
+  EXPECT_TRUE(gf().isInverter("IV"));
+  EXPECT_FALSE(gf().isInverter("ND2"));
+}
+
+TEST(Gatefile, ClassifiesPlainFlipFlop) {
+  const lib::SeqClass* sc = gf().seqClass("DFF");
+  ASSERT_NE(sc, nullptr);
+  EXPECT_EQ(sc->clock_pin, "CP");
+  EXPECT_FALSE(sc->clock_inverted);
+  EXPECT_EQ(sc->data_pin, "D");
+  EXPECT_EQ(sc->q_pin, "Q");
+  EXPECT_EQ(sc->qn_pin, "QN");
+  EXPECT_FALSE(sc->isScan());
+  EXPECT_TRUE(sc->sync_pin.empty());
+  EXPECT_TRUE(sc->async_clear_pin.empty());
+}
+
+TEST(Gatefile, ClassifiesAsyncControls) {
+  const lib::SeqClass* r = gf().seqClass("DFFR");
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->async_clear_pin, "CDN");
+  EXPECT_TRUE(r->async_clear_active_low);
+  const lib::SeqClass* s = gf().seqClass("DFFS");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->async_preset_pin, "SDN");
+  EXPECT_TRUE(s->async_preset_active_low);
+}
+
+TEST(Gatefile, ClassifiesScanFlipFlopStructurally) {
+  const lib::SeqClass* sc = gf().seqClass("SDFF");
+  ASSERT_NE(sc, nullptr);
+  EXPECT_TRUE(sc->isScan());
+  EXPECT_EQ(sc->scan_enable, "SE");
+  EXPECT_EQ(sc->scan_in, "SI");
+  EXPECT_EQ(sc->data_pin, "D");
+}
+
+TEST(Gatefile, ClassifiesSyncReset) {
+  const lib::SeqClass* sc = gf().seqClass("DFFSYNR");
+  ASSERT_NE(sc, nullptr);
+  EXPECT_EQ(sc->sync_pin, "RN");
+  EXPECT_TRUE(sc->sync_active_low);
+  EXPECT_FALSE(sc->sync_is_set);
+  EXPECT_EQ(sc->data_pin, "D");
+}
+
+TEST(Gatefile, ClassifiesLatchAndClockGate) {
+  const lib::SeqClass* ld = gf().seqClass("LD");
+  ASSERT_NE(ld, nullptr);
+  EXPECT_EQ(ld->clock_pin, "G");
+  EXPECT_FALSE(ld->clock_inverted);
+  EXPECT_EQ(ld->data_pin, "D");
+  EXPECT_EQ(gf().simpleLatch(), "LD");
+
+  const lib::SeqClass* cg = gf().seqClass("CGL");
+  ASSERT_NE(cg, nullptr);
+  EXPECT_EQ(cg->clock_pin, "CP");
+  EXPECT_TRUE(cg->clock_inverted);  // enable latch transparent while CP low
+  EXPECT_EQ(cg->data_pin, "E");
+}
+
+TEST(Gatefile, ProvidesPinDirections) {
+  EXPECT_TRUE(gf().knownType("MUX21"));
+  EXPECT_FALSE(gf().knownType("NOPE"));
+  EXPECT_EQ(gf().pinDir("MUX21", "S"), desync::netlist::PortDir::kInput);
+  EXPECT_EQ(gf().pinDir("MUX21", "Z"), desync::netlist::PortDir::kOutput);
+  EXPECT_FALSE(gf().pinDir("MUX21", "XX").has_value());
+  auto order = gf().pinOrder("ND2");
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], "A");
+  EXPECT_EQ(order[2], "Z");
+}
+
+TEST(Gatefile, TextDumpMentionsEveryCell) {
+  std::string text = gf().toText();
+  gf().library().forEachCell([&](const lib::LibCell& c) {
+    EXPECT_NE(text.find("cell " + c.name + " "), std::string::npos)
+        << c.name;
+  });
+  EXPECT_NE(text.find("scan_in=SI"), std::string::npos);
+  EXPECT_NE(text.find("sync_reset=RN(low)"), std::string::npos);
+}
+
+}  // namespace
+
+namespace {
+
+TEST(Gatefile, TextFormatRoundTrips) {
+  // The gatefile text — the artifact the original drdesync loaded — parses
+  // back with identical classification for every cell.
+  std::string text = gf().toText();
+  lib::Gatefile::Text parsed = lib::Gatefile::parseText(text);
+  EXPECT_EQ(parsed.library, gf().library().name);
+  EXPECT_EQ(parsed.cells.size(), gf().library().size());
+  gf().library().forEachCell([&](const lib::LibCell& c) {
+    auto it = parsed.cells.find(c.name);
+    ASSERT_NE(it, parsed.cells.end()) << c.name;
+    EXPECT_NEAR(it->second.area, c.area, 1e-9) << c.name;
+    const lib::SeqClass* sc = gf().seqClass(c.name);
+    ASSERT_EQ(sc == nullptr, !it->second.seq.has_value()) << c.name;
+    if (sc != nullptr) {
+      const lib::SeqClass& p = *it->second.seq;
+      EXPECT_EQ(p.clock_pin, sc->clock_pin) << c.name;
+      EXPECT_EQ(p.clock_inverted, sc->clock_inverted) << c.name;
+      EXPECT_EQ(p.data_pin, sc->data_pin) << c.name;
+      EXPECT_EQ(p.scan_in, sc->scan_in) << c.name;
+      EXPECT_EQ(p.scan_enable, sc->scan_enable) << c.name;
+      EXPECT_EQ(p.sync_pin, sc->sync_pin) << c.name;
+      EXPECT_EQ(p.sync_active_low, sc->sync_active_low) << c.name;
+      EXPECT_EQ(p.async_clear_pin, sc->async_clear_pin) << c.name;
+      EXPECT_EQ(p.async_clear_active_low, sc->async_clear_active_low)
+          << c.name;
+      EXPECT_EQ(p.async_preset_pin, sc->async_preset_pin) << c.name;
+      EXPECT_EQ(p.q_pin, sc->q_pin) << c.name;
+      EXPECT_EQ(p.qn_pin, sc->qn_pin) << c.name;
+    }
+    // Pin count and directions survive.
+    EXPECT_EQ(it->second.pins.size(), c.pins.size()) << c.name;
+  });
+}
+
+TEST(Gatefile, TextParserRejectsGarbage) {
+  EXPECT_THROW(lib::Gatefile::parseText("pin D input\n"),
+               lib::LibraryError);
+  EXPECT_THROW(lib::Gatefile::parseText("cell X\n"), lib::LibraryError);
+  EXPECT_THROW(lib::Gatefile::parseText("cell X comb\nbogus line here\n"),
+               lib::LibraryError);
+}
+
+}  // namespace

@@ -1,0 +1,403 @@
+// Unit tests for the netlist database, Verilog IO, cleaning and flattening.
+#include <gtest/gtest.h>
+
+#include "liberty/gatefile.h"
+#include "liberty/stdlib90.h"
+#include "netlist/blif.h"
+#include "netlist/cleaning.h"
+#include "netlist/flatten.h"
+#include "netlist/netlist.h"
+#include "netlist/verilog.h"
+
+namespace nl = desync::netlist;
+namespace lib = desync::liberty;
+
+namespace {
+
+/// Shared gatefile over the synthetic HS library.
+const lib::Gatefile& gatefile() {
+  static const lib::Library library =
+      lib::makeStdLib90(lib::LibVariant::kHighSpeed);
+  static const lib::Gatefile gf(library);
+  return gf;
+}
+
+TEST(NameTable, InternIsIdempotent) {
+  nl::NameTable t;
+  nl::NameId a = t.intern("foo");
+  nl::NameId b = t.intern("foo");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(t.str(a), "foo");
+  EXPECT_FALSE(t.find("bar").valid());
+}
+
+TEST(NameTable, ManyNamesStayStable) {
+  nl::NameTable t;
+  std::vector<nl::NameId> ids;
+  for (int i = 0; i < 5000; ++i) {
+    ids.push_back(t.intern("n" + std::to_string(i)));
+  }
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_EQ(t.str(ids[static_cast<std::size_t>(i)]),
+              "n" + std::to_string(i));
+  }
+}
+
+TEST(NameTable, MakeUniqueAvoidsCollision) {
+  nl::NameTable t;
+  t.intern("x");
+  nl::NameId u = t.makeUnique("x");
+  EXPECT_NE(t.str(u), "x");
+  EXPECT_TRUE(t.find(t.str(u)).valid());
+}
+
+TEST(Module, ConnectivityBookkeeping) {
+  nl::Design d;
+  nl::Module& m = d.addModule("top");
+  nl::NetId a = m.addNet("a");
+  nl::NetId z = m.addNet("z");
+  nl::CellId inv = m.addCell("u1", "IV",
+                             {{"A", nl::PortDir::kInput, a},
+                              {"Z", nl::PortDir::kOutput, z}});
+  EXPECT_EQ(m.net(z).driver.cell(), inv);
+  ASSERT_EQ(m.net(a).sinks.size(), 1u);
+  EXPECT_EQ(m.net(a).sinks[0].cell(), inv);
+  EXPECT_TRUE(m.checkInvariants().empty());
+
+  m.removeCell(inv);
+  EXPECT_EQ(m.net(z).driver.kind, nl::TermKind::kNone);
+  EXPECT_TRUE(m.net(a).sinks.empty());
+  EXPECT_EQ(m.numCells(), 0u);
+  EXPECT_TRUE(m.checkInvariants().empty());
+}
+
+TEST(Module, DoubleDriverThrows) {
+  nl::Design d;
+  nl::Module& m = d.addModule("top");
+  nl::NetId a = m.addNet("a");
+  nl::NetId z = m.addNet("z");
+  m.addCell("u1", "IV",
+            {{"A", nl::PortDir::kInput, a}, {"Z", nl::PortDir::kOutput, z}});
+  EXPECT_THROW(m.addCell("u2", "IV",
+                         {{"A", nl::PortDir::kInput, a},
+                          {"Z", nl::PortDir::kOutput, z}}),
+               nl::NetlistError);
+}
+
+TEST(Module, DuplicateNamesThrow) {
+  nl::Design d;
+  nl::Module& m = d.addModule("top");
+  m.addNet("a");
+  EXPECT_THROW(m.addNet("a"), nl::NetlistError);
+  m.addCell("u1", "IV", {});
+  EXPECT_THROW(m.addCell("u1", "IV", {}), nl::NetlistError);
+}
+
+TEST(Module, MergeNetMovesSinksAndPorts) {
+  nl::Design d;
+  nl::Module& m = d.addModule("top");
+  nl::NetId a = m.addNet("a");
+  nl::NetId b = m.addNet("b");
+  m.addCell("u1", "IV",
+            {{"A", nl::PortDir::kInput, b}, {"Z", nl::PortDir::kOutput, {}}});
+  m.addPort("out", nl::PortDir::kOutput, b);
+  m.mergeNetInto(b, a);
+  EXPECT_EQ(m.net(a).sinks.size(), 2u);
+  EXPECT_EQ(m.numNets(), 1u);
+  EXPECT_TRUE(m.checkInvariants().empty());
+}
+
+TEST(Module, ConstNetsAreCached) {
+  nl::Design d;
+  nl::Module& m = d.addModule("top");
+  nl::NetId c0 = m.constNet(false);
+  EXPECT_EQ(m.constNet(false), c0);
+  EXPECT_NE(m.constNet(true), c0);
+  EXPECT_EQ(m.net(c0).driver.kind, nl::TermKind::kConst0);
+}
+
+// ------------------------------------------------------------- Verilog
+
+TEST(Verilog, ParsesFlatGateLevelNetlist) {
+  const char* src = R"(
+    // simple two-gate netlist
+    module top (a, b, q, clk);
+      input a, b, clk;
+      output q;
+      wire w;
+      ND2 u1 (.A(a), .B(b), .Z(w));
+      DFF r1 (.D(w), .CP(clk), .Q(q), .QN());
+    endmodule
+  )";
+  nl::Design d;
+  nl::readVerilog(d, src, gatefile());
+  nl::Module& m = d.top();
+  EXPECT_EQ(m.name(), "top");
+  EXPECT_EQ(m.numCells(), 2u);
+  EXPECT_EQ(m.numPorts(), 4u);
+  EXPECT_TRUE(m.checkInvariants().empty());
+  nl::CellId r1 = m.findCell("r1");
+  ASSERT_TRUE(r1.valid());
+  EXPECT_EQ(m.pinNet(r1, "D"), m.findNet("w"));
+}
+
+TEST(Verilog, ParsesBusesAndConcats) {
+  const char* src = R"(
+    module top (d, q, clk);
+      input [3:0] d;
+      output [3:0] q;
+      input clk;
+      DFF r0 (.D(d[0]), .CP(clk), .Q(q[0]));
+      DFF r1 (.D(d[1]), .CP(clk), .Q(q[1]));
+      DFF r2 (.D(d[2]), .CP(clk), .Q(q[2]));
+      DFF r3 (.D(d[3]), .CP(clk), .Q(q[3]));
+    endmodule
+  )";
+  nl::Design d;
+  nl::readVerilog(d, src, gatefile());
+  nl::Module& m = d.top();
+  EXPECT_EQ(m.numCells(), 4u);
+  nl::NetId d2 = m.findNet("d[2]");
+  ASSERT_TRUE(d2.valid());
+  EXPECT_TRUE(m.net(d2).bus.valid());
+  EXPECT_EQ(m.net(d2).bus.bit, 2);
+}
+
+TEST(Verilog, ParsesConstantsAndAssigns) {
+  const char* src = R"(
+    module top (a, z);
+      input a;
+      output z;
+      wire t;
+      AN2 u1 (.A(a), .B(1'b1), .Z(t));
+      assign z = t;
+    endmodule
+  )";
+  nl::Design d;
+  nl::readVerilog(d, src, gatefile());
+  nl::Module& m = d.top();
+  EXPECT_EQ(m.numCells(), 1u);
+  // The assign was folded: the port 'z' must observe u1's output.
+  nl::CellId u1 = m.findCell("u1");
+  nl::NetId zn = m.pinNet(u1, "Z");
+  bool port_on_net = false;
+  for (const nl::TermRef& s : m.net(zn).sinks) {
+    if (s.isPort()) port_on_net = true;
+  }
+  EXPECT_TRUE(port_on_net);
+  EXPECT_TRUE(m.checkInvariants().empty());
+}
+
+TEST(Verilog, EscapedNamesAreSimplified) {
+  const char* src =
+      "module top (a, z);\n"
+      "  input a;\n  output z;\n"
+      "  IV \\u$1/raw (.A(a), .Z(z));\n"
+      "endmodule\n";
+  nl::Design d;
+  nl::readVerilog(d, src, gatefile());
+  nl::Module& m = d.top();
+  EXPECT_EQ(m.numCells(), 1u);
+  // The escaped instance name must have been replaced by a simple one.
+  bool found_simple = false;
+  m.forEachCell([&](nl::CellId id) {
+    std::string name(m.cellName(id));
+    found_simple = name.find('$') == std::string::npos &&
+                   name.find('/') == std::string::npos;
+  });
+  EXPECT_TRUE(found_simple);
+}
+
+TEST(Verilog, RoundTripPreservesStructure) {
+  const char* src = R"(
+    module top (a, b, q, clk);
+      input a, b, clk;
+      output [1:0] q;
+      wire w;
+      ND2 u1 (.A(a), .B(b), .Z(w));
+      DFF r0 (.D(w), .CP(clk), .Q(q[0]));
+      DFF r1 (.D(q[0]), .CP(clk), .Q(q[1]));
+    endmodule
+  )";
+  nl::Design d1;
+  nl::readVerilog(d1, src, gatefile());
+  std::string text = nl::writeVerilog(d1);
+
+  nl::Design d2;
+  nl::readVerilog(d2, text, gatefile());
+  nl::Module& m2 = d2.top();
+  EXPECT_EQ(m2.numCells(), 3u);
+  EXPECT_EQ(m2.numPorts(), 5u);  // a, b, clk, q[0], q[1]
+  EXPECT_TRUE(m2.checkInvariants().empty());
+  nl::CellId r1 = m2.findCell("r1");
+  ASSERT_TRUE(r1.valid());
+  EXPECT_EQ(m2.pinNet(r1, "D"), m2.findNet("q[0]"));
+}
+
+TEST(Verilog, RejectsGarbage) {
+  nl::Design d;
+  EXPECT_THROW(nl::readVerilog(d, "module ; garbage", gatefile()),
+               nl::VerilogError);
+  nl::Design d2;
+  EXPECT_THROW(
+      nl::readVerilog(d2, "module t(a); input a; UNKNOWNCELL u (.X(a)); endmodule",
+                      gatefile()),
+      nl::VerilogError);
+}
+
+// ------------------------------------------------------------- Cleaning
+
+nl::CleaningRules rulesFromGatefile() {
+  nl::CleaningRules rules;
+  rules.is_buffer = [](std::string_view t) { return gatefile().isBuffer(t); };
+  rules.is_inverter = [](std::string_view t) {
+    return gatefile().isInverter(t);
+  };
+  return rules;
+}
+
+TEST(Cleaning, RemovesBuffers) {
+  const char* src = R"(
+    module top (a, z);
+      input a;
+      output z;
+      wire t1, t2;
+      BF b1 (.A(a), .Z(t1));
+      BF b2 (.A(t1), .Z(t2));
+      IV u1 (.A(t2), .Z(z));
+    endmodule
+  )";
+  nl::Design d;
+  nl::readVerilog(d, src, gatefile());
+  nl::CleaningStats stats = nl::cleanLogic(d.top(), rulesFromGatefile());
+  EXPECT_EQ(stats.buffers_removed, 2u);
+  EXPECT_EQ(d.top().numCells(), 1u);
+  // The inverter input should now be the primary input net directly.
+  nl::CellId u1 = d.top().findCell("u1");
+  EXPECT_EQ(d.top().pinNet(u1, "A"), d.top().findNet("a"));
+  EXPECT_TRUE(d.top().checkInvariants().empty());
+}
+
+TEST(Cleaning, RemovesInverterPairs) {
+  const char* src = R"(
+    module top (a, z);
+      input a;
+      output z;
+      wire t1, t2;
+      IV i1 (.A(a), .Z(t1));
+      IV i2 (.A(t1), .Z(t2));
+      AN2 u1 (.A(t2), .B(a), .Z(z));
+    endmodule
+  )";
+  nl::Design d;
+  nl::readVerilog(d, src, gatefile());
+  nl::CleaningStats stats = nl::cleanLogic(d.top(), rulesFromGatefile());
+  EXPECT_EQ(stats.inverter_pairs_removed, 1u);
+  EXPECT_EQ(d.top().numCells(), 1u);
+  nl::CellId u1 = d.top().findCell("u1");
+  EXPECT_EQ(d.top().pinNet(u1, "A"), d.top().findNet("a"));
+  EXPECT_TRUE(d.top().checkInvariants().empty());
+}
+
+TEST(Cleaning, KeepsSharedInverter) {
+  // i1 output also feeds a non-inverter gate: only the pair's second stage
+  // folds and i1 must survive for the remaining consumer.
+  const char* src = R"(
+    module top (a, y, z);
+      input a;
+      output y, z;
+      wire t1, t2;
+      IV i1 (.A(a), .Z(t1));
+      IV i2 (.A(t1), .Z(t2));
+      AN2 u1 (.A(t1), .B(a), .Z(y));
+      AN2 u2 (.A(t2), .B(a), .Z(z));
+    endmodule
+  )";
+  nl::Design d;
+  nl::readVerilog(d, src, gatefile());
+  nl::cleanLogic(d.top(), rulesFromGatefile());
+  // i1 must survive because u1 still consumes t1.
+  EXPECT_TRUE(d.top().findCell("i1").valid());
+  // u2's A input now sees 'a' directly (the inverter pair collapsed).
+  nl::CellId u2 = d.top().findCell("u2");
+  EXPECT_EQ(d.top().pinNet(u2, "A"), d.top().findNet("a"));
+  EXPECT_TRUE(d.top().checkInvariants().empty());
+}
+
+// ------------------------------------------------------------- Flatten
+
+TEST(Flatten, ExpandsSubmodules) {
+  const char* src = R"(
+    module pair (i, o);
+      input i;
+      output o;
+      wire m;
+      IV g1 (.A(i), .Z(m));
+      IV g2 (.A(m), .Z(o));
+    endmodule
+    module top (a, z);
+      input a;
+      output z;
+      wire w;
+      pair p1 (.i(a), .o(w));
+      pair p2 (.i(w), .o(z));
+    endmodule
+  )";
+  nl::Design d;
+  nl::readVerilog(d, src, gatefile(), {}, "top");
+  nl::FlattenStats stats = nl::flattenTop(d);
+  EXPECT_EQ(stats.instances_flattened, 2u);
+  EXPECT_EQ(d.top().numCells(), 4u);
+  EXPECT_TRUE(d.top().findCell("p1/g1").valid());
+  EXPECT_TRUE(d.top().checkInvariants().empty());
+}
+
+TEST(Flatten, NestedHierarchy) {
+  const char* src = R"(
+    module leaf (i, o);
+      input i;
+      output o;
+      IV g (.A(i), .Z(o));
+    endmodule
+    module mid (i, o);
+      input i;
+      output o;
+      wire m;
+      leaf l1 (.i(i), .o(m));
+      leaf l2 (.i(m), .o(o));
+    endmodule
+    module top (a, z);
+      input a;
+      output z;
+      mid m1 (.i(a), .o(z));
+    endmodule
+  )";
+  nl::Design d;
+  nl::readVerilog(d, src, gatefile(), {}, "top");
+  nl::flattenTop(d);
+  EXPECT_EQ(d.top().numCells(), 2u);
+  EXPECT_TRUE(d.top().findCell("m1/l1/g").valid());
+  EXPECT_TRUE(d.top().checkInvariants().empty());
+}
+
+// ------------------------------------------------------------- BLIF
+
+TEST(Blif, EmitsSubcktStructure) {
+  const char* src = R"(
+    module top (a, b, z);
+      input a, b;
+      output z;
+      ND2 u1 (.A(a), .B(b), .Z(z));
+    endmodule
+  )";
+  nl::Design d;
+  nl::readVerilog(d, src, gatefile());
+  std::string blif = nl::writeBlif(d.top());
+  EXPECT_NE(blif.find(".model top"), std::string::npos);
+  EXPECT_NE(blif.find(".inputs a b"), std::string::npos);
+  EXPECT_NE(blif.find(".outputs z"), std::string::npos);
+  EXPECT_NE(blif.find(".subckt ND2 A=a B=b Z=z"), std::string::npos);
+  EXPECT_NE(blif.find(".end"), std::string::npos);
+}
+
+}  // namespace

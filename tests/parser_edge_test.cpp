@@ -1,0 +1,280 @@
+// Edge-case tests for the Verilog reader/writer, Liberty parser and the
+// STA/simulator cross-properties.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+
+#include "liberty/gatefile.h"
+#include "liberty/liberty_io.h"
+#include "liberty/stdlib90.h"
+#include "netlist/verilog.h"
+#include "sim/simulator.h"
+#include "sta/sta.h"
+
+namespace nl = desync::netlist;
+namespace lib = desync::liberty;
+namespace sim = desync::sim;
+namespace sta = desync::sta;
+
+using sim::Val;
+
+namespace {
+
+const lib::Gatefile& gf() {
+  static const lib::Library l = lib::makeStdLib90(lib::LibVariant::kHighSpeed);
+  static const lib::Gatefile g(l);
+  return g;
+}
+
+// --------------------------------------------------------- verilog edges
+
+TEST(VerilogEdge, PartSelectAndConcat) {
+  const char* src = R"(
+    module top (a, z);
+      input [3:0] a;
+      output [3:0] z;
+      wire [3:0] t;
+      assign t = {a[1:0], a[3:2]};
+      assign z = t;
+    endmodule
+  )";
+  nl::Design d;
+  nl::readVerilog(d, src, gf());
+  // z[3] <- t[3] <- a[1] (concat is MSB-first: {a[1:0], a[3:2]} puts a[1]
+  // at the top).
+  nl::Module& m = d.top();
+  nl::PortId z3 = m.findPort("z[3]");
+  ASSERT_TRUE(z3.valid());
+  EXPECT_EQ(m.netName(m.port(z3).net), "a[1]");
+}
+
+TEST(VerilogEdge, PositionalConnectionToSubmodule) {
+  const char* src = R"(
+    module leaf (i, o);
+      input i;
+      output o;
+      IV g (.A(i), .Z(o));
+    endmodule
+    module top (a, z);
+      input a;
+      output z;
+      leaf l1 (a, z);
+    endmodule
+  )";
+  nl::Design d;
+  nl::readVerilog(d, src, gf(), {}, "top");
+  nl::CellId l1 = d.top().findCell("l1");
+  ASSERT_TRUE(l1.valid());
+  EXPECT_EQ(d.top().pinNet(l1, "i"), d.top().findNet("a"));
+  EXPECT_EQ(d.top().pinNet(l1, "o"), d.top().findNet("z"));
+}
+
+TEST(VerilogEdge, ParameterListsAreSkipped) {
+  const char* src = R"(
+    module leaf (i, o);
+      input i; output o;
+      IV g (.A(i), .Z(o));
+    endmodule
+    module top (a, z);
+      input a; output z;
+      leaf #(.WIDTH(8), .DEPTH(2)) l1 (.i(a), .o(z));
+    endmodule
+  )";
+  nl::Design d;
+  nl::readVerilog(d, src, gf(), {}, "top");
+  EXPECT_TRUE(d.top().findCell("l1").valid());
+}
+
+TEST(VerilogEdge, SupplyNets) {
+  const char* src = R"(
+    module top (z);
+      output z;
+      supply1 vdd;
+      supply0 gnd;
+      AN2 u (.A(vdd), .B(gnd), .Z(z));
+    endmodule
+  )";
+  nl::Design d;
+  nl::readVerilog(d, src, gf());
+  EXPECT_EQ(d.top().net(d.top().findNet("vdd")).driver.kind,
+            nl::TermKind::kConst1);
+  EXPECT_EQ(d.top().net(d.top().findNet("gnd")).driver.kind,
+            nl::TermKind::kConst0);
+}
+
+TEST(VerilogEdge, MultiBitConstantInConcat) {
+  const char* src = R"(
+    module top (z);
+      output [3:0] z;
+      assign z = {2'b10, 2'b01};
+    endmodule
+  )";
+  nl::Design d;
+  nl::readVerilog(d, src, gf());
+  // z = 4'b1001 (MSB-first concat).
+  auto bit = [&](int i) {
+    return d.top().net(d.top().port(d.top().findPort(
+        "z[" + std::to_string(i) + "]")).net).driver.kind;
+  };
+  EXPECT_EQ(bit(3), nl::TermKind::kConst1);
+  EXPECT_EQ(bit(2), nl::TermKind::kConst0);
+  EXPECT_EQ(bit(1), nl::TermKind::kConst0);
+  EXPECT_EQ(bit(0), nl::TermKind::kConst1);
+}
+
+TEST(VerilogEdge, CommentsAndDirectives) {
+  const char* src =
+      "`timescale 1ns/1ps\n"
+      "/* block\n comment */\n"
+      "module top (a, z); // line comment\n"
+      "  input a; output z;\n"
+      "  IV g (.A(a), .Z(z));\n"
+      "endmodule\n";
+  nl::Design d;
+  nl::readVerilog(d, src, gf());
+  EXPECT_EQ(d.top().numCells(), 1u);
+}
+
+TEST(VerilogEdge, UnconnectedAndImplicitNets) {
+  const char* src = R"(
+    module top (a, z);
+      input a; output z;
+      ND2 u1 (.A(a), .B(implicit_net), .Z(z));
+      IV u2 (.A(a), .Z(implicit_net));
+    endmodule
+  )";
+  nl::Design d;
+  nl::readVerilog(d, src, gf());
+  EXPECT_TRUE(d.top().findNet("implicit_net").valid());
+  EXPECT_TRUE(d.top().checkInvariants().empty());
+}
+
+TEST(VerilogEdge, WriterEscapesHierarchicalNames) {
+  nl::Design d;
+  nl::Module& m = d.addModule("top");
+  nl::NetId a = m.addNet("ctl0/u_g/z");  // slash needs escaping
+  nl::NetId z = m.addNet("z");
+  m.addPort("z", nl::PortDir::kOutput, z);
+  m.addCell("ctl0/u_g", "IV",
+            {{"A", nl::PortDir::kInput, z}, {"Z", nl::PortDir::kOutput, a}});
+  std::string text = nl::writeVerilog(m);
+  EXPECT_NE(text.find("\\ctl0/u_g "), std::string::npos);
+  // Round-trips (escaped names are simplified on read by default).
+  nl::Design d2;
+  nl::readVerilog(d2, text, gf());
+  EXPECT_EQ(d2.top().numCells(), 1u);
+}
+
+// --------------------------------------------------------- liberty edges
+
+TEST(LibertyEdge, LineContinuationsAndEscapes) {
+  const char* text =
+      "library (x) {\n"
+      "  cell (B1) {\n"
+      "    area : 1.0;\n"
+      "    pin (A) { direction : input; capacitance : 0.001; }\n"
+      "    pin (Z) { direction : output; function : \"A\"; }\n"
+      "  }\n"
+      "}\n";
+  lib::Library l = lib::readLiberty(text);
+  EXPECT_EQ(l.size(), 1u);
+  lib::Gatefile g(l);
+  EXPECT_TRUE(g.isBuffer("B1"));
+}
+
+TEST(LibertyEdge, GatefileRoundTripsThroughLibertyText) {
+  // Library -> text -> parse -> gatefile must classify identically.
+  lib::Library l1 = lib::makeStdLib90(lib::LibVariant::kHighSpeed);
+  lib::Library l2 = lib::readLiberty(lib::writeLiberty(l1));
+  lib::Gatefile g1(l1), g2(l2);
+  l1.forEachCell([&](const lib::LibCell& c) {
+    EXPECT_EQ(g1.kind(c.name), g2.kind(c.name)) << c.name;
+    const lib::SeqClass* s1 = g1.seqClass(c.name);
+    const lib::SeqClass* s2 = g2.seqClass(c.name);
+    ASSERT_EQ(s1 == nullptr, s2 == nullptr) << c.name;
+    if (s1 != nullptr) {
+      EXPECT_EQ(s1->clock_pin, s2->clock_pin) << c.name;
+      EXPECT_EQ(s1->data_pin, s2->data_pin) << c.name;
+      EXPECT_EQ(s1->scan_enable, s2->scan_enable) << c.name;
+      EXPECT_EQ(s1->sync_pin, s2->sync_pin) << c.name;
+      EXPECT_EQ(s1->async_clear_pin, s2->async_clear_pin) << c.name;
+    }
+  });
+}
+
+// ------------------------------------------- STA vs simulation property
+
+/// Builds a pseudo-random combinational DAG over the library gates and
+/// checks that the simulator's settle time never exceeds the STA critical
+/// path (conservativeness property of static analysis).
+class StaConservative : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StaConservative, SimSettleWithinStaBound) {
+  std::uint64_t seed = GetParam();
+  auto rnd = [&]() {
+    seed = seed * 6364136223846793005ull + 1442695040888963407ull;
+    return seed >> 33;
+  };
+  const std::vector<std::string> gates = {"IV", "ND2",  "NR2",   "AN2",
+                                          "OR2", "EO",  "AOI21", "MUX21"};
+  nl::Design d;
+  nl::Module& m = d.addModule("rand");
+  std::vector<nl::NetId> pool;
+  for (int i = 0; i < 4; ++i) {
+    nl::NetId n = m.addNet("in" + std::to_string(i));
+    m.addPort("in" + std::to_string(i), nl::PortDir::kInput, n);
+    pool.push_back(n);
+  }
+  for (int g = 0; g < 40; ++g) {
+    const std::string& type = gates[rnd() % gates.size()];
+    const lib::LibCell& cell = gf().library().cell(type);
+    std::vector<nl::Module::PinInit> pins;
+    for (const std::string& in : cell.inputPins()) {
+      pins.push_back({in, nl::PortDir::kInput,
+                      pool[rnd() % pool.size()]});
+    }
+    nl::NetId out = m.addNet("g" + std::to_string(g));
+    pins.push_back({"Z", nl::PortDir::kOutput, out});
+    m.addCell("u" + std::to_string(g), type, pins);
+    pool.push_back(out);
+  }
+  m.addPort("out", nl::PortDir::kOutput, pool.back());
+
+  sta::Sta analysis(m, gf());
+
+  sim::Simulator s(m, gf());
+  // Per-net settle instrumentation: every observed transition must respect
+  // the net's static arrival time.
+  std::map<std::string, sim::Time> settle;
+  m.forEachNet([&](nl::NetId id) {
+    std::string name(m.netName(id));
+    s.watchNet(name,
+               [&settle, name](sim::Time t, Val) { settle[name] = t; });
+  });
+  for (int i = 0; i < 4; ++i) {
+    s.setInput("in" + std::to_string(i), Val::k0);
+  }
+  s.runUntilStable(s.now() + sim::nsToPs(1000));
+  for (int trial = 0; trial < 12; ++trial) {
+    settle.clear();
+    sim::Time start = s.now();
+    for (int i = 0; i < 4; ++i) {
+      s.setInput("in" + std::to_string(i),
+                 sim::fromBool((rnd() & 1) != 0));
+    }
+    s.runUntilStable(start + sim::nsToPs(1000));
+    for (const auto& [name, t] : settle) {
+      const double settle_ns = sim::psToNs(t - start);
+      auto arrival = analysis.arrivalNs(name);
+      ASSERT_TRUE(arrival.has_value()) << name;
+      EXPECT_LE(settle_ns, *arrival + 0.01)
+          << "net " << name << " settled later than its STA arrival";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StaConservative,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 42));
+
+}  // namespace

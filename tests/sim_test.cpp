@@ -1,0 +1,439 @@
+// Tests for the event-driven simulator, power model and flow-equivalence
+// checker, including self-timed controller-ring oscillation.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "async/controllers.h"
+#include "async/delay_element.h"
+#include "liberty/stdlib90.h"
+#include "netlist/flatten.h"
+#include "netlist/verilog.h"
+#include "sim/flow_equivalence.h"
+#include "sim/power.h"
+#include "sim/simulator.h"
+#include "sim/vcd.h"
+
+namespace nl = desync::netlist;
+namespace lib = desync::liberty;
+namespace sim = desync::sim;
+namespace async = desync::async;
+
+using sim::Val;
+
+namespace {
+
+const lib::Gatefile& gf() {
+  static const lib::Library l = lib::makeStdLib90(lib::LibVariant::kHighSpeed);
+  static const lib::Gatefile g(l);
+  return g;
+}
+
+nl::Design parse(const char* src) {
+  nl::Design d;
+  nl::readVerilog(d, src, gf());
+  return d;
+}
+
+TEST(Sim, CombPropagationAndDelay) {
+  nl::Design d = parse(R"(
+    module top (a, z);
+      input a; output z;
+      wire t;
+      IV i1 (.A(a), .Z(t));
+      IV i2 (.A(t), .Z(z));
+    endmodule
+  )");
+  sim::Simulator s(d.top(), gf());
+  s.setInput("a", Val::k0);
+  s.runUntilStable(sim::nsToPs(100));
+  EXPECT_EQ(s.value("z"), Val::k0);
+  sim::Time t0 = s.now();
+  s.setInput("a", Val::k1);
+  sim::Time last = s.runUntilStable(sim::nsToPs(200));
+  EXPECT_EQ(s.value("z"), Val::k1);
+  // Two inverter delays: each at least the library intrinsic (12ps+).
+  EXPECT_GT(last - t0, 20);
+  EXPECT_LT(last - t0, sim::nsToPs(1.0));
+}
+
+TEST(Sim, XPropagatesAndResolves) {
+  nl::Design d = parse(R"(
+    module top (a, b, z);
+      input a, b; output z;
+      AN2 u (.A(a), .B(b), .Z(z));
+    endmodule
+  )");
+  sim::Simulator s(d.top(), gf());
+  s.runUntilStable(sim::nsToPs(10));
+  EXPECT_EQ(s.value("z"), Val::kX);  // both inputs X
+  s.setInput("a", Val::k0);  // 0 AND x = 0: X resolved by controlling value
+  s.runUntilStable(sim::nsToPs(20));
+  EXPECT_EQ(s.value("z"), Val::k0);
+  s.setInput("a", Val::k1);  // 1 AND x = x
+  s.runUntilStable(sim::nsToPs(30));
+  EXPECT_EQ(s.value("z"), Val::kX);
+  s.setInput("b", Val::k1);
+  s.runUntilStable(sim::nsToPs(40));
+  EXPECT_EQ(s.value("z"), Val::k1);
+}
+
+TEST(Sim, InertialGlitchFiltering) {
+  // A pulse shorter than the buffer delay must not appear at the output.
+  nl::Design d = parse(R"(
+    module top (a, z);
+      input a; output z;
+      BF u (.A(a), .Z(z));
+    endmodule
+  )");
+  sim::Simulator s(d.top(), gf());
+  s.setInput("a", Val::k0);
+  s.runUntilStable(sim::nsToPs(10));
+  int changes = 0;
+  s.watchNet("z", [&](sim::Time, Val) { ++changes; });
+  // 1ps pulse, buffer delay ~25ps.
+  s.setInputAt("a", Val::k1, s.now() + 100);
+  s.setInputAt("a", Val::k0, s.now() + 101);
+  s.runUntilStable(sim::nsToPs(50));
+  EXPECT_EQ(changes, 0);
+  EXPECT_EQ(s.value("z"), Val::k0);
+}
+
+TEST(Sim, FlipFlopCapturesOnPosedge) {
+  nl::Design d = parse(R"(
+    module top (d, clk, q);
+      input d, clk; output q;
+      DFF r (.D(d), .CP(clk), .Q(q));
+    endmodule
+  )");
+  sim::Simulator s(d.top(), gf());
+  s.setInput("clk", Val::k0);
+  s.setInput("d", Val::k1);
+  s.runUntilStable(sim::nsToPs(10));
+  EXPECT_EQ(s.value("q"), Val::kX);  // not yet clocked
+  s.setInput("clk", Val::k1);
+  s.runUntilStable(sim::nsToPs(20));
+  EXPECT_EQ(s.value("q"), Val::k1);
+  // Data change without an edge does not propagate.
+  s.setInput("d", Val::k0);
+  s.runUntilStable(sim::nsToPs(30));
+  EXPECT_EQ(s.value("q"), Val::k1);
+  // Falling edge: no capture.
+  s.setInput("clk", Val::k0);
+  s.runUntilStable(sim::nsToPs(40));
+  EXPECT_EQ(s.value("q"), Val::k1);
+  const sim::CaptureLog* log = s.captureOf("r");
+  ASSERT_NE(log, nullptr);
+  ASSERT_EQ(log->values.size(), 1u);
+  EXPECT_EQ(log->values[0], Val::k1);
+}
+
+TEST(Sim, AsyncClearDominates) {
+  nl::Design d = parse(R"(
+    module top (d, clk, cdn, q);
+      input d, clk, cdn; output q;
+      DFFR r (.D(d), .CP(clk), .CDN(cdn), .Q(q));
+    endmodule
+  )");
+  sim::Simulator s(d.top(), gf());
+  s.setInput("clk", Val::k0);
+  s.setInput("d", Val::k1);
+  s.setInput("cdn", Val::k0);  // clear active (low)
+  s.runUntilStable(sim::nsToPs(10));
+  EXPECT_EQ(s.value("q"), Val::k0);
+  // Clock edge while clear asserted: stays 0.
+  s.setInput("clk", Val::k1);
+  s.runUntilStable(sim::nsToPs(20));
+  EXPECT_EQ(s.value("q"), Val::k0);
+  // Release clear, clock in the 1.
+  s.setInput("cdn", Val::k1);
+  s.setInput("clk", Val::k0);
+  s.runUntilStable(sim::nsToPs(30));
+  s.setInput("clk", Val::k1);
+  s.runUntilStable(sim::nsToPs(40));
+  EXPECT_EQ(s.value("q"), Val::k1);
+}
+
+TEST(Sim, ScanMuxSelectsScanIn) {
+  nl::Design d = parse(R"(
+    module top (d, si, se, clk, q);
+      input d, si, se, clk; output q;
+      SDFF r (.D(d), .SI(si), .SE(se), .CP(clk), .Q(q));
+    endmodule
+  )");
+  sim::Simulator s(d.top(), gf());
+  s.setInput("clk", Val::k0);
+  s.setInput("d", Val::k0);
+  s.setInput("si", Val::k1);
+  s.setInput("se", Val::k1);
+  s.runUntilStable(sim::nsToPs(10));
+  s.setInput("clk", Val::k1);
+  s.runUntilStable(sim::nsToPs(20));
+  EXPECT_EQ(s.value("q"), Val::k1);  // scan path
+  s.setInput("se", Val::k0);
+  s.setInput("clk", Val::k0);
+  s.runUntilStable(sim::nsToPs(30));
+  s.setInput("clk", Val::k1);
+  s.runUntilStable(sim::nsToPs(40));
+  EXPECT_EQ(s.value("q"), Val::k0);  // functional path
+}
+
+TEST(Sim, SyncResetFlipFlop) {
+  nl::Design d = parse(R"(
+    module top (d, rn, clk, q);
+      input d, rn, clk; output q;
+      DFFSYNR r (.D(d), .RN(rn), .CP(clk), .Q(q));
+    endmodule
+  )");
+  sim::Simulator s(d.top(), gf());
+  s.setInput("clk", Val::k0);
+  s.setInput("d", Val::k1);
+  s.setInput("rn", Val::k0);  // sync reset armed
+  s.runUntilStable(sim::nsToPs(10));
+  EXPECT_EQ(s.value("q"), Val::kX);  // needs a clock edge
+  s.setInput("clk", Val::k1);
+  s.runUntilStable(sim::nsToPs(20));
+  EXPECT_EQ(s.value("q"), Val::k0);
+  s.setInput("rn", Val::k1);
+  s.setInput("clk", Val::k0);
+  s.runUntilStable(sim::nsToPs(30));
+  s.setInput("clk", Val::k1);
+  s.runUntilStable(sim::nsToPs(40));
+  EXPECT_EQ(s.value("q"), Val::k1);
+}
+
+TEST(Sim, LatchTransparency) {
+  nl::Design d = parse(R"(
+    module top (d, g, q);
+      input d, g; output q;
+      LD l (.D(d), .G(g), .Q(q));
+    endmodule
+  )");
+  sim::Simulator s(d.top(), gf());
+  s.setInput("g", Val::k1);
+  s.setInput("d", Val::k0);
+  s.runUntilStable(sim::nsToPs(10));
+  EXPECT_EQ(s.value("q"), Val::k0);
+  s.setInput("d", Val::k1);  // transparent: follows
+  s.runUntilStable(sim::nsToPs(20));
+  EXPECT_EQ(s.value("q"), Val::k1);
+  s.setInput("g", Val::k0);  // close
+  s.runUntilStable(sim::nsToPs(30));
+  s.setInput("d", Val::k0);  // opaque: held
+  s.runUntilStable(sim::nsToPs(40));
+  EXPECT_EQ(s.value("q"), Val::k1);
+  const sim::CaptureLog* log = s.captureOf("l");
+  ASSERT_NE(log, nullptr);
+  ASSERT_EQ(log->values.size(), 1u);  // one closing edge
+  EXPECT_EQ(log->values[0], Val::k1);
+}
+
+TEST(Sim, ClockGateBlocksAndPasses) {
+  nl::Design d = parse(R"(
+    module top (e, clk, gck);
+      input e, clk; output gck;
+      CGL cg (.E(e), .CP(clk), .Z(gck));
+    endmodule
+  )");
+  sim::Simulator s(d.top(), gf());
+  s.setInput("clk", Val::k0);
+  s.setInput("e", Val::k0);
+  s.runUntilStable(sim::nsToPs(10));
+  s.setInput("clk", Val::k1);
+  s.runUntilStable(sim::nsToPs(20));
+  EXPECT_EQ(s.value("gck"), Val::k0);  // gated off
+  s.setInput("clk", Val::k0);
+  s.setInput("e", Val::k1);
+  s.runUntilStable(sim::nsToPs(30));
+  s.setInput("clk", Val::k1);
+  s.runUntilStable(sim::nsToPs(40));
+  EXPECT_EQ(s.value("gck"), Val::k1);  // passes
+}
+
+TEST(Sim, DelayElementAsymmetry) {
+  nl::Design d;
+  async::DelayElementSpec spec;
+  spec.levels = 16;
+  nl::Module& del = async::ensureDelayElement(d, gf(), spec);
+  nl::Module& top = d.addModule("top");
+  nl::NetId a = top.addNet("a");
+  nl::NetId z = top.addNet("z");
+  top.addPort("a", nl::PortDir::kInput, a);
+  top.addPort("z", nl::PortDir::kOutput, z);
+  top.addCell("u", std::string(del.name()),
+              {{"A", nl::PortDir::kInput, a}, {"Z", nl::PortDir::kOutput, z}});
+  d.setTop("top");
+  nl::flattenTop(d);
+
+  sim::Simulator s(d.top(), gf());
+  s.setInput("a", Val::k0);
+  s.runUntilStable(sim::nsToPs(10));
+  sim::Time t0 = s.now();
+  s.setInput("a", Val::k1);
+  sim::Time rise_done = s.runUntilStable(sim::nsToPs(1000));
+  sim::Time rise = rise_done - t0;
+  EXPECT_EQ(s.value("z"), Val::k1);
+  t0 = s.now();
+  s.setInput("a", Val::k0);
+  sim::Time fall_done = s.runUntilStable(sim::nsToPs(2000));
+  sim::Time fall = fall_done - t0;
+  EXPECT_EQ(s.value("z"), Val::k0);
+  // Slow rise (16 AND stages), fast fall (one stage, parallel reset).
+  EXPECT_GT(rise, fall * 5);
+}
+
+TEST(Sim, ControllerRingOscillates) {
+  nl::Design d;
+  async::buildControllerRing(d, gf(), async::ControllerKind::kSemiDecoupled,
+                             2);
+  d.setTop("DR_RING_SD_4");
+  nl::flattenTop(d);
+  sim::Simulator s(d.top(), gf());
+  int g0_rises = 0;
+  s.watchNet("g0", [&](sim::Time, Val v) {
+    if (v == Val::k1) ++g0_rises;
+  });
+  s.setInput("rst", Val::k1);
+  s.run(sim::nsToPs(5));
+  s.setInput("rst", Val::k0);
+  s.run(sim::nsToPs(200));
+  // The self-timed network must keep cycling without any external stimulus.
+  EXPECT_GE(g0_rises, 10);
+}
+
+TEST(Sim, ControllerRingPeriodScalesWithDelays) {
+  auto measure = [&](double scale) {
+    nl::Design d;
+    async::buildControllerRing(d, gf(),
+                               async::ControllerKind::kSemiDecoupled, 2);
+    d.setTop("DR_RING_SD_4");
+    nl::flattenTop(d);
+    sim::SimOptions opt;
+    opt.delay_scale = scale;
+    sim::Simulator s(d.top(), gf(), opt);
+    std::vector<sim::Time> rises;
+    s.watchNet("g0", [&](sim::Time t, Val v) {
+      if (v == Val::k1) rises.push_back(t);
+    });
+    s.setInput("rst", Val::k1);
+    s.run(sim::nsToPs(5));
+    s.setInput("rst", Val::k0);
+    s.run(sim::nsToPs(500));
+    EXPECT_GE(rises.size(), 4u);
+    return static_cast<double>(rises.back() - rises.front()) /
+           static_cast<double>(rises.size() - 1);
+  };
+  double nominal = measure(1.0);
+  double slow = measure(1.5);
+  // Self-timed: the period tracks the gate delays (thesis §2.5).
+  EXPECT_GT(slow, nominal * 1.3);
+  EXPECT_LT(slow, nominal * 1.7);
+}
+
+TEST(Sim, PowerScalesWithActivity) {
+  nl::Design d = parse(R"(
+    module top (a, z);
+      input a; output z;
+      wire t1, t2, t3;
+      IV i1 (.A(a), .Z(t1));
+      IV i2 (.A(t1), .Z(t2));
+      IV i3 (.A(t2), .Z(t3));
+      IV i4 (.A(t3), .Z(z));
+    endmodule
+  )");
+  // Same observation window, different activity: power must scale with the
+  // toggle count.
+  auto toggleRun = [&](int toggles) {
+    sim::Simulator s(d.top(), gf());
+    s.setInput("a", Val::k0);
+    s.runUntilStable(sim::nsToPs(10));
+    const double span_ns = 200.0;
+    for (int i = 0; i < toggles; ++i) {
+      s.setInputAt("a", i % 2 == 0 ? Val::k1 : Val::k0,
+                   s.now() + sim::nsToPs(span_ns * (i + 1) / toggles));
+    }
+    sim::Time window = s.now() + sim::nsToPs(span_ns + 20.0);
+    s.run(window);
+    return sim::estimatePower(s, gf(), window);
+  };
+  sim::PowerReport low = toggleRun(4);
+  sim::PowerReport high = toggleRun(40);
+  EXPECT_GT(high.dynamic_mw, low.dynamic_mw * 2);
+  EXPECT_DOUBLE_EQ(high.leakage_mw, low.leakage_mw);
+  EXPECT_GT(low.leakage_mw, 0.0);
+}
+
+TEST(Sim, FlowEquivalenceCheckerMechanics) {
+  const char* src = R"(
+    module top (d, clk, q);
+      input d, clk; output q;
+      DFF r_Ls (.D(d), .CP(clk), .Q(q));
+    endmodule
+  )";
+  const char* sync_src = R"(
+    module stop (d, clk, q);
+      input d, clk; output q;
+      DFF r (.D(d), .CP(clk), .Q(q));
+    endmodule
+  )";
+  nl::Design d1 = parse(sync_src);
+  nl::Design d2 = parse(src);
+  auto drive = [&](sim::Simulator& s, std::vector<int> bits) {
+    s.setInput("clk", Val::k0);
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+      s.setInput("d", bits[i] != 0 ? Val::k1 : Val::k0);
+      s.run(s.now() + sim::nsToPs(5));
+      s.setInput("clk", Val::k1);
+      s.run(s.now() + sim::nsToPs(5));
+      s.setInput("clk", Val::k0);
+      s.run(s.now() + sim::nsToPs(5));
+    }
+  };
+  {
+    sim::Simulator a(d1.top(), gf()), b(d2.top(), gf());
+    drive(a, {1, 0, 1, 1});
+    drive(b, {1, 0, 1, 1});
+    sim::FlowEqReport r = sim::checkFlowEquivalence(a, b);
+    EXPECT_TRUE(r.equivalent);
+    EXPECT_EQ(r.elements_compared, 1u);
+    EXPECT_EQ(r.mismatches, 0u);
+  }
+  {
+    sim::Simulator a(d1.top(), gf()), b(d2.top(), gf());
+    drive(a, {1, 0, 1, 1});
+    drive(b, {1, 1, 1, 1});  // diverges at capture #1
+    sim::FlowEqReport r = sim::checkFlowEquivalence(a, b);
+    EXPECT_FALSE(r.equivalent);
+    EXPECT_GE(r.mismatches, 1u);
+    ASSERT_FALSE(r.details.empty());
+  }
+}
+
+TEST(Sim, VcdWriterProducesFile) {
+  nl::Design d = parse(R"(
+    module top (a, z);
+      input a; output z;
+      IV i1 (.A(a), .Z(z));
+    endmodule
+  )");
+  sim::Simulator s(d.top(), gf());
+  std::string path = ::testing::TempDir() + "/desync_test.vcd";
+  {
+    sim::VcdWriter vcd(s, path, {"a", "z"});
+    s.setInput("a", Val::k0);
+    s.runUntilStable(sim::nsToPs(10));
+    s.setInput("a", Val::k1);
+    s.runUntilStable(sim::nsToPs(20));
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string all((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_NE(all.find("$enddefinitions"), std::string::npos);
+  EXPECT_NE(all.find("$var wire 1"), std::string::npos);
+  EXPECT_NE(all.find('#'), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace

@@ -1,0 +1,86 @@
+// Tests for the PVT corner and Monte-Carlo variability model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "variability/variability.h"
+
+namespace var = desync::variability;
+
+namespace {
+
+TEST(Variability, CornersAreOrdered) {
+  auto best = var::cornerSpec(var::Corner::kBest);
+  auto typ = var::cornerSpec(var::Corner::kTypical);
+  auto worst = var::cornerSpec(var::Corner::kWorst);
+  EXPECT_LT(best.delay_scale, typ.delay_scale);
+  EXPECT_LT(typ.delay_scale, worst.delay_scale);
+  EXPECT_GT(best.vdd, typ.vdd);
+  EXPECT_GT(typ.vdd, worst.vdd);
+  EXPECT_DOUBLE_EQ(typ.delay_scale, 1.0);
+}
+
+TEST(Variability, NormalQuantileInvertsCdf) {
+  for (double q : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    double z = var::normalQuantile(q);
+    EXPECT_NEAR(var::normalCdf(z), q, 1e-6) << q;
+  }
+  EXPECT_NEAR(var::normalQuantile(0.5), 0.0, 1e-9);
+  EXPECT_LT(var::normalQuantile(0.1), 0.0);
+}
+
+TEST(Variability, QuantileSpansCorners) {
+  // +-3 sigma of the inter-die distribution hits the corner scales.
+  double low = var::interDieScaleAtQuantile(var::normalCdf(-3.0));
+  double high = var::interDieScaleAtQuantile(var::normalCdf(3.0));
+  EXPECT_NEAR(low, var::cornerSpec(var::Corner::kBest).delay_scale, 1e-6);
+  EXPECT_NEAR(high, var::cornerSpec(var::Corner::kWorst).delay_scale, 1e-6);
+  // Median sits midway.
+  EXPECT_NEAR(var::interDieScaleAtQuantile(0.5),
+              (low + high) / 2.0, 1e-6);
+}
+
+TEST(Variability, SamplesAreDeterministic) {
+  var::VariationModel m = var::makeSpanModel(42);
+  var::ChipSample a = var::sampleChip(m, 7);
+  var::ChipSample b = var::sampleChip(m, 7);
+  EXPECT_DOUBLE_EQ(a.global, b.global);
+  EXPECT_DOUBLE_EQ(a.factor("u1/g"), b.factor("u1/g"));
+  // Different die: different global factor.
+  var::ChipSample c = var::sampleChip(m, 8);
+  EXPECT_NE(a.global, c.global);
+}
+
+TEST(Variability, MonteCarloStatisticsMatchModel) {
+  var::VariationModel m = var::makeSpanModel(1);
+  const int n = 4000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double g = var::sampleChip(m, static_cast<std::uint64_t>(i)).global;
+    sum += g;
+    sum2 += g * g;
+  }
+  double mean = sum / n;
+  double stddev = std::sqrt(sum2 / n - mean * mean);
+  double mu = (var::cornerSpec(var::Corner::kBest).delay_scale +
+               var::cornerSpec(var::Corner::kWorst).delay_scale) /
+              2.0;
+  EXPECT_NEAR(mean, mu, 0.01);
+  EXPECT_NEAR(stddev, m.inter_die_sigma, 0.01);
+}
+
+TEST(Variability, IntraDieFactorsVaryPerCell) {
+  var::VariationModel m = var::makeSpanModel(3);
+  var::ChipSample s = var::sampleChip(m, 0);
+  double f1 = s.cell_factor("alu/u1");
+  double f2 = s.cell_factor("alu/u2");
+  EXPECT_NE(f1, f2);
+  EXPECT_GT(f1, 0.5);
+  EXPECT_LT(f1, 1.5);
+  // Zero intra-die sigma: all cells nominal.
+  m.intra_die_sigma = 0.0;
+  var::ChipSample flat = var::sampleChip(m, 0);
+  EXPECT_DOUBLE_EQ(flat.cell_factor("alu/u1"), 1.0);
+}
+
+}  // namespace

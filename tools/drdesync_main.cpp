@@ -1,0 +1,174 @@
+// drdesync — command-line desynchronization tool (thesis §3.2: "The tool
+// has a command line interface and the desynchronization operation consists
+// of a sequence of steps").
+//
+// Reads a post-synthesis gate-level Verilog netlist and a Liberty library,
+// desynchronizes the top module and writes the converted netlist plus the
+// backend constraints.
+//
+//   drdesync --lib builtin:hs --in dlx.v --top dlx
+//            --reset-port rst_n --reset-active-low
+//            --group "pc_,ifid_;idex_;exmem_,red_;rf_,dmem_"
+//            --out dlx_desync.v --sdc dlx.sdc --blif dlx.blif --report
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/desync.h"
+#include "liberty/liberty_io.h"
+#include "liberty/stdlib90.h"
+#include "netlist/blif.h"
+#include "netlist/verilog.h"
+
+using namespace desync;
+
+namespace {
+
+void usage() {
+  std::fputs(
+      "usage: drdesync --lib <file.lib|builtin:hs|builtin:ll> --in <v>\n"
+      "                [--top NAME] --out <v> [--sdc <f>] [--blif <f>]\n"
+      "                [--gatefile <f>] [--report]\n"
+      "                [--reset-port NAME] [--reset-active-low]\n"
+      "                [--group \"p1,p2;p3;...\"]   manual regions by prefix\n"
+      "                [--false-path NET]...       nets ignored by grouping\n"
+      "                [--margin F]                matched-delay margin\n"
+      "                [--mux-taps N]              0/2/4/8 calibration taps\n"
+      "                [--no-bus-heuristic] [--no-clean]\n",
+      stderr);
+}
+
+std::vector<std::vector<std::string>> parseGroups(const std::string& spec) {
+  std::vector<std::vector<std::string>> groups;
+  std::stringstream groups_in(spec);
+  std::string group;
+  while (std::getline(groups_in, group, ';')) {
+    std::vector<std::string> prefixes;
+    std::stringstream prefix_in(group);
+    std::string prefix;
+    while (std::getline(prefix_in, prefix, ',')) {
+      if (!prefix.empty()) prefixes.push_back(prefix);
+    }
+    if (!prefixes.empty()) groups.push_back(std::move(prefixes));
+  }
+  return groups;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string lib_path, in_path, top, out_path, sdc_path, blif_path,
+      gatefile_path, group_spec;
+  core::DesyncOptions opt;
+  bool report = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--lib") {
+      lib_path = next();
+    } else if (arg == "--in") {
+      in_path = next();
+    } else if (arg == "--top") {
+      top = next();
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--sdc") {
+      sdc_path = next();
+    } else if (arg == "--blif") {
+      blif_path = next();
+    } else if (arg == "--gatefile") {
+      gatefile_path = next();
+    } else if (arg == "--reset-port") {
+      opt.control.reset_port = next();
+    } else if (arg == "--reset-active-low") {
+      opt.control.reset_active_low = true;
+    } else if (arg == "--group") {
+      group_spec = next();
+    } else if (arg == "--false-path") {
+      opt.grouping.false_path_nets.push_back(next());
+    } else if (arg == "--margin") {
+      opt.control.margin = std::stod(next());
+    } else if (arg == "--mux-taps") {
+      opt.control.mux_taps = std::stoi(next());
+    } else if (arg == "--no-bus-heuristic") {
+      opt.grouping.bus_heuristic = false;
+    } else if (arg == "--no-clean") {
+      opt.grouping.clean_logic = false;
+    } else if (arg == "--report") {
+      report = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+  if (lib_path.empty() || in_path.empty() || out_path.empty()) {
+    usage();
+    return 2;
+  }
+  opt.manual_seq_groups = parseGroups(group_spec);
+
+  try {
+    liberty::Library library =
+        lib_path == "builtin:hs"
+            ? liberty::makeStdLib90(liberty::LibVariant::kHighSpeed)
+        : lib_path == "builtin:ll"
+            ? liberty::makeStdLib90(liberty::LibVariant::kLowLeakage)
+            : liberty::readLibertyFile(lib_path);
+    liberty::Gatefile gatefile(library);
+    if (!gatefile_path.empty()) {
+      std::ofstream(gatefile_path) << gatefile.toText();
+    }
+
+    netlist::Design design;
+    netlist::readVerilogFile(design, in_path, gatefile, {}, top);
+    netlist::Module& module =
+        top.empty() ? design.top() : *design.findModule(top);
+
+    const std::size_t cells_in = module.numCells();
+    core::DesyncResult result =
+        core::desynchronize(design, module, gatefile, opt);
+
+    netlist::writeVerilogFile(design, out_path);
+    if (!sdc_path.empty()) {
+      std::ofstream(sdc_path) << result.sdc.toText();
+    }
+    if (!blif_path.empty()) {
+      std::ofstream(blif_path) << netlist::writeBlif(module);
+    }
+
+    if (report) {
+      std::printf("drdesync: %s (%zu cells) -> %zu cells\n", in_path.c_str(),
+                  cells_in, module.numCells());
+      std::printf("  regions: %d, flip-flops substituted: %zu\n",
+                  result.regions.n_groups,
+                  result.substitution.ffs_replaced);
+      std::printf("  synchronous min period: %.3f ns\n",
+                  result.sync_min_period_ns);
+      for (const core::RegionControl& rc : result.control.regions) {
+        std::printf("  G%-3d delay element %3d levels  (cloud %.3f ns, "
+                    "matched %.3f ns)\n",
+                    rc.group, rc.delay_levels, rc.required_delay_ns,
+                    rc.matched_delay_ns);
+      }
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "drdesync: error: %s\n", e.what());
+    return 1;
+  }
+}
