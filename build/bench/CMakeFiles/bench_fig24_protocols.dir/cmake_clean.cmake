@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig24_protocols.dir/bench_fig24_protocols.cpp.o"
+  "CMakeFiles/bench_fig24_protocols.dir/bench_fig24_protocols.cpp.o.d"
+  "bench_fig24_protocols"
+  "bench_fig24_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig24_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig54_variability.dir/bench_fig54_variability.cpp.o"
+  "CMakeFiles/bench_fig54_variability.dir/bench_fig54_variability.cpp.o.d"
+  "bench_fig54_variability"
+  "bench_fig54_variability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig54_variability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

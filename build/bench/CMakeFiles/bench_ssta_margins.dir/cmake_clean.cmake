@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ssta_margins.dir/bench_ssta_margins.cpp.o"
+  "CMakeFiles/bench_ssta_margins.dir/bench_ssta_margins.cpp.o.d"
+  "bench_ssta_margins"
+  "bench_ssta_margins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ssta_margins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table52_arm_area.dir/bench_table52_arm_area.cpp.o"
+  "CMakeFiles/bench_table52_arm_area.dir/bench_table52_arm_area.cpp.o.d"
+  "bench_table52_arm_area"
+  "bench_table52_arm_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table52_arm_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

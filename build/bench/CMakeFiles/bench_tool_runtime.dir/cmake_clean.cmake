@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tool_runtime.dir/bench_tool_runtime.cpp.o"
+  "CMakeFiles/bench_tool_runtime.dir/bench_tool_runtime.cpp.o.d"
+  "bench_tool_runtime"
+  "bench_tool_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tool_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlx_flow.dir/dlx_flow.cpp.o"
+  "CMakeFiles/dlx_flow.dir/dlx_flow.cpp.o.d"
+  "dlx_flow"
+  "dlx_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlx_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

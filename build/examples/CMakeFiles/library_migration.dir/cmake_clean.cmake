@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/library_migration.dir/library_migration.cpp.o"
+  "CMakeFiles/library_migration.dir/library_migration.cpp.o.d"
+  "library_migration"
+  "library_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/library_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

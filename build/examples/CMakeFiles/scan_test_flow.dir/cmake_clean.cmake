@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scan_test_flow.dir/scan_test_flow.cpp.o"
+  "CMakeFiles/scan_test_flow.dir/scan_test_flow.cpp.o.d"
+  "scan_test_flow"
+  "scan_test_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scan_test_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

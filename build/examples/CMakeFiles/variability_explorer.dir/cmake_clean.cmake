@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variability_explorer.dir/variability_explorer.cpp.o"
+  "CMakeFiles/variability_explorer.dir/variability_explorer.cpp.o.d"
+  "variability_explorer"
+  "variability_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variability_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

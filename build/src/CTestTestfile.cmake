@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("netlist")
+subdirs("liberty")
+subdirs("stg")
+subdirs("async")
+subdirs("sta")
+subdirs("sim")
+subdirs("variability")
+subdirs("dft")
+subdirs("pnr")
+subdirs("designs")
+subdirs("core")

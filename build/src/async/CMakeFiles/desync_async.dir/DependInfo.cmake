@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/async/celement.cpp" "src/async/CMakeFiles/desync_async.dir/celement.cpp.o" "gcc" "src/async/CMakeFiles/desync_async.dir/celement.cpp.o.d"
+  "/root/repo/src/async/controllers.cpp" "src/async/CMakeFiles/desync_async.dir/controllers.cpp.o" "gcc" "src/async/CMakeFiles/desync_async.dir/controllers.cpp.o.d"
+  "/root/repo/src/async/delay_element.cpp" "src/async/CMakeFiles/desync_async.dir/delay_element.cpp.o" "gcc" "src/async/CMakeFiles/desync_async.dir/delay_element.cpp.o.d"
+  "/root/repo/src/async/verify_adapter.cpp" "src/async/CMakeFiles/desync_async.dir/verify_adapter.cpp.o" "gcc" "src/async/CMakeFiles/desync_async.dir/verify_adapter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/desync_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/liberty/CMakeFiles/desync_liberty.dir/DependInfo.cmake"
+  "/root/repo/build/src/stg/CMakeFiles/desync_stg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/desync_async.dir/celement.cpp.o"
+  "CMakeFiles/desync_async.dir/celement.cpp.o.d"
+  "CMakeFiles/desync_async.dir/controllers.cpp.o"
+  "CMakeFiles/desync_async.dir/controllers.cpp.o.d"
+  "CMakeFiles/desync_async.dir/delay_element.cpp.o"
+  "CMakeFiles/desync_async.dir/delay_element.cpp.o.d"
+  "CMakeFiles/desync_async.dir/verify_adapter.cpp.o"
+  "CMakeFiles/desync_async.dir/verify_adapter.cpp.o.d"
+  "libdesync_async.a"
+  "libdesync_async.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/desync_async.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

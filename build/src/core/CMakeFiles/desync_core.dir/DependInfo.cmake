@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/buffering.cpp" "src/core/CMakeFiles/desync_core.dir/buffering.cpp.o" "gcc" "src/core/CMakeFiles/desync_core.dir/buffering.cpp.o.d"
+  "/root/repo/src/core/control_network.cpp" "src/core/CMakeFiles/desync_core.dir/control_network.cpp.o" "gcc" "src/core/CMakeFiles/desync_core.dir/control_network.cpp.o.d"
+  "/root/repo/src/core/desync.cpp" "src/core/CMakeFiles/desync_core.dir/desync.cpp.o" "gcc" "src/core/CMakeFiles/desync_core.dir/desync.cpp.o.d"
+  "/root/repo/src/core/ff_substitution.cpp" "src/core/CMakeFiles/desync_core.dir/ff_substitution.cpp.o" "gcc" "src/core/CMakeFiles/desync_core.dir/ff_substitution.cpp.o.d"
+  "/root/repo/src/core/regions.cpp" "src/core/CMakeFiles/desync_core.dir/regions.cpp.o" "gcc" "src/core/CMakeFiles/desync_core.dir/regions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/desync_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/liberty/CMakeFiles/desync_liberty.dir/DependInfo.cmake"
+  "/root/repo/build/src/async/CMakeFiles/desync_async.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/desync_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/stg/CMakeFiles/desync_stg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/desync_core.dir/buffering.cpp.o"
+  "CMakeFiles/desync_core.dir/buffering.cpp.o.d"
+  "CMakeFiles/desync_core.dir/control_network.cpp.o"
+  "CMakeFiles/desync_core.dir/control_network.cpp.o.d"
+  "CMakeFiles/desync_core.dir/desync.cpp.o"
+  "CMakeFiles/desync_core.dir/desync.cpp.o.d"
+  "CMakeFiles/desync_core.dir/ff_substitution.cpp.o"
+  "CMakeFiles/desync_core.dir/ff_substitution.cpp.o.d"
+  "CMakeFiles/desync_core.dir/regions.cpp.o"
+  "CMakeFiles/desync_core.dir/regions.cpp.o.d"
+  "libdesync_core.a"
+  "libdesync_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/desync_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/designs/cpu.cpp" "src/designs/CMakeFiles/desync_designs.dir/cpu.cpp.o" "gcc" "src/designs/CMakeFiles/desync_designs.dir/cpu.cpp.o.d"
+  "/root/repo/src/designs/rtlgen.cpp" "src/designs/CMakeFiles/desync_designs.dir/rtlgen.cpp.o" "gcc" "src/designs/CMakeFiles/desync_designs.dir/rtlgen.cpp.o.d"
+  "/root/repo/src/designs/small.cpp" "src/designs/CMakeFiles/desync_designs.dir/small.cpp.o" "gcc" "src/designs/CMakeFiles/desync_designs.dir/small.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/desync_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/liberty/CMakeFiles/desync_liberty.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/desync_designs.dir/cpu.cpp.o"
+  "CMakeFiles/desync_designs.dir/cpu.cpp.o.d"
+  "CMakeFiles/desync_designs.dir/rtlgen.cpp.o"
+  "CMakeFiles/desync_designs.dir/rtlgen.cpp.o.d"
+  "CMakeFiles/desync_designs.dir/small.cpp.o"
+  "CMakeFiles/desync_designs.dir/small.cpp.o.d"
+  "libdesync_designs.a"
+  "libdesync_designs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/desync_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dft/fault_sim.cpp" "src/dft/CMakeFiles/desync_dft.dir/fault_sim.cpp.o" "gcc" "src/dft/CMakeFiles/desync_dft.dir/fault_sim.cpp.o.d"
+  "/root/repo/src/dft/scan.cpp" "src/dft/CMakeFiles/desync_dft.dir/scan.cpp.o" "gcc" "src/dft/CMakeFiles/desync_dft.dir/scan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/desync_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/liberty/CMakeFiles/desync_liberty.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/desync_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/desync_dft.dir/fault_sim.cpp.o"
+  "CMakeFiles/desync_dft.dir/fault_sim.cpp.o.d"
+  "CMakeFiles/desync_dft.dir/scan.cpp.o"
+  "CMakeFiles/desync_dft.dir/scan.cpp.o.d"
+  "libdesync_dft.a"
+  "libdesync_dft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/desync_dft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/liberty/bool_expr.cpp" "src/liberty/CMakeFiles/desync_liberty.dir/bool_expr.cpp.o" "gcc" "src/liberty/CMakeFiles/desync_liberty.dir/bool_expr.cpp.o.d"
+  "/root/repo/src/liberty/gatefile.cpp" "src/liberty/CMakeFiles/desync_liberty.dir/gatefile.cpp.o" "gcc" "src/liberty/CMakeFiles/desync_liberty.dir/gatefile.cpp.o.d"
+  "/root/repo/src/liberty/liberty_io.cpp" "src/liberty/CMakeFiles/desync_liberty.dir/liberty_io.cpp.o" "gcc" "src/liberty/CMakeFiles/desync_liberty.dir/liberty_io.cpp.o.d"
+  "/root/repo/src/liberty/library.cpp" "src/liberty/CMakeFiles/desync_liberty.dir/library.cpp.o" "gcc" "src/liberty/CMakeFiles/desync_liberty.dir/library.cpp.o.d"
+  "/root/repo/src/liberty/stdlib90.cpp" "src/liberty/CMakeFiles/desync_liberty.dir/stdlib90.cpp.o" "gcc" "src/liberty/CMakeFiles/desync_liberty.dir/stdlib90.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/desync_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

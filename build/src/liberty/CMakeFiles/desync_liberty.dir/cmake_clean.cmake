@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/desync_liberty.dir/bool_expr.cpp.o"
+  "CMakeFiles/desync_liberty.dir/bool_expr.cpp.o.d"
+  "CMakeFiles/desync_liberty.dir/gatefile.cpp.o"
+  "CMakeFiles/desync_liberty.dir/gatefile.cpp.o.d"
+  "CMakeFiles/desync_liberty.dir/liberty_io.cpp.o"
+  "CMakeFiles/desync_liberty.dir/liberty_io.cpp.o.d"
+  "CMakeFiles/desync_liberty.dir/library.cpp.o"
+  "CMakeFiles/desync_liberty.dir/library.cpp.o.d"
+  "CMakeFiles/desync_liberty.dir/stdlib90.cpp.o"
+  "CMakeFiles/desync_liberty.dir/stdlib90.cpp.o.d"
+  "libdesync_liberty.a"
+  "libdesync_liberty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/desync_liberty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/blif.cpp" "src/netlist/CMakeFiles/desync_netlist.dir/blif.cpp.o" "gcc" "src/netlist/CMakeFiles/desync_netlist.dir/blif.cpp.o.d"
+  "/root/repo/src/netlist/cleaning.cpp" "src/netlist/CMakeFiles/desync_netlist.dir/cleaning.cpp.o" "gcc" "src/netlist/CMakeFiles/desync_netlist.dir/cleaning.cpp.o.d"
+  "/root/repo/src/netlist/flatten.cpp" "src/netlist/CMakeFiles/desync_netlist.dir/flatten.cpp.o" "gcc" "src/netlist/CMakeFiles/desync_netlist.dir/flatten.cpp.o.d"
+  "/root/repo/src/netlist/names.cpp" "src/netlist/CMakeFiles/desync_netlist.dir/names.cpp.o" "gcc" "src/netlist/CMakeFiles/desync_netlist.dir/names.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/netlist/CMakeFiles/desync_netlist.dir/netlist.cpp.o" "gcc" "src/netlist/CMakeFiles/desync_netlist.dir/netlist.cpp.o.d"
+  "/root/repo/src/netlist/verilog_reader.cpp" "src/netlist/CMakeFiles/desync_netlist.dir/verilog_reader.cpp.o" "gcc" "src/netlist/CMakeFiles/desync_netlist.dir/verilog_reader.cpp.o.d"
+  "/root/repo/src/netlist/verilog_writer.cpp" "src/netlist/CMakeFiles/desync_netlist.dir/verilog_writer.cpp.o" "gcc" "src/netlist/CMakeFiles/desync_netlist.dir/verilog_writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/desync_netlist.dir/blif.cpp.o"
+  "CMakeFiles/desync_netlist.dir/blif.cpp.o.d"
+  "CMakeFiles/desync_netlist.dir/cleaning.cpp.o"
+  "CMakeFiles/desync_netlist.dir/cleaning.cpp.o.d"
+  "CMakeFiles/desync_netlist.dir/flatten.cpp.o"
+  "CMakeFiles/desync_netlist.dir/flatten.cpp.o.d"
+  "CMakeFiles/desync_netlist.dir/names.cpp.o"
+  "CMakeFiles/desync_netlist.dir/names.cpp.o.d"
+  "CMakeFiles/desync_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/desync_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/desync_netlist.dir/verilog_reader.cpp.o"
+  "CMakeFiles/desync_netlist.dir/verilog_reader.cpp.o.d"
+  "CMakeFiles/desync_netlist.dir/verilog_writer.cpp.o"
+  "CMakeFiles/desync_netlist.dir/verilog_writer.cpp.o.d"
+  "libdesync_netlist.a"
+  "libdesync_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/desync_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/desync_pnr.dir/pnr.cpp.o"
+  "CMakeFiles/desync_pnr.dir/pnr.cpp.o.d"
+  "libdesync_pnr.a"
+  "libdesync_pnr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/desync_pnr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/desync_sim.dir/flow_equivalence.cpp.o"
+  "CMakeFiles/desync_sim.dir/flow_equivalence.cpp.o.d"
+  "CMakeFiles/desync_sim.dir/power.cpp.o"
+  "CMakeFiles/desync_sim.dir/power.cpp.o.d"
+  "CMakeFiles/desync_sim.dir/simulator.cpp.o"
+  "CMakeFiles/desync_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/desync_sim.dir/vcd.cpp.o"
+  "CMakeFiles/desync_sim.dir/vcd.cpp.o.d"
+  "libdesync_sim.a"
+  "libdesync_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/desync_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

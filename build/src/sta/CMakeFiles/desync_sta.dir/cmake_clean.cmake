@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/desync_sta.dir/sdc.cpp.o"
+  "CMakeFiles/desync_sta.dir/sdc.cpp.o.d"
+  "CMakeFiles/desync_sta.dir/sta.cpp.o"
+  "CMakeFiles/desync_sta.dir/sta.cpp.o.d"
+  "libdesync_sta.a"
+  "libdesync_sta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/desync_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

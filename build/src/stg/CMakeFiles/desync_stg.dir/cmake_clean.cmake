@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/desync_stg.dir/protocols.cpp.o"
+  "CMakeFiles/desync_stg.dir/protocols.cpp.o.d"
+  "CMakeFiles/desync_stg.dir/si_verify.cpp.o"
+  "CMakeFiles/desync_stg.dir/si_verify.cpp.o.d"
+  "CMakeFiles/desync_stg.dir/stg.cpp.o"
+  "CMakeFiles/desync_stg.dir/stg.cpp.o.d"
+  "libdesync_stg.a"
+  "libdesync_stg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/desync_stg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

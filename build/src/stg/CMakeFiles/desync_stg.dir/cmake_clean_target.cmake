@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdesync_stg.a"
+)

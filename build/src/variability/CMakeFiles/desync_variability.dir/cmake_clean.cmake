@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/desync_variability.dir/variability.cpp.o"
+  "CMakeFiles/desync_variability.dir/variability.cpp.o.d"
+  "libdesync_variability.a"
+  "libdesync_variability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/desync_variability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

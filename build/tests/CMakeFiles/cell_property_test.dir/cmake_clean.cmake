@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cell_property_test.dir/cell_property_test.cpp.o"
+  "CMakeFiles/cell_property_test.dir/cell_property_test.cpp.o.d"
+  "cell_property_test"
+  "cell_property_test.pdb"
+  "cell_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cell_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

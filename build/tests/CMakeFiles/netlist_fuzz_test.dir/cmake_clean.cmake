@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netlist_fuzz_test.dir/netlist_fuzz_test.cpp.o"
+  "CMakeFiles/netlist_fuzz_test.dir/netlist_fuzz_test.cpp.o.d"
+  "netlist_fuzz_test"
+  "netlist_fuzz_test.pdb"
+  "netlist_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netlist_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variability_test.dir/variability_test.cpp.o"
+  "CMakeFiles/variability_test.dir/variability_test.cpp.o.d"
+  "variability_test"
+  "variability_test.pdb"
+  "variability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

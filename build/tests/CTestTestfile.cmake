@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/netlist_test[1]_include.cmake")
+include("/root/repo/build/tests/liberty_test[1]_include.cmake")
+include("/root/repo/build/tests/stg_test[1]_include.cmake")
+include("/root/repo/build/tests/async_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/sta_test[1]_include.cmake")
+include("/root/repo/build/tests/variability_test[1]_include.cmake")
+include("/root/repo/build/tests/designs_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/dft_test[1]_include.cmake")
+include("/root/repo/build/tests/pnr_test[1]_include.cmake")
+include("/root/repo/build/tests/cell_property_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/netlist_fuzz_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drdesync.dir/drdesync_main.cpp.o"
+  "CMakeFiles/drdesync.dir/drdesync_main.cpp.o.d"
+  "drdesync"
+  "drdesync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drdesync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
