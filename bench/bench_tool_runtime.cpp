@@ -24,6 +24,17 @@ const lib::Gatefile& gf() {
   return g;
 }
 
+/// Republishes the flow's per-pass wall times (accumulated over the
+/// benchmark's iterations) as benchmark counters, so pass-level regressions
+/// are visible directly in the benchmark output.
+void addFlowCounters(benchmark::State& state, const core::FlowReport& flow) {
+  for (const core::PassStat& p : flow.passes()) {
+    benchmark::Counter& c = state.counters[p.name + "_ms"];
+    c.value += p.wall_ms;
+    c.flags = benchmark::Counter::kAvgIterations;
+  }
+}
+
 void BM_DesyncCounter(benchmark::State& state) {
   const int bits = static_cast<int>(state.range(0));
   for (auto _ : state) {
@@ -37,6 +48,7 @@ void BM_DesyncCounter(benchmark::State& state) {
     core::DesyncResult r =
         core::desynchronize(d, *d.findModule("counter"), gf(), opt);
     benchmark::DoNotOptimize(r.regions.n_groups);
+    addFlowCounters(state, r.flow);
   }
   state.SetLabel(std::to_string(bits) + " bits");
 }
@@ -54,6 +66,7 @@ void BM_DesyncDlx(benchmark::State& state) {
     core::DesyncResult r =
         core::desynchronize(d, *d.findModule("dlx"), gf(), opt);
     benchmark::DoNotOptimize(r.regions.n_groups);
+    addFlowCounters(state, r.flow);
   }
   state.SetLabel("~10k cells");
 }
@@ -72,6 +85,7 @@ void BM_DesyncArmClass(benchmark::State& state) {
     core::DesyncResult r =
         core::desynchronize(d, *d.findModule("armlike"), gf(), opt);
     benchmark::DoNotOptimize(r.regions.n_groups);
+    addFlowCounters(state, r.flow);
   }
   state.SetLabel("~20k cells");
 }

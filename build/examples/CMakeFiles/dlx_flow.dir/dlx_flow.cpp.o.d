@@ -244,8 +244,9 @@ examples/CMakeFiles/dlx_flow.dir/dlx_flow.cpp.o: \
  /root/repo/src/core/../netlist/names.h /root/repo/src/core/../stg/stg.h \
  /root/repo/src/core/../core/ff_substitution.h \
  /root/repo/src/core/../core/regions.h /root/repo/src/core/../sta/sdc.h \
- /root/repo/src/core/../sta/sta.h /root/repo/src/core/../designs/cpu.h \
- /root/repo/src/core/../dft/scan.h \
+ /root/repo/src/core/../sta/sta.h /root/repo/src/core/../liberty/bound.h \
+ /root/repo/src/core/../core/flow_report.h /usr/include/c++/12/chrono \
+ /root/repo/src/core/../designs/cpu.h /root/repo/src/core/../dft/scan.h \
  /root/repo/src/core/../liberty/liberty_io.h \
  /root/repo/src/core/../liberty/stdlib90.h \
  /root/repo/src/core/../netlist/blif.h \

@@ -227,4 +227,4 @@ examples/CMakeFiles/library_migration.dir/library_migration.cpp.o: \
  /root/repo/src/core/../stg/si_verify.h \
  /root/repo/src/core/../liberty/liberty_io.h \
  /root/repo/src/core/../liberty/stdlib90.h \
- /root/repo/src/core/../sta/sta.h
+ /root/repo/src/core/../sta/sta.h /root/repo/src/core/../liberty/bound.h

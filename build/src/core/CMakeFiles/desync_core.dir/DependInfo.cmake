@@ -12,6 +12,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/control_network.cpp" "src/core/CMakeFiles/desync_core.dir/control_network.cpp.o" "gcc" "src/core/CMakeFiles/desync_core.dir/control_network.cpp.o.d"
   "/root/repo/src/core/desync.cpp" "src/core/CMakeFiles/desync_core.dir/desync.cpp.o" "gcc" "src/core/CMakeFiles/desync_core.dir/desync.cpp.o.d"
   "/root/repo/src/core/ff_substitution.cpp" "src/core/CMakeFiles/desync_core.dir/ff_substitution.cpp.o" "gcc" "src/core/CMakeFiles/desync_core.dir/ff_substitution.cpp.o.d"
+  "/root/repo/src/core/flow_report.cpp" "src/core/CMakeFiles/desync_core.dir/flow_report.cpp.o" "gcc" "src/core/CMakeFiles/desync_core.dir/flow_report.cpp.o.d"
   "/root/repo/src/core/regions.cpp" "src/core/CMakeFiles/desync_core.dir/regions.cpp.o" "gcc" "src/core/CMakeFiles/desync_core.dir/regions.cpp.o.d"
   )
 

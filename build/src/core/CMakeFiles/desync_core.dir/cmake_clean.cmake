@@ -7,6 +7,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/desync_core.dir/desync.cpp.o.d"
   "CMakeFiles/desync_core.dir/ff_substitution.cpp.o"
   "CMakeFiles/desync_core.dir/ff_substitution.cpp.o.d"
+  "CMakeFiles/desync_core.dir/flow_report.cpp.o"
+  "CMakeFiles/desync_core.dir/flow_report.cpp.o.d"
   "CMakeFiles/desync_core.dir/regions.cpp.o"
   "CMakeFiles/desync_core.dir/regions.cpp.o.d"
   "libdesync_core.a"

@@ -223,8 +223,8 @@ src/core/CMakeFiles/desync_core.dir/control_network.cpp.o: \
  /root/repo/src/core/../netlist/names.h /root/repo/src/core/../stg/stg.h \
  /root/repo/src/core/../core/ff_substitution.h \
  /root/repo/src/core/../core/regions.h /root/repo/src/core/../sta/sdc.h \
- /root/repo/src/core/../sta/sta.h /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/core/../sta/sta.h /root/repo/src/core/../liberty/bound.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \

@@ -224,4 +224,10 @@ src/core/CMakeFiles/desync_core.dir/desync.cpp.o: \
  /root/repo/src/core/../netlist/names.h /root/repo/src/core/../stg/stg.h \
  /root/repo/src/core/../core/ff_substitution.h \
  /root/repo/src/core/../core/regions.h /root/repo/src/core/../sta/sdc.h \
- /root/repo/src/core/../sta/sta.h
+ /root/repo/src/core/../sta/sta.h /root/repo/src/core/../liberty/bound.h \
+ /root/repo/src/core/../core/flow_report.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc

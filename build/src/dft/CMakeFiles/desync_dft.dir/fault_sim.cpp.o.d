@@ -220,4 +220,5 @@ src/dft/CMakeFiles/desync_dft.dir/fault_sim.cpp.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/dft/../netlist/ids.h /usr/include/c++/12/limits \
  /root/repo/src/dft/../netlist/names.h /root/repo/src/dft/../sim/value.h \
- /root/repo/src/dft/../sim/simulator.h
+ /root/repo/src/dft/../sim/simulator.h \
+ /root/repo/src/dft/../liberty/bound.h

@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/liberty/bool_expr.cpp" "src/liberty/CMakeFiles/desync_liberty.dir/bool_expr.cpp.o" "gcc" "src/liberty/CMakeFiles/desync_liberty.dir/bool_expr.cpp.o.d"
+  "/root/repo/src/liberty/bound.cpp" "src/liberty/CMakeFiles/desync_liberty.dir/bound.cpp.o" "gcc" "src/liberty/CMakeFiles/desync_liberty.dir/bound.cpp.o.d"
   "/root/repo/src/liberty/gatefile.cpp" "src/liberty/CMakeFiles/desync_liberty.dir/gatefile.cpp.o" "gcc" "src/liberty/CMakeFiles/desync_liberty.dir/gatefile.cpp.o.d"
   "/root/repo/src/liberty/liberty_io.cpp" "src/liberty/CMakeFiles/desync_liberty.dir/liberty_io.cpp.o" "gcc" "src/liberty/CMakeFiles/desync_liberty.dir/liberty_io.cpp.o.d"
   "/root/repo/src/liberty/library.cpp" "src/liberty/CMakeFiles/desync_liberty.dir/library.cpp.o" "gcc" "src/liberty/CMakeFiles/desync_liberty.dir/library.cpp.o.d"

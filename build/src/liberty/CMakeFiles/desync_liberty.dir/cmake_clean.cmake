@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/desync_liberty.dir/bool_expr.cpp.o"
   "CMakeFiles/desync_liberty.dir/bool_expr.cpp.o.d"
+  "CMakeFiles/desync_liberty.dir/bound.cpp.o"
+  "CMakeFiles/desync_liberty.dir/bound.cpp.o.d"
   "CMakeFiles/desync_liberty.dir/gatefile.cpp.o"
   "CMakeFiles/desync_liberty.dir/gatefile.cpp.o.d"
   "CMakeFiles/desync_liberty.dir/liberty_io.cpp.o"

@@ -123,6 +123,7 @@ src/pnr/CMakeFiles/desync_pnr.dir/pnr.cpp.o: /root/repo/src/pnr/pnr.cpp \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc \
+ /root/repo/src/pnr/../liberty/bound.h \
  /root/repo/src/pnr/../liberty/gatefile.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/ext/aligned_buffer.h \

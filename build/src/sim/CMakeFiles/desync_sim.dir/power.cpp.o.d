@@ -221,4 +221,5 @@ src/sim/CMakeFiles/desync_sim.dir/power.cpp.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/sim/../netlist/ids.h /usr/include/c++/12/limits \
  /root/repo/src/sim/../netlist/names.h \
- /root/repo/src/sim/../sim/simulator.h /root/repo/src/sim/../sim/value.h
+ /root/repo/src/sim/../sim/simulator.h \
+ /root/repo/src/sim/../liberty/bound.h /root/repo/src/sim/../sim/value.h

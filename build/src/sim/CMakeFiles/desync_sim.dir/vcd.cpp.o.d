@@ -212,6 +212,7 @@ src/sim/CMakeFiles/desync_sim.dir/vcd.cpp.o: /root/repo/src/sim/vcd.cpp \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
+ /root/repo/src/sim/../liberty/bound.h \
  /root/repo/src/sim/../liberty/gatefile.h /usr/include/c++/12/optional \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/sim/../liberty/library.h \

@@ -142,13 +142,7 @@ src/sta/CMakeFiles/desync_sta.dir/sdc.cpp.o: /root/repo/src/sta/sdc.cpp \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/optional \
- /root/repo/src/sta/../liberty/gatefile.h /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/sta/../liberty/library.h \
- /root/repo/src/sta/../liberty/bool_expr.h /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
@@ -216,7 +210,14 @@ src/sta/CMakeFiles/desync_sta.dir/sdc.cpp.o: /root/repo/src/sta/sdc.cpp \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/optional \
+ /root/repo/src/sta/../liberty/bound.h \
+ /root/repo/src/sta/../liberty/gatefile.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/sta/../liberty/library.h \
+ /root/repo/src/sta/../liberty/bool_expr.h \
  /root/repo/src/sta/../netlist/cell_type_provider.h \
  /root/repo/src/sta/../netlist/netlist.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bound_test.cpp" "tests/CMakeFiles/bound_test.dir/bound_test.cpp.o" "gcc" "tests/CMakeFiles/bound_test.dir/bound_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sta/CMakeFiles/desync_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/desync_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/designs/CMakeFiles/desync_designs.dir/DependInfo.cmake"
+  "/root/repo/build/src/liberty/CMakeFiles/desync_liberty.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/desync_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bound_test.dir/bound_test.cpp.o"
+  "CMakeFiles/bound_test.dir/bound_test.cpp.o.d"
+  "bound_test"
+  "bound_test.pdb"
+  "bound_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bound_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -306,7 +306,10 @@ tests/CMakeFiles/core_test.dir/core_test.cpp.o: \
  /root/repo/src/core/../netlist/names.h /root/repo/src/core/../stg/stg.h \
  /root/repo/src/core/../core/ff_substitution.h \
  /root/repo/src/core/../core/regions.h /root/repo/src/core/../sta/sdc.h \
- /root/repo/src/core/../sta/sta.h /root/repo/src/core/../designs/cpu.h \
+ /root/repo/src/core/../sta/sta.h /root/repo/src/core/../liberty/bound.h \
+ /root/repo/src/core/../core/flow_report.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /root/repo/src/core/../designs/cpu.h \
  /root/repo/src/core/../designs/small.h \
  /root/repo/src/core/../liberty/stdlib90.h \
  /root/repo/src/core/../netlist/flatten.h \

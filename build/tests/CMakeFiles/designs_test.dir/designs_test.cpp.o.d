@@ -306,4 +306,5 @@ tests/CMakeFiles/designs_test.dir/designs_test.cpp.o: \
  /root/repo/src/designs/../designs/small.h \
  /root/repo/src/designs/../liberty/stdlib90.h \
  /root/repo/src/designs/../sim/simulator.h \
+ /root/repo/src/designs/../liberty/bound.h \
  /root/repo/src/designs/../sim/value.h

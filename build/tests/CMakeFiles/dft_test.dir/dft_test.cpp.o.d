@@ -306,7 +306,10 @@ tests/CMakeFiles/dft_test.dir/dft_test.cpp.o: \
  /root/repo/src/dft/../netlist/names.h /root/repo/src/dft/../stg/stg.h \
  /root/repo/src/dft/../core/ff_substitution.h \
  /root/repo/src/dft/../core/regions.h /root/repo/src/dft/../sta/sdc.h \
- /root/repo/src/dft/../sta/sta.h /root/repo/src/dft/../designs/small.h \
+ /root/repo/src/dft/../sta/sta.h /root/repo/src/dft/../liberty/bound.h \
+ /root/repo/src/dft/../core/flow_report.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /root/repo/src/dft/../designs/small.h \
  /root/repo/src/dft/../dft/fault_sim.h /root/repo/src/dft/../dft/scan.h \
  /root/repo/src/dft/../sim/value.h \
  /root/repo/src/dft/../liberty/stdlib90.h \

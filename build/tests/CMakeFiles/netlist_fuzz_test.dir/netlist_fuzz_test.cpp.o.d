@@ -304,4 +304,5 @@ tests/CMakeFiles/netlist_fuzz_test.dir/netlist_fuzz_test.cpp.o: \
  /root/repo/src/sim/../liberty/stdlib90.h \
  /root/repo/src/sim/../netlist/cleaning.h \
  /root/repo/src/sim/../netlist/verilog.h \
- /root/repo/src/sim/../sim/simulator.h /root/repo/src/sim/../sim/value.h
+ /root/repo/src/sim/../sim/simulator.h \
+ /root/repo/src/sim/../liberty/bound.h /root/repo/src/sim/../sim/value.h

@@ -304,5 +304,6 @@ tests/CMakeFiles/parser_edge_test.dir/parser_edge_test.cpp.o: \
  /root/repo/src/sta/../liberty/liberty_io.h \
  /root/repo/src/sta/../liberty/stdlib90.h \
  /root/repo/src/sta/../netlist/verilog.h \
- /root/repo/src/sta/../sim/simulator.h /root/repo/src/sta/../sim/value.h \
- /root/repo/src/sta/../sta/sta.h
+ /root/repo/src/sta/../sim/simulator.h \
+ /root/repo/src/sta/../liberty/bound.h /root/repo/src/sta/../sim/value.h \
+ /root/repo/src/sta/../sta/sdc.h /root/repo/src/sta/../sta/sta.h

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/liberty/bool_expr.cpp" "tests/CMakeFiles/parser_edge_test_sanitized.dir/__/src/liberty/bool_expr.cpp.o" "gcc" "tests/CMakeFiles/parser_edge_test_sanitized.dir/__/src/liberty/bool_expr.cpp.o.d"
+  "/root/repo/src/liberty/bound.cpp" "tests/CMakeFiles/parser_edge_test_sanitized.dir/__/src/liberty/bound.cpp.o" "gcc" "tests/CMakeFiles/parser_edge_test_sanitized.dir/__/src/liberty/bound.cpp.o.d"
+  "/root/repo/src/liberty/gatefile.cpp" "tests/CMakeFiles/parser_edge_test_sanitized.dir/__/src/liberty/gatefile.cpp.o" "gcc" "tests/CMakeFiles/parser_edge_test_sanitized.dir/__/src/liberty/gatefile.cpp.o.d"
+  "/root/repo/src/liberty/liberty_io.cpp" "tests/CMakeFiles/parser_edge_test_sanitized.dir/__/src/liberty/liberty_io.cpp.o" "gcc" "tests/CMakeFiles/parser_edge_test_sanitized.dir/__/src/liberty/liberty_io.cpp.o.d"
+  "/root/repo/src/liberty/library.cpp" "tests/CMakeFiles/parser_edge_test_sanitized.dir/__/src/liberty/library.cpp.o" "gcc" "tests/CMakeFiles/parser_edge_test_sanitized.dir/__/src/liberty/library.cpp.o.d"
+  "/root/repo/src/liberty/stdlib90.cpp" "tests/CMakeFiles/parser_edge_test_sanitized.dir/__/src/liberty/stdlib90.cpp.o" "gcc" "tests/CMakeFiles/parser_edge_test_sanitized.dir/__/src/liberty/stdlib90.cpp.o.d"
+  "/root/repo/src/netlist/blif.cpp" "tests/CMakeFiles/parser_edge_test_sanitized.dir/__/src/netlist/blif.cpp.o" "gcc" "tests/CMakeFiles/parser_edge_test_sanitized.dir/__/src/netlist/blif.cpp.o.d"
+  "/root/repo/src/netlist/cleaning.cpp" "tests/CMakeFiles/parser_edge_test_sanitized.dir/__/src/netlist/cleaning.cpp.o" "gcc" "tests/CMakeFiles/parser_edge_test_sanitized.dir/__/src/netlist/cleaning.cpp.o.d"
+  "/root/repo/src/netlist/flatten.cpp" "tests/CMakeFiles/parser_edge_test_sanitized.dir/__/src/netlist/flatten.cpp.o" "gcc" "tests/CMakeFiles/parser_edge_test_sanitized.dir/__/src/netlist/flatten.cpp.o.d"
+  "/root/repo/src/netlist/names.cpp" "tests/CMakeFiles/parser_edge_test_sanitized.dir/__/src/netlist/names.cpp.o" "gcc" "tests/CMakeFiles/parser_edge_test_sanitized.dir/__/src/netlist/names.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "tests/CMakeFiles/parser_edge_test_sanitized.dir/__/src/netlist/netlist.cpp.o" "gcc" "tests/CMakeFiles/parser_edge_test_sanitized.dir/__/src/netlist/netlist.cpp.o.d"
+  "/root/repo/src/netlist/verilog_reader.cpp" "tests/CMakeFiles/parser_edge_test_sanitized.dir/__/src/netlist/verilog_reader.cpp.o" "gcc" "tests/CMakeFiles/parser_edge_test_sanitized.dir/__/src/netlist/verilog_reader.cpp.o.d"
+  "/root/repo/src/netlist/verilog_writer.cpp" "tests/CMakeFiles/parser_edge_test_sanitized.dir/__/src/netlist/verilog_writer.cpp.o" "gcc" "tests/CMakeFiles/parser_edge_test_sanitized.dir/__/src/netlist/verilog_writer.cpp.o.d"
+  "/root/repo/src/sim/flow_equivalence.cpp" "tests/CMakeFiles/parser_edge_test_sanitized.dir/__/src/sim/flow_equivalence.cpp.o" "gcc" "tests/CMakeFiles/parser_edge_test_sanitized.dir/__/src/sim/flow_equivalence.cpp.o.d"
+  "/root/repo/src/sim/power.cpp" "tests/CMakeFiles/parser_edge_test_sanitized.dir/__/src/sim/power.cpp.o" "gcc" "tests/CMakeFiles/parser_edge_test_sanitized.dir/__/src/sim/power.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "tests/CMakeFiles/parser_edge_test_sanitized.dir/__/src/sim/simulator.cpp.o" "gcc" "tests/CMakeFiles/parser_edge_test_sanitized.dir/__/src/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/vcd.cpp" "tests/CMakeFiles/parser_edge_test_sanitized.dir/__/src/sim/vcd.cpp.o" "gcc" "tests/CMakeFiles/parser_edge_test_sanitized.dir/__/src/sim/vcd.cpp.o.d"
+  "/root/repo/src/sta/sdc.cpp" "tests/CMakeFiles/parser_edge_test_sanitized.dir/__/src/sta/sdc.cpp.o" "gcc" "tests/CMakeFiles/parser_edge_test_sanitized.dir/__/src/sta/sdc.cpp.o.d"
+  "/root/repo/src/sta/sta.cpp" "tests/CMakeFiles/parser_edge_test_sanitized.dir/__/src/sta/sta.cpp.o" "gcc" "tests/CMakeFiles/parser_edge_test_sanitized.dir/__/src/sta/sta.cpp.o.d"
+  "/root/repo/tests/parser_edge_test.cpp" "tests/CMakeFiles/parser_edge_test_sanitized.dir/parser_edge_test.cpp.o" "gcc" "tests/CMakeFiles/parser_edge_test_sanitized.dir/parser_edge_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

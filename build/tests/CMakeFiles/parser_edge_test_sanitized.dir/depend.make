@@ -1,0 +1,2 @@
+# Empty dependencies file for parser_edge_test_sanitized.
+# This may be replaced when dependencies are built.

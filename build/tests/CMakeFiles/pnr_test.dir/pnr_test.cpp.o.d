@@ -327,4 +327,5 @@ tests/CMakeFiles/pnr_test.dir/pnr_test.cpp.o: \
  /root/repo/src/pnr/../netlist/ids.h \
  /root/repo/src/pnr/../netlist/names.h \
  /root/repo/src/pnr/../designs/small.h \
- /root/repo/src/pnr/../liberty/stdlib90.h /root/repo/src/pnr/../pnr/pnr.h
+ /root/repo/src/pnr/../liberty/stdlib90.h /root/repo/src/pnr/../pnr/pnr.h \
+ /root/repo/src/pnr/../liberty/bound.h

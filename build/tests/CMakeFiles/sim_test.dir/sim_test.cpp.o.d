@@ -311,5 +311,6 @@ tests/CMakeFiles/sim_test.dir/sim_test.cpp.o: \
  /root/repo/src/sim/../netlist/flatten.h \
  /root/repo/src/sim/../netlist/verilog.h \
  /root/repo/src/sim/../sim/flow_equivalence.h \
- /root/repo/src/sim/../sim/simulator.h /root/repo/src/sim/../sim/value.h \
+ /root/repo/src/sim/../sim/simulator.h \
+ /root/repo/src/sim/../liberty/bound.h /root/repo/src/sim/../sim/value.h \
  /root/repo/src/sim/../sim/power.h /root/repo/src/sim/../sim/vcd.h

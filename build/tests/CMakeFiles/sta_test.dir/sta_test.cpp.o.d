@@ -306,4 +306,4 @@ tests/CMakeFiles/sta_test.dir/sta_test.cpp.o: \
  /root/repo/src/sta/../liberty/stdlib90.h \
  /root/repo/src/sta/../netlist/flatten.h \
  /root/repo/src/sta/../netlist/verilog.h /root/repo/src/sta/../sta/sdc.h \
- /root/repo/src/sta/../sta/sta.h
+ /root/repo/src/sta/../sta/sta.h /root/repo/src/sta/../liberty/bound.h

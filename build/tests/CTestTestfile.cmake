@@ -17,4 +17,6 @@ include("/root/repo/build/tests/dft_test[1]_include.cmake")
 include("/root/repo/build/tests/pnr_test[1]_include.cmake")
 include("/root/repo/build/tests/cell_property_test[1]_include.cmake")
 include("/root/repo/build/tests/parser_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/bound_test[1]_include.cmake")
 include("/root/repo/build/tests/netlist_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_edge_test_sanitized[1]_include.cmake")

@@ -11,64 +11,103 @@ DesyncResult desynchronize(netlist::Design& design, netlist::Module& module,
 
   // Reference period of the synchronous circuit (before any mutation).
   {
+    ScopedPass pass(result.flow, "reference_sta");
     sta::Sta sync_sta(module, gatefile);
     result.sync_min_period_ns = sync_sta.minPeriodNs();
+    pass.counter("cells", static_cast<std::int64_t>(module.numCells()));
+    pass.counter("nets", static_cast<std::int64_t>(module.numNets()));
   }
 
   // 1+2. Cleaning + region creation (automatic or designer-specified).
-  if (options.manual_seq_groups.empty()) {
-    result.regions = groupRegions(module, gatefile, options.grouping);
-  } else {
-    result.regions = groupRegionsBySeqPrefix(
-        module, gatefile, options.manual_seq_groups, options.grouping);
+  {
+    ScopedPass pass(result.flow, "region_grouping");
+    if (options.manual_seq_groups.empty()) {
+      result.regions = groupRegions(module, gatefile, options.grouping);
+    } else {
+      result.regions = groupRegionsBySeqPrefix(
+          module, gatefile, options.manual_seq_groups, options.grouping);
+    }
+    pass.counter("regions", result.regions.n_groups);
+    pass.counter("cells", static_cast<std::int64_t>(module.numCells()));
   }
 
   // 3. Flip-flop substitution (latch pairs + extra-latch glue).
-  result.substitution =
-      substituteFlipFlops(module, gatefile, result.regions);
+  {
+    ScopedPass pass(result.flow, "ff_substitution");
+    result.substitution =
+        substituteFlipFlops(module, gatefile, result.regions);
+    pass.counter("ffs_replaced",
+                 static_cast<std::int64_t>(result.substitution.ffs_replaced));
+    pass.counter(
+        "glue_cells",
+        static_cast<std::int64_t>(result.substitution.glue_cells_added));
+  }
 
   // 4. Data-dependency graph over the regions.
-  result.ddg = buildDependencyGraph(module, gatefile, result.regions);
+  {
+    ScopedPass pass(result.flow, "dependency_graph");
+    result.ddg = buildDependencyGraph(module, gatefile, result.regions);
+    std::int64_t edges = 0;
+    for (const auto& preds : result.ddg.preds) {
+      edges += static_cast<std::int64_t>(preds.size());
+    }
+    pass.counter("edges", edges);
+  }
 
   // 5+6. Delay elements and control network.
-  result.control = insertControlNetwork(design, module, gatefile,
-                                        result.regions, result.ddg,
-                                        result.substitution, options.control);
+  {
+    ScopedPass pass(result.flow, "control_network");
+    result.control = insertControlNetwork(
+        design, module, gatefile, result.regions, result.ddg,
+        result.substitution, options.control);
+    pass.counter("controllers",
+                 static_cast<std::int64_t>(result.control.regions.size()));
+    pass.counter("loop_cuts",
+                 static_cast<std::int64_t>(result.control.loop_cuts.size()));
+    pass.counter("cells", static_cast<std::int64_t>(module.numCells()));
+    pass.counter("nets", static_cast<std::int64_t>(module.numNets()));
+  }
 
   // 7. Backend constraints (thesis §4.5, Fig 4.2): the original clock
   // becomes two non-overlapping latch-enable clocks sourced at the
   // controllers' g drivers; the falling edge of the master coincides with
   // the rising edge of the slave at the original capture instant.
-  const double period = result.sync_min_period_ns;
-  sta::SdcClock clk_m, clk_s;
-  clk_m.name = "ClkM";
-  clk_m.period_ns = period;
-  clk_m.rise_at_ns = period * 5.0 / 12.0;
-  clk_m.fall_at_ns = period;
-  clk_m.targets_are_pins = true;
-  clk_s.name = "ClkS";
-  clk_s.period_ns = period;
-  clk_s.rise_at_ns = period;
-  clk_s.fall_at_ns = period * 7.0 / 6.0;
-  clk_s.targets_are_pins = true;
-  for (int g = 0; g < result.regions.n_groups; ++g) {
-    auto gi = static_cast<std::size_t>(g);
-    auto addTarget = [&](netlist::NetId en, sta::SdcClock& clock) {
-      if (!en.valid()) return;
-      const netlist::Net& n = module.net(en);
-      if (!n.driver.isCellPin()) return;
-      clock.targets.push_back(
-          std::string(module.cellName(n.driver.cell())) + "/Z");
-    };
-    if (gi < result.substitution.master_enable.size()) {
-      addTarget(result.substitution.master_enable[gi], clk_m);
-      addTarget(result.substitution.slave_enable[gi], clk_s);
+  {
+    ScopedPass pass(result.flow, "sdc_generation");
+    const double period = result.sync_min_period_ns;
+    sta::SdcClock clk_m, clk_s;
+    clk_m.name = "ClkM";
+    clk_m.period_ns = period;
+    clk_m.rise_at_ns = period * 5.0 / 12.0;
+    clk_m.fall_at_ns = period;
+    clk_m.targets_are_pins = true;
+    clk_s.name = "ClkS";
+    clk_s.period_ns = period;
+    clk_s.rise_at_ns = period;
+    clk_s.fall_at_ns = period * 7.0 / 6.0;
+    clk_s.targets_are_pins = true;
+    for (int g = 0; g < result.regions.n_groups; ++g) {
+      auto gi = static_cast<std::size_t>(g);
+      auto addTarget = [&](netlist::NetId en, sta::SdcClock& clock) {
+        if (!en.valid()) return;
+        const netlist::Net& n = module.net(en);
+        if (!n.driver.isCellPin()) return;
+        clock.targets.push_back(
+            std::string(module.cellName(n.driver.cell())) + "/Z");
+      };
+      if (gi < result.substitution.master_enable.size()) {
+        addTarget(result.substitution.master_enable[gi], clk_m);
+        addTarget(result.substitution.slave_enable[gi], clk_s);
+      }
     }
+    if (!clk_m.targets.empty()) result.sdc.clocks.push_back(clk_m);
+    if (!clk_s.targets.empty()) result.sdc.clocks.push_back(clk_s);
+    result.sdc.disabled = result.control.loop_cuts;
+    result.sdc.size_only = result.control.size_only_cells;
+    pass.counter("clocks", static_cast<std::int64_t>(result.sdc.clocks.size()));
+    pass.counter("disabled_arcs",
+                 static_cast<std::int64_t>(result.sdc.disabled.size()));
   }
-  if (!clk_m.targets.empty()) result.sdc.clocks.push_back(clk_m);
-  if (!clk_s.targets.empty()) result.sdc.clocks.push_back(clk_s);
-  result.sdc.disabled = result.control.loop_cuts;
-  result.sdc.size_only = result.control.size_only_cells;
 
   return result;
 }

@@ -18,6 +18,7 @@
 
 #include "core/control_network.h"
 #include "core/ff_substitution.h"
+#include "core/flow_report.h"
 #include "core/regions.h"
 #include "sta/sdc.h"
 
@@ -47,6 +48,8 @@ struct DesyncResult {
   /// + setup), used as the reference period for the generated clocks and
   /// for the synchronous-version comparisons.
   double sync_min_period_ns = 0.0;
+  /// Per-pass wall times and work counters (`drdesync --report`).
+  FlowReport flow;
 };
 
 /// Desynchronizes `module` in place.  `design` receives the helper modules

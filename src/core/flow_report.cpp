@@ -1,0 +1,101 @@
+#include "core/flow_report.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace desync::core {
+
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string jsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+PassStat& FlowReport::addPass(std::string name) {
+  passes_.push_back(PassStat{std::move(name), 0.0, {}});
+  return passes_.back();
+}
+
+const PassStat* FlowReport::find(std::string_view name) const {
+  for (const PassStat& p : passes_) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+double FlowReport::totalMs() const {
+  double total = 0.0;
+  for (const PassStat& p : passes_) total += p.wall_ms;
+  return total;
+}
+
+std::string FlowReport::toJson(int indent) const {
+  const std::string nl = indent < 0 ? "" : "\n";
+  const std::string pad1 = indent < 0 ? "" : std::string(indent, ' ');
+  const std::string pad2 = indent < 0 ? "" : std::string(2 * indent, ' ');
+  std::ostringstream os;
+  os.precision(6);
+  os << std::fixed;
+  os << "{" << nl;
+  os << pad1 << "\"total_ms\": " << totalMs() << "," << nl;
+  os << pad1 << "\"passes\": [";
+  for (std::size_t i = 0; i < passes_.size(); ++i) {
+    const PassStat& p = passes_[i];
+    os << (i == 0 ? "" : ",") << nl << pad2 << "{\"name\": \""
+       << jsonEscape(p.name) << "\", \"wall_ms\": " << p.wall_ms;
+    for (const auto& [k, v] : p.counters) {
+      os << ", \"" << jsonEscape(k) << "\": " << v;
+    }
+    os << "}";
+  }
+  os << nl << pad1 << "]" << nl << "}";
+  return os.str();
+}
+
+ScopedPass::ScopedPass(FlowReport& report, std::string name)
+    : report_(&report),
+      name_(std::move(name)),
+      start_(std::chrono::steady_clock::now()) {}
+
+ScopedPass::~ScopedPass() {
+  const auto end = std::chrono::steady_clock::now();
+  PassStat& stat = report_->addPass(std::move(name_));
+  stat.wall_ms =
+      std::chrono::duration<double, std::milli>(end - start_).count();
+  stat.counters = std::move(counters_);
+}
+
+void ScopedPass::counter(std::string key, std::int64_t value) {
+  counters_.emplace_back(std::move(key), value);
+}
+
+}  // namespace desync::core

@@ -1,0 +1,84 @@
+// Flow instrumentation: per-pass wall times and work counters.
+//
+// Every pass of desynchronize() runs under a ScopedPass, which records its
+// wall-clock time and whatever counters the pass reports (cells, nets,
+// regions, replaced flip-flops, ...).  The collected FlowReport travels in
+// DesyncResult; `drdesync --report` serializes it as JSON (schema in the
+// README) and bench_tool_runtime republishes the per-pass times as
+// benchmark counters, so pass-level regressions show up in CI benchmarks
+// without re-profiling.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace desync::core {
+
+/// One timed pass of the flow.
+struct PassStat {
+  std::string name;
+  double wall_ms = 0.0;
+  /// Pass-specific work counters, in insertion order (e.g. "cells",
+  /// "nets", "ffs_replaced").
+  std::vector<std::pair<std::string, std::int64_t>> counters;
+
+  [[nodiscard]] std::int64_t counter(std::string_view key,
+                                     std::int64_t fallback = -1) const {
+    for (const auto& [k, v] : counters) {
+      if (k == key) return v;
+    }
+    return fallback;
+  }
+};
+
+/// Ordered collection of pass statistics for one flow run.
+class FlowReport {
+ public:
+  /// Appends a pass record and returns it for filling in.  References are
+  /// invalidated by further addPass calls — use the returned reference
+  /// immediately (ScopedPass does this correctly).
+  PassStat& addPass(std::string name);
+
+  [[nodiscard]] const std::vector<PassStat>& passes() const {
+    return passes_;
+  }
+  /// First pass with the given name; nullptr when absent.
+  [[nodiscard]] const PassStat* find(std::string_view name) const;
+  /// Sum of all pass wall times.
+  [[nodiscard]] double totalMs() const;
+
+  /// Serializes as a JSON object:
+  ///   {"total_ms": 12.3,
+  ///    "passes": [{"name": "...", "wall_ms": 1.2, "cells": 42, ...}, ...]}
+  /// Counter keys become sibling fields of name/wall_ms within each pass
+  /// object.  `indent` < 0 emits a single line.
+  [[nodiscard]] std::string toJson(int indent = 2) const;
+
+ private:
+  std::vector<PassStat> passes_;
+};
+
+/// RAII pass timer: measures from construction to destruction and appends
+/// a PassStat (with any counters registered in between) to the report.
+class ScopedPass {
+ public:
+  ScopedPass(FlowReport& report, std::string name);
+  ~ScopedPass();
+  ScopedPass(const ScopedPass&) = delete;
+  ScopedPass& operator=(const ScopedPass&) = delete;
+
+  /// Records a work counter reported with the pass.
+  void counter(std::string key, std::int64_t value);
+
+ private:
+  FlowReport* report_;
+  std::string name_;
+  std::vector<std::pair<std::string, std::int64_t>> counters_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace desync::core

@@ -1,0 +1,169 @@
+// Bound-library view of a flat module.
+//
+// The flow's hot passes (simulation, STA, placement, power) all need, per
+// cell instance, the library cell, its pins, areas, capacitances, function
+// tables and timing arcs.  Resolving those by string (`lib.findCell(...)`,
+// `findPin(...)`, `Module::pinNet(cell, "A")`) inside the per-cell loops
+// repeats the same hash/scan work once per cell per pass.  A BoundModule
+// performs that resolution exactly once — one string lookup per *distinct*
+// cell type plus one name-id pin match per cell pin — and caches the result
+// in dense arrays indexed by CellId, so every downstream pass runs on
+// integer indices only.
+//
+// The view is a snapshot: it is valid until the module's cells/nets are
+// added, removed or reconnected.  Passes that mutate the netlist re-bind
+// afterwards (binding is O(cells + pins) with integer work only).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "liberty/gatefile.h"
+#include "netlist/netlist.h"
+
+namespace desync::liberty {
+
+class BindError : public LibraryError {
+ public:
+  using LibraryError::LibraryError;
+};
+
+/// One combinational output function of a bound type: the output pin, its
+/// truth table, and its input variables resolved to library-pin indices.
+struct BoundOutput {
+  std::uint16_t pin = 0;               ///< lib-pin index of the output
+  std::uint64_t table = 0;             ///< truth table over `inputs`
+  std::vector<std::uint16_t> inputs;   ///< lib-pin index per function var
+  /// Timing arc matching each input's related_pin (index-aligned with
+  /// `inputs`); nullptr when no arc names that pin (callers fall back to
+  /// the worst arc of the output).
+  std::vector<const TimingArc*> input_arcs;
+};
+
+/// Sequential pin roles resolved to library-pin indices (-1 = absent).
+struct BoundSeqPins {
+  std::int16_t clock = -1;
+  std::int16_t data = -1;
+  std::int16_t scan_in = -1;
+  std::int16_t scan_en = -1;
+  std::int16_t sync = -1;
+  std::int16_t clear = -1;
+  std::int16_t preset = -1;
+  std::int16_t q = -1;
+  std::int16_t qn = -1;
+};
+
+/// Per-distinct-type digest: everything the passes need from the library,
+/// resolved once.  Shared by all instances of the type.
+struct BoundType {
+  const LibCell* cell = nullptr;
+  const SeqClass* seq = nullptr;       ///< nullptr for combinational types
+  CellKind kind = CellKind::kCombinational;
+  double area = 0.0;
+  double leakage = 0.0;
+  std::uint16_t n_pins = 0;            ///< == cell->pins.size()
+  std::vector<BoundOutput> outputs;    ///< function outputs (comb types)
+  std::vector<std::uint16_t> output_pins;  ///< all output-direction pins
+  BoundSeqPins seq_pins;               ///< valid when seq != nullptr
+};
+
+/// Dense binding of a flat netlist module to a technology library.
+class BoundModule {
+ public:
+  /// Binds every live cell of `module` to `gatefile`'s library.  Unknown
+  /// types (e.g. unflattened submodules) are left unbound, not rejected:
+  /// area accounting skips them, sim/STA construction reports them.
+  BoundModule(const netlist::Module& module, const Gatefile& gatefile);
+
+  [[nodiscard]] const netlist::Module& module() const { return *module_; }
+  [[nodiscard]] const Gatefile& gatefile() const { return *gatefile_; }
+  [[nodiscard]] const Library& library() const { return gatefile_->library(); }
+
+  // --- per-cell lookups (O(1), no strings) ---------------------------
+
+  /// Resolved type digest of a cell; nullptr when the type is not in the
+  /// library.
+  [[nodiscard]] const BoundType* typeOf(netlist::CellId id) const {
+    const std::int32_t t = type_of_[id.index()];
+    return t < 0 ? nullptr : &types_[static_cast<std::size_t>(t)];
+  }
+  /// Like typeOf but throws BindError naming the type when unbound.
+  [[nodiscard]] const BoundType& typeOrThrow(netlist::CellId id) const;
+
+  [[nodiscard]] const LibCell* libCell(netlist::CellId id) const {
+    const BoundType* t = typeOf(id);
+    return t == nullptr ? nullptr : t->cell;
+  }
+  [[nodiscard]] const SeqClass* seqClass(netlist::CellId id) const {
+    const BoundType* t = typeOf(id);
+    return t == nullptr ? nullptr : t->seq;
+  }
+  /// Cell area; 0 for unbound types.
+  [[nodiscard]] double area(netlist::CellId id) const {
+    const BoundType* t = typeOf(id);
+    return t == nullptr ? 0.0 : t->area;
+  }
+  /// Cell leakage (nW); 0 for unbound types.
+  [[nodiscard]] double leakage(netlist::CellId id) const {
+    const BoundType* t = typeOf(id);
+    return t == nullptr ? 0.0 : t->leakage;
+  }
+
+  // --- per-pin lookups -----------------------------------------------
+
+  /// Net connected to library pin `lib_pin` of `cell` (an index into the
+  /// bound type's LibCell::pins), resolved at bind time.  Invalid NetId
+  /// when the instance leaves that pin unconnected.  Precondition: the
+  /// cell is bound and lib_pin < typeOf(cell)->n_pins.
+  [[nodiscard]] netlist::NetId pinNet(netlist::CellId cell,
+                                      std::size_t lib_pin) const {
+    return pin_net_[pin_base_[cell.index()] + lib_pin];
+  }
+  /// Same for the std::int16_t role indices of BoundSeqPins (-1 = absent
+  /// pin -> invalid NetId).
+  [[nodiscard]] netlist::NetId rolePinNet(netlist::CellId cell,
+                                          std::int16_t lib_pin) const {
+    return lib_pin < 0 ? netlist::NetId{}
+                       : pinNet(cell, static_cast<std::size_t>(lib_pin));
+  }
+  /// Library pin bound to netlist pin slot `slot` of `cell`; nullptr when
+  /// the slot's name does not exist on the library cell (or the cell is
+  /// unbound).
+  [[nodiscard]] const LibPin* libPinOfSlot(netlist::CellId cell,
+                                           std::size_t slot) const;
+
+  // --- derived module-wide data --------------------------------------
+
+  /// Capacitive load of every net (indexed by NetId value): sum of bound
+  /// sink pin capacitances plus the library wire cap per sink.  Computed
+  /// once at bind time; used by the simulator and the STA delay model.
+  [[nodiscard]] const std::vector<double>& netLoads() const {
+    return net_load_;
+  }
+
+  /// Number of distinct bound types (== string-keyed library lookups the
+  /// binding itself performed).
+  [[nodiscard]] std::size_t numTypes() const { return types_.size(); }
+  /// Live cells whose type was not found in the library.
+  [[nodiscard]] std::size_t numUnboundCells() const { return unbound_; }
+
+ private:
+  const netlist::Module* module_;
+  const Gatefile* gatefile_;
+
+  std::vector<BoundType> types_;
+  /// CellId index -> index into types_, or -1 (unbound / tombstoned).
+  std::vector<std::int32_t> type_of_;
+  /// CellId index -> base offset into pin_net_ / slot_pin_ for the cell's
+  /// lib pins / netlist pin slots.
+  std::vector<std::uint32_t> pin_base_;
+  std::vector<std::uint32_t> slot_base_;
+  /// Flattened per-cell [lib-pin index -> NetId] tables.
+  std::vector<netlist::NetId> pin_net_;
+  /// Flattened per-cell [netlist pin slot -> lib-pin index or -1] tables.
+  std::vector<std::int16_t> slot_pin_;
+  std::vector<double> net_load_;
+  std::size_t unbound_ = 0;
+};
+
+}  // namespace desync::liberty

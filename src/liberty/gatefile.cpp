@@ -1,6 +1,8 @@
 #include "liberty/gatefile.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdlib>
 #include <sstream>
 
 namespace desync::liberty {
@@ -388,7 +390,25 @@ Gatefile::Text Gatefile::parseText(const std::string& text) {
     return true;
   };
 
+  int line_no = 0;
+  auto fail = [&line_no](const std::string& msg) -> LibraryError {
+    return LibraryError("gatefile:" + std::to_string(line_no) + ": " + msg);
+  };
+  // Strict full-token number: "12x" or "" is a parse error with line
+  // context, not an accepted prefix / uncaught std::stod exception.
+  auto number = [&](const std::string& v) {
+    const char* begin = v.c_str();
+    char* end = nullptr;
+    errno = 0;
+    const double d = std::strtod(begin, &end);
+    if (end == begin || *end != '\0' || errno == ERANGE) {
+      throw fail("bad number: '" + v + "'");
+    }
+    return d;
+  };
+
   while (std::getline(in, line)) {
+    ++line_no;
     std::vector<std::string> toks = tokens(line);
     if (toks.empty()) continue;
     if (toks[0] == "#") {
@@ -399,19 +419,19 @@ Gatefile::Text Gatefile::parseText(const std::string& text) {
       continue;
     }
     if (toks[0] == "cell") {
-      if (toks.size() < 3) throw LibraryError("bad gatefile cell line");
+      if (toks.size() < 3) throw fail("bad cell line");
       TextEntry entry;
       entry.kind = toks[2];
       for (std::size_t i = 3; i < toks.size(); ++i) {
         std::string k, v, m;
-        if (kv(toks[i], &k, &v, &m) && k == "area") entry.area = std::stod(v);
+        if (kv(toks[i], &k, &v, &m) && k == "area") entry.area = number(v);
       }
       current = &out.cells.emplace(toks[1], std::move(entry)).first->second;
       continue;
     }
-    if (current == nullptr) throw LibraryError("gatefile line outside cell");
+    if (current == nullptr) throw fail("line outside cell");
     if (toks[0] == "pin") {
-      if (toks.size() < 3) throw LibraryError("bad gatefile pin line");
+      if (toks.size() < 3) throw fail("bad pin line");
       current->pins.emplace_back(toks[1], toks[2] == "input");
       continue;
     }
@@ -449,7 +469,7 @@ Gatefile::Text Gatefile::parseText(const std::string& text) {
       current->seq = std::move(sc);
       continue;
     }
-    throw LibraryError("unknown gatefile line: " + line);
+    throw fail("unknown line: " + line);
   }
   return out;
 }

@@ -1,6 +1,8 @@
 #include "liberty/liberty_io.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <vector>
@@ -17,6 +19,7 @@ struct Stmt {
   std::vector<std::string> args;   // group arguments
   std::string value;               // attribute value (unquoted)
   bool is_group = false;
+  int line = 0;                    // 1-based source line of the name token
   std::vector<Stmt> children;
 };
 
@@ -151,6 +154,7 @@ class StmtParser {
     if (cur_.punct != 0 || cur_.eof) fail("expected statement name");
     Stmt s;
     s.name = cur_.text;
+    s.line = cur_.line;
     advance();
     if (cur_.punct == '(') {
       s.is_group = true;
@@ -204,13 +208,23 @@ class StmtParser {
 
 // ----------------------------------------------------- interpretation
 
+// Strict numeric attribute parse.  The full value must be a number, except
+// for an optional unit tail separated by a space ("1.0 ns" parses as 1.0);
+// prefix garbage, trailing garbage glued to the digits ("1.0x") and
+// out-of-range values all fail with the source line.
 double toDouble(const Stmt& s) {
-  try {
-    return std::stod(s.value);
-  } catch (const std::exception&) {
-    throw LibertyParseError("bad numeric value for " + s.name + ": " +
-                            s.value);
+  const char* begin = s.value.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(begin, &end);
+  const bool ok =
+      end != begin && errno != ERANGE && (*end == '\0' || *end == ' ');
+  if (!ok) {
+    throw LibertyParseError("liberty:" + std::to_string(s.line) +
+                            ": bad numeric value for " + s.name + ": '" +
+                            s.value + "'");
   }
+  return v;
 }
 
 const Stmt* findChild(const Stmt& s, std::string_view name) {

@@ -2,6 +2,14 @@
 
 namespace desync::liberty {
 
+namespace detail {
+namespace {
+std::uint64_t pin_lookups = 0;
+}  // namespace
+void bumpPinLookup() { ++pin_lookups; }
+std::uint64_t pinLookupCount() { return pin_lookups; }
+}  // namespace detail
+
 LibCell& Library::addCell(LibCell cell) {
   auto [it, inserted] = cells_.emplace(cell.name, std::move(cell));
   if (!inserted) {
@@ -12,11 +20,13 @@ LibCell& Library::addCell(LibCell cell) {
 }
 
 const LibCell* Library::findCell(std::string_view name) const {
+  ++lookups_;
   auto it = cells_.find(name);
   return it == cells_.end() ? nullptr : &it->second;
 }
 
 LibCell* Library::findCell(std::string_view name) {
+  ++lookups_;
   auto it = cells_.find(name);
   return it == cells_.end() ? nullptr : &it->second;
 }

@@ -23,6 +23,14 @@ class LibraryError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+namespace detail {
+/// Counts string-keyed pin resolutions (LibCell::findPin).  Together with
+/// Library::lookupCount() this lets tests assert that the hot paths bound
+/// through liberty::BoundModule perform no per-cell string lookups.
+void bumpPinLookup();
+[[nodiscard]] std::uint64_t pinLookupCount();
+}  // namespace detail
+
 enum class CellKind : std::uint8_t {
   kCombinational,
   kFlipFlop,
@@ -87,16 +95,28 @@ struct LibCell {
   std::optional<SeqInfo> seq;
 
   [[nodiscard]] const LibPin* findPin(std::string_view pin) const {
+    detail::bumpPinLookup();
     for (const LibPin& p : pins) {
       if (p.name == pin) return &p;
     }
     return nullptr;
   }
   [[nodiscard]] LibPin* findPin(std::string_view pin) {
+    detail::bumpPinLookup();
     for (LibPin& p : pins) {
       if (p.name == pin) return &p;
     }
     return nullptr;
+  }
+  /// Index of the pin named `pin` within pins, or npos.  Unlike findPin
+  /// this is not counted as a string-keyed hot-path lookup: it exists for
+  /// one-time binding (liberty::BoundModule).
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  [[nodiscard]] std::size_t pinIndex(std::string_view pin) const {
+    for (std::size_t i = 0; i < pins.size(); ++i) {
+      if (pins[i].name == pin) return i;
+    }
+    return npos;
   }
   /// All input pin names, in declaration order.
   [[nodiscard]] std::vector<std::string> inputPins() const {
@@ -129,6 +149,11 @@ class Library {
   /// Like findCell but throws when absent.
   [[nodiscard]] const LibCell& cell(std::string_view name) const;
 
+  /// Number of string-keyed cell resolutions performed so far (every
+  /// findCell/cell call).  Passes that consume a BoundModule must not
+  /// advance this per cell; see tests/bound_test.cpp.
+  [[nodiscard]] std::uint64_t lookupCount() const { return lookups_; }
+
   [[nodiscard]] std::size_t size() const { return order_.size(); }
   /// Cells in insertion order.
   [[nodiscard]] const std::vector<std::string>& cellNames() const {
@@ -143,6 +168,7 @@ class Library {
  private:
   std::map<std::string, LibCell, std::less<>> cells_;
   std::vector<std::string> order_;
+  mutable std::uint64_t lookups_ = 0;
 };
 
 }  // namespace desync::liberty

@@ -1,6 +1,7 @@
 #include <cctype>
 #include <charconv>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <optional>
 #include <sstream>
@@ -369,18 +370,46 @@ class Parser {
   std::vector<BitRef> constBits(const std::string& literal) {
     // Parse [size]'[base]digits; unsized plain decimal treated as 32-bit
     // truncated to the needed width by the caller via width matching.
+    // Gate-level netlists carry only small control constants, so the value
+    // must fit 64 bits; widths are capped to keep a typo like 1000000'b0
+    // from allocating a million nets.
+    constexpr int kMaxWidth = 4096;
     std::size_t tick = literal.find('\'');
     std::uint64_t value = 0;
     int width = 32;
     if (tick == std::string::npos) {
-      value = std::stoull(literal);
+      const auto [p, ec] = std::from_chars(
+          literal.data(), literal.data() + literal.size(), value);
+      if (ec != std::errc() || p != literal.data() + literal.size()) {
+        fail("bad constant '" + literal + "'");
+      }
     } else {
-      if (tick > 0) width = std::stoi(literal.substr(0, tick));
+      if (tick > 0) {
+        const auto [p, ec] =
+            std::from_chars(literal.data(), literal.data() + tick, width);
+        if (ec != std::errc() || p != literal.data() + tick || width <= 0) {
+          fail("bad constant width in '" + literal + "'");
+        }
+        if (width > kMaxWidth) {
+          fail("constant width " + std::to_string(width) + " exceeds " +
+               std::to_string(kMaxWidth) + " in '" + literal + "'");
+        }
+      }
+      if (tick + 1 >= literal.size()) {
+        fail("missing base in constant '" + literal + "'");
+      }
       char base = static_cast<char>(
           std::tolower(static_cast<unsigned char>(literal[tick + 1])));
+      if (base != 'b' && base != 'o' && base != 'd' && base != 'h') {
+        fail(std::string("bad constant base '") + literal[tick + 1] +
+             "' in '" + literal + "'");
+      }
       std::string digits = literal.substr(tick + 2);
       digits.erase(std::remove(digits.begin(), digits.end(), '_'),
                    digits.end());
+      if (digits.empty()) {
+        fail("missing digits in constant '" + literal + "'");
+      }
       int radix = base == 'b' ? 2 : base == 'o' ? 8 : base == 'd' ? 10 : 16;
       for (char c : digits) {
         int d = 0;
@@ -395,14 +424,28 @@ class Parser {
         } else {
           fail("bad constant digit in '" + literal + "'");
         }
-        value = value * static_cast<std::uint64_t>(radix) +
-                static_cast<std::uint64_t>(d);
+        if (d >= radix) {
+          fail(std::string("digit '") + c + "' out of range for base '" +
+               base + "' in '" + literal + "'");
+        }
+        const std::uint64_t next =
+            value * static_cast<std::uint64_t>(radix) +
+            static_cast<std::uint64_t>(d);
+        if (value > (std::numeric_limits<std::uint64_t>::max() -
+                     static_cast<std::uint64_t>(d)) /
+                        static_cast<std::uint64_t>(radix)) {
+          fail("constant value overflows 64 bits in '" + literal + "'");
+        }
+        value = next;
       }
     }
     std::vector<BitRef> bits(static_cast<std::size_t>(width));
     for (int i = 0; i < width; ++i) {
+      // Bits beyond the 64-bit value (wide zero-padded constants) are 0;
+      // width - 1 - i >= 64 would be UB on the shift.
+      const int pos = width - 1 - i;
       BitRef b;
-      b.const_val = ((value >> (width - 1 - i)) & 1u) != 0;
+      b.const_val = pos < 64 && ((value >> pos) & 1u) != 0;
       bits[static_cast<std::size_t>(i)] = b;  // MSB first
     }
     return bits;

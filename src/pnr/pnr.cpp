@@ -13,23 +13,26 @@ using netlist::Module;
 using netlist::NetId;
 using netlist::PortDir;
 
-AreaStats areaStats(const Module& module, const liberty::Gatefile& gatefile) {
+AreaStats areaStats(const liberty::BoundModule& bound) {
   AreaStats stats;
+  const Module& module = bound.module();
   stats.nets = module.numNets();
-  const liberty::Library& lib = gatefile.library();
   module.forEachCell([&](CellId cid) {
-    const liberty::LibCell* c =
-        lib.findCell(std::string(module.cellType(cid)));
-    if (c == nullptr) return;
+    const liberty::BoundType* t = bound.typeOf(cid);
+    if (t == nullptr) return;
     ++stats.cells;
-    stats.cell_area += c->area;
-    if (c->kind == liberty::CellKind::kCombinational) {
-      stats.comb_area += c->area;
+    stats.cell_area += t->area;
+    if (t->kind == liberty::CellKind::kCombinational) {
+      stats.comb_area += t->area;
     } else {
-      stats.seq_area += c->area;
+      stats.seq_area += t->area;
     }
   });
   return stats;
+}
+
+AreaStats areaStats(const Module& module, const liberty::Gatefile& gatefile) {
+  return areaStats(liberty::BoundModule(module, gatefile));
 }
 
 namespace {
@@ -82,7 +85,6 @@ std::size_t runCts(Module& module, const PnrOptions& options) {
 PnrResult placeAndRoute(Module& module, const liberty::Gatefile& gatefile,
                         const PnrOptions& options) {
   PnrResult result;
-  const liberty::Library& lib = gatefile.library();
 
   // Post-synthesis accounting.
   AreaStats pre = areaStats(module, gatefile);
@@ -95,7 +97,10 @@ PnrResult placeAndRoute(Module& module, const liberty::Gatefile& gatefile,
   // CTS.
   result.cts_buffers = runCts(module, options);
 
-  AreaStats post = areaStats(module, gatefile);
+  // CTS mutated the netlist, so bind (again) now; the binding feeds the
+  // post accounting and every per-cell area query in placement below.
+  const liberty::BoundModule bound(module, gatefile);
+  AreaStats post = areaStats(bound);
   result.cells_post = post.cells;
   result.nets_post = post.nets;
   result.std_cell_area = post.cell_area;
@@ -152,9 +157,8 @@ PnrResult placeAndRoute(Module& module, const liberty::Gatefile& gatefile,
             for (std::uint32_t cv : cells) {
               CellId id{cv};
               order.push_back(id);
-              const liberty::LibCell* lc =
-                  lib.findCell(std::string(module.cellType(id)));
-              const double w = lc == nullptr ? 1.0 : lc->area / row_h;
+              const liberty::BoundType* bt = bound.typeOf(id);
+              const double w = bt == nullptr ? 1.0 : bt->area / row_h;
               if (x + w > r.x1 + 1e-9) {
                 x = r.x0;
                 y += row_h;
@@ -253,9 +257,8 @@ PnrResult placeAndRoute(Module& module, const liberty::Gatefile& gatefile,
       double x = 0;
       for (std::uint32_t cv : cells) {
         Placement& p = placed.at(cv);
-        const liberty::LibCell* lc =
-            lib.findCell(std::string(module.cellType(CellId{cv})));
-        const double w = lc == nullptr ? 1.0 : lc->area / row_h;
+        const liberty::BoundType* bt = bound.typeOf(CellId{cv});
+        const double w = bt == nullptr ? 1.0 : bt->area / row_h;
         p.x = x / options.target_utilization;
         p.y = row * row_h;
         x += w;

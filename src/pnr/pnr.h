@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "liberty/bound.h"
 #include "liberty/gatefile.h"
 #include "netlist/netlist.h"
 
@@ -81,5 +82,7 @@ struct AreaStats {
 };
 AreaStats areaStats(const netlist::Module& module,
                     const liberty::Gatefile& gatefile);
+/// Same from an existing binding (no per-cell string lookups).
+AreaStats areaStats(const liberty::BoundModule& bound);
 
 }  // namespace desync::pnr

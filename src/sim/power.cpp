@@ -3,11 +3,11 @@
 namespace desync::sim {
 
 PowerReport estimatePower(const Simulator& sim,
-                          const liberty::Gatefile& gatefile, Time window_ps,
-                          const PowerOptions& options) {
+                          const liberty::Gatefile& /*gatefile*/,
+                          Time window_ps, const PowerOptions& options) {
   if (window_ps <= 0) throw SimError("power window must be positive");
   const netlist::Module& m = sim.module();
-  const liberty::Library& lib = gatefile.library();
+  const liberty::BoundModule& bound = sim.bound();
 
   PowerReport report;
   // Switched energy: every 0<->1 toggle charges the net load plus the
@@ -24,13 +24,11 @@ PowerReport estimatePower(const Simulator& sim,
   // pJ / ns = mW.
   report.dynamic_mw = report.switched_energy_pj / psToNs(window_ps);
 
-  // Leakage: sum of Liberty cell leakage (nW).
+  // Leakage: sum of Liberty cell leakage (nW), from the simulator's
+  // binding — no per-cell library lookups.
   double leak_nw = 0.0;
-  m.forEachCell([&](netlist::CellId id) {
-    if (const liberty::LibCell* c = lib.findCell(m.cellType(id))) {
-      leak_nw += c->leakage;
-    }
-  });
+  m.forEachCell(
+      [&](netlist::CellId id) { leak_nw += bound.leakage(id); });
   report.leakage_mw = leak_nw * 1e-6;
   return report;
 }

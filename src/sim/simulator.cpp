@@ -61,12 +61,24 @@ struct Simulator::Event {
 
 Simulator::Simulator(const netlist::Module& module,
                      const liberty::Gatefile& gatefile, SimOptions options)
-    : module_(&module), options_(std::move(options)) {
-  const liberty::Library& lib = gatefile.library();
+    : module_(&module),
+      owned_bound_(std::make_unique<liberty::BoundModule>(module, gatefile)),
+      bound_(owned_bound_.get()),
+      options_(std::move(options)) {
+  build();
+}
+
+Simulator::Simulator(const liberty::BoundModule& bound, SimOptions options)
+    : module_(&bound.module()), bound_(&bound), options_(std::move(options)) {
+  build();
+}
+
+void Simulator::build() {
+  const netlist::Module& module = *module_;
+  const liberty::BoundModule& bound = *bound_;
   const std::uint32_t n_nets = module.netCapacity();
   net_val_.assign(n_nets, Val::kX);
   fanout_.assign(n_nets, {});
-  net_load_.assign(n_nets, 0.0);
   toggles_.assign(n_nets, 0);
   pending_serial_.assign(n_nets, 0);
   pending_val_.assign(n_nets, Val::kX);
@@ -83,43 +95,29 @@ Simulator::Simulator(const netlist::Module& module,
     }
   }
 
-  // Net loads: sum of sink pin caps plus wire cap per fanout.
-  module.forEachNet([&](netlist::NetId id) {
-    const netlist::Net& n = module.net(id);
-    double load = 0.0;
-    for (const netlist::TermRef& t : n.sinks) {
-      load += lib.default_wire_cap;
-      if (!t.isCellPin()) continue;
-      const netlist::Cell& c = module.cell(t.cell());
-      const liberty::LibCell* lc =
-          lib.findCell(module.design().names().str(c.type));
-      if (lc == nullptr) continue;
-      const liberty::LibPin* lp = lc->findPin(
-          module.design().names().str(c.pins.at(t.pin).name));
-      if (lp != nullptr) load += lp->capacitance;
-    }
-    net_load_[id.value] = load;
-  });
+  // Net loads come precomputed with the binding.
+  net_load_ = bound.netLoads();
 
-  // Build gates.
+  // Build gates from the bound view: every per-cell resolution below is an
+  // integer index into the binding's dense arrays.
   module.forEachCell([&](netlist::CellId cid) {
-    std::string type(module.cellType(cid));
-    const liberty::LibCell* lc = lib.findCell(type);
-    if (lc == nullptr) {
-      throw SimError("unknown cell type (flatten first?): " + type);
+    const liberty::BoundType* bt = bound.typeOf(cid);
+    if (bt == nullptr) {
+      throw SimError("unknown cell type (flatten first?): " +
+                     std::string(module.cellType(cid)));
     }
+    const liberty::LibCell* lc = bt->cell;
     std::string cell_name(module.cellName(cid));
     double scale = options_.delay_scale;
     if (options_.cell_delay_scale) {
       scale *= options_.cell_delay_scale(cell_name);
     }
-    auto pinNet = [&](std::string_view pin) -> std::uint32_t {
-      netlist::NetId n = module.pinNet(cid, pin);
+    auto toSlot = [](netlist::NetId n) {
       return n.valid() ? n.value : kNoNet;
     };
-    auto arcDelay = [&](const liberty::LibPin& out, bool rise) {
+    auto arcDelay = [&](const liberty::LibPin& out, std::uint32_t out_net,
+                        bool rise) {
       double worst = 0.0;
-      std::uint32_t out_net = pinNet(out.name);
       double cap = out_net == kNoNet ? 0.0 : net_load_[out_net];
       for (const liberty::TimingArc& a : out.arcs) {
         if (a.type == liberty::ArcType::kSetup ||
@@ -134,26 +132,24 @@ Simulator::Simulator(const netlist::Module& module,
       return nsToPs(worst);
     };
 
-    if (lc->kind == liberty::CellKind::kCombinational) {
-      // One gate per output pin (library cells have exactly one).
-      for (const liberty::LibPin& p : lc->pins) {
-        if (p.dir != liberty::PinDir::kOutput || p.function.empty()) continue;
+    if (bt->kind == liberty::CellKind::kCombinational) {
+      // One gate per function output (library cells have exactly one).
+      for (const liberty::BoundOutput& o : bt->outputs) {
         CombGate g;
-        g.out = pinNet(p.name);
+        g.out = toSlot(bound.pinNet(cid, o.pin));
         if (g.out == kNoNet) continue;
-        const auto& vars = p.function.vars();
-        if (vars.size() > 6) throw SimError("gate with >6 inputs: " + type);
-        g.n_in = static_cast<std::uint8_t>(vars.size());
-        for (std::size_t i = 0; i < vars.size(); ++i) {
-          g.in[i] = pinNet(vars[i]);
+        g.n_in = static_cast<std::uint8_t>(o.inputs.size());
+        for (std::size_t i = 0; i < o.inputs.size(); ++i) {
+          g.in[i] = toSlot(bound.pinNet(cid, o.inputs[i]));
           if (g.in[i] == kNoNet) {
-            throw SimError("unconnected input " + vars[i] + " on " +
-                           cell_name);
+            throw SimError("unconnected input " + lc->pins[o.inputs[i]].name +
+                           " on " + cell_name);
           }
         }
-        g.table = p.function.truthTable();
-        g.rise = arcDelay(p, true);
-        g.fall = arcDelay(p, false);
+        g.table = o.table;
+        const liberty::LibPin& p = lc->pins[o.pin];
+        g.rise = arcDelay(p, g.out, true);
+        g.fall = arcDelay(p, g.out, false);
         const std::uint32_t gi = static_cast<std::uint32_t>(combs_.size());
         combs_.push_back(g);
         for (std::uint8_t i = 0; i < g.n_in; ++i) {
@@ -164,40 +160,48 @@ Simulator::Simulator(const netlist::Module& module,
     }
 
     // Sequential cell.
-    const liberty::SeqClass* sc = gatefile.seqClass(type);
-    if (sc == nullptr) throw SimError("unclassified sequential cell " + type);
+    const liberty::SeqClass* sc = bt->seq;
+    if (sc == nullptr) {
+      throw SimError("unclassified sequential cell " +
+                     std::string(module.cellType(cid)));
+    }
+    const liberty::BoundSeqPins& bp = bt->seq_pins;
+    auto roleNet = [&](std::int16_t lib_pin) {
+      return toSlot(bound.rolePinNet(cid, lib_pin));
+    };
     SeqElem s;
-    s.type = lc->kind == liberty::CellKind::kFlipFlop ? SeqElem::Type::kFF
-             : lc->kind == liberty::CellKind::kLatch  ? SeqElem::Type::kLatch
+    s.type = bt->kind == liberty::CellKind::kFlipFlop ? SeqElem::Type::kFF
+             : bt->kind == liberty::CellKind::kLatch  ? SeqElem::Type::kLatch
                                                       : SeqElem::Type::kClockGate;
-    s.clock = pinNet(sc->clock_pin);
+    s.clock = roleNet(bp.clock);
     s.clock_inv = sc->clock_inverted;
-    if (!sc->data_pin.empty()) s.data = pinNet(sc->data_pin);
-    if (!sc->scan_in.empty()) s.scan_in = pinNet(sc->scan_in);
-    if (!sc->scan_enable.empty()) s.scan_en = pinNet(sc->scan_enable);
-    if (!sc->sync_pin.empty()) {
-      s.sync = pinNet(sc->sync_pin);
+    s.data = roleNet(bp.data);
+    s.scan_in = roleNet(bp.scan_in);
+    s.scan_en = roleNet(bp.scan_en);
+    if (bp.sync >= 0) {
+      s.sync = roleNet(bp.sync);
       s.sync_low = sc->sync_active_low;
       s.sync_set = sc->sync_is_set;
     }
-    if (!sc->async_clear_pin.empty()) {
-      s.clear = pinNet(sc->async_clear_pin);
+    if (bp.clear >= 0) {
+      s.clear = roleNet(bp.clear);
       s.clear_low = sc->async_clear_active_low;
     }
-    if (!sc->async_preset_pin.empty()) {
-      s.preset = pinNet(sc->async_preset_pin);
+    if (bp.preset >= 0) {
+      s.preset = roleNet(bp.preset);
       s.preset_low = sc->async_preset_active_low;
     }
-    if (!sc->q_pin.empty()) s.q = pinNet(sc->q_pin);
-    if (!sc->qn_pin.empty()) s.qn = pinNet(sc->qn_pin);
+    s.q = roleNet(bp.q);
+    s.qn = roleNet(bp.qn);
     // Delays: clock->q from the q pin's clock arc, d->q (latch transparency)
     // from its combinational arc.
     s.cq = nsToPs(std::max(0.1 * options_.delay_scale, options_.min_delay_ns));
     s.dq = s.cq;
-    if (const liberty::LibPin* qp =
-            sc->q_pin.empty() ? nullptr : lc->findPin(sc->q_pin)) {
+    if (bp.q >= 0) {
+      const liberty::LibPin& qp =
+          lc->pins[static_cast<std::size_t>(bp.q)];
       double cap = s.q == kNoNet ? 0.0 : net_load_[s.q];
-      for (const liberty::TimingArc& a : qp->arcs) {
+      for (const liberty::TimingArc& a : qp.arcs) {
         double d = std::max(a.intrinsic_rise + a.rise_resistance * cap,
                             a.intrinsic_fall + a.fall_resistance * cap);
         d = std::max(d * scale, options_.min_delay_ns);

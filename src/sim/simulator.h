@@ -18,11 +18,13 @@
 #include <functional>
 #include <limits>
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "liberty/bound.h"
 #include "liberty/gatefile.h"
 #include "netlist/netlist.h"
 #include "sim/value.h"
@@ -58,9 +60,16 @@ struct CaptureLog {
 class Simulator {
  public:
   /// Builds the simulation model.  `module` must be flat; every cell type
-  /// must exist in the gatefile's library.
+  /// must exist in the gatefile's library.  Binds the module internally;
+  /// prefer the BoundModule overload when several passes share one binding.
   Simulator(const netlist::Module& module, const liberty::Gatefile& gatefile,
             SimOptions options = {});
+
+  /// Builds the simulation model from an existing binding (no per-cell
+  /// string lookups).  `bound` must outlive the simulator and stay in sync
+  /// with the module (no netlist mutation in between).
+  explicit Simulator(const liberty::BoundModule& bound,
+                     SimOptions options = {});
 
   ~Simulator();
   Simulator(const Simulator&) = delete;
@@ -121,6 +130,9 @@ class Simulator {
   /// Netlist the simulator was built from.
   [[nodiscard]] const netlist::Module& module() const { return *module_; }
 
+  /// Library binding the model was built from (owned or external).
+  [[nodiscard]] const liberty::BoundModule& bound() const { return *bound_; }
+
   /// Capacitive load seen by the driver of each net (pF), as used for the
   /// delay model; exposed for the power model.
   [[nodiscard]] const std::vector<double>& netLoads() const {
@@ -129,12 +141,15 @@ class Simulator {
 
  private:
   struct Impl;
+  void build();
   void applyEvent(std::uint32_t net, Val v);
   void evalComb(std::uint32_t gate_idx);
   void evalSeq(std::uint32_t seq_idx, std::uint32_t changed_net, Val old_val);
   void scheduleNet(std::uint32_t net, Val v, Time delay);
 
   const netlist::Module* module_;
+  std::unique_ptr<liberty::BoundModule> owned_bound_;  // string-ctor only
+  const liberty::BoundModule* bound_;
   SimOptions options_;
   Time now_ = 0;
   std::uint64_t events_ = 0;

@@ -1,6 +1,8 @@
 #include "sta/sdc.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cstdlib>
 #include <sstream>
 
 namespace desync::sta {
@@ -8,38 +10,57 @@ namespace desync::sta {
 namespace {
 
 /// Splits SDC text into tokens, treating []{} as standalone punctuation.
-std::vector<std::string> tokenize(const std::string& text) {
+/// `lines` receives the 1-based source line of each token (for error
+/// messages).
+std::vector<std::string> tokenize(const std::string& text,
+                                  std::vector<int>& lines) {
   std::vector<std::string> tokens;
   std::string cur;
+  int line = 1;
+  int cur_line = 1;
   auto flush = [&] {
     if (!cur.empty()) {
       tokens.push_back(cur);
+      lines.push_back(cur_line);
       cur.clear();
     }
+  };
+  auto punct = [&](const std::string& t) {
+    tokens.push_back(t);
+    lines.push_back(line);
   };
   for (std::size_t i = 0; i < text.size(); ++i) {
     char c = text[i];
     if (c == '#') {
       while (i < text.size() && text[i] != '\n') ++i;
+      --i;  // reprocess the newline
       continue;
     }
     if (std::isspace(static_cast<unsigned char>(c)) != 0 || c == '\n') {
       flush();
-      if (c == '\n') tokens.push_back("\n");
+      if (c == '\n') {
+        punct("\n");
+        ++line;
+      }
       continue;
     }
     if (c == '[' || c == ']' || c == '{' || c == '}') {
       flush();
-      tokens.push_back(std::string(1, c));
+      punct(std::string(1, c));
       continue;
     }
     if (c == '"') {
       flush();
+      cur_line = line;
       ++i;
-      while (i < text.size() && text[i] != '"') cur.push_back(text[i++]);
+      while (i < text.size() && text[i] != '"') {
+        if (text[i] == '\n') ++line;
+        cur.push_back(text[i++]);
+      }
       flush();
       continue;
     }
+    if (cur.empty()) cur_line = line;
     cur.push_back(c);
   }
   flush();
@@ -78,23 +99,43 @@ std::string SdcFile::toText() const {
 
 SdcFile SdcFile::parse(const std::string& text) {
   SdcFile sdc;
-  std::vector<std::string> tokens = tokenize(text);
+  std::vector<int> lines;
+  std::vector<std::string> tokens = tokenize(text, lines);
   std::size_t i = 0;
 
   auto at = [&](std::size_t k) -> const std::string& {
     static const std::string empty;
     return k < tokens.size() ? tokens[k] : empty;
   };
+  auto lineOf = [&](std::size_t k) {
+    return k < lines.size() ? lines[k] : (lines.empty() ? 1 : lines.back());
+  };
   auto expect = [&](const std::string& t) {
-    if (at(i) != t) throw SdcError("expected '" + t + "' got '" + at(i) + "'");
+    if (at(i) != t) {
+      throw SdcError("SDC line " + std::to_string(lineOf(i)) + ": expected '" +
+                     t + "' got '" + at(i) + "'");
+    }
     ++i;
   };
+  // Strict full-token parse: "1.2x" or a bare flag where a number is
+  // expected is an error naming the source line, not a silent prefix.
   auto number = [&]() {
-    try {
-      return std::stod(tokens.at(i++));
-    } catch (const std::exception&) {
-      throw SdcError("expected number in SDC");
+    if (i >= tokens.size()) {
+      throw SdcError("SDC line " + std::to_string(lineOf(i)) +
+                     ": expected number at end of file");
     }
+    const std::string& t = tokens[i];
+    const char* begin = t.c_str();
+    char* end = nullptr;
+    errno = 0;
+    const double v = std::strtod(begin, &end);
+    if (t.empty() || t == "\n" || end != begin + t.size() || errno == ERANGE) {
+      throw SdcError("SDC line " + std::to_string(lineOf(i)) +
+                     ": expected number, got '" + (t == "\n" ? "<eol>" : t) +
+                     "'");
+    }
+    ++i;
+    return v;
   };
   /// Parses [get_xxx {a b}] or [get_xxx a]; returns the names and whether
   /// the collection was pins.
@@ -183,7 +224,8 @@ SdcFile SdcFile::parse(const std::string& text) {
       sdc.path_delays.push_back(std::move(p));
       continue;
     }
-    throw SdcError("unknown SDC command: " + cmd);
+    throw SdcError("SDC line " + std::to_string(lineOf(i)) +
+                   ": unknown command: " + cmd);
   }
   return sdc;
 }

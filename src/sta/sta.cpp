@@ -50,7 +50,17 @@ struct Sta::Endpoint {
 
 Sta::Sta(const netlist::Module& module, const liberty::Gatefile& gatefile,
          StaOptions options)
-    : module_(&module), gatefile_(&gatefile), options_(std::move(options)) {
+    : module_(&module),
+      owned_bound_(std::make_unique<liberty::BoundModule>(module, gatefile)),
+      bound_(owned_bound_.get()),
+      options_(std::move(options)) {
+  buildGraph();
+  breakLoops();
+  propagate();
+}
+
+Sta::Sta(const liberty::BoundModule& bound, StaOptions options)
+    : module_(&bound.module()), bound_(&bound), options_(std::move(options)) {
   buildGraph();
   breakLoops();
   propagate();
@@ -60,77 +70,67 @@ Sta::~Sta() = default;
 
 void Sta::buildGraph() {
   const netlist::Module& m = *module_;
-  const liberty::Library& lib = gatefile_->library();
+  const liberty::BoundModule& bound = *bound_;
   const netlist::NameTable& names = m.design().names();
 
-  // Net loads for the linear delay model.
-  std::vector<double> load(m.netCapacity(), 0.0);
-  m.forEachNet([&](netlist::NetId id) {
-    const netlist::Net& n = m.net(id);
-    double c = 0.0;
-    for (const netlist::TermRef& t : n.sinks) {
-      c += lib.default_wire_cap;
-      if (!t.isCellPin()) continue;
-      const netlist::Cell& cell = m.cell(t.cell());
-      const liberty::LibCell* lc = lib.findCell(names.str(cell.type));
-      if (lc == nullptr) continue;
-      if (const liberty::LibPin* lp =
-              lc->findPin(names.str(cell.pins.at(t.pin).name))) {
-        c += lp->capacitance;
-      }
+  // Net loads for the linear delay model come precomputed with the binding.
+  const std::vector<double>& load = bound.netLoads();
+
+  // Resolve SDC set_disable_timing specs to (cell, lib pin) once, instead
+  // of comparing names per cell per arc.  Specs naming absent cells or pins
+  // match nothing, as before.
+  std::vector<std::uint32_t> disabled_cells;       // whole-cell cuts
+  std::vector<std::pair<std::uint32_t, std::uint16_t>> disabled_pins;
+  for (const DisabledArc& d : options_.disabled) {
+    netlist::CellId cid = m.findCell(d.cell);
+    if (!cid.valid()) continue;
+    if (d.from_pin.empty()) {
+      disabled_cells.push_back(cid.index());
+      continue;
     }
-    load[id.value] = c;
-  });
+    const liberty::BoundType* bt = bound.typeOf(cid);
+    if (bt == nullptr) continue;
+    const std::size_t j = bt->cell->pinIndex(d.from_pin);
+    if (j == liberty::LibCell::npos) continue;
+    disabled_pins.emplace_back(cid.index(), static_cast<std::uint16_t>(j));
+  }
 
   m.forEachCell([&](netlist::CellId cid) {
     const netlist::Cell& cell = m.cell(cid);
-    std::string type(names.str(cell.type));
-    const liberty::LibCell* lc = lib.findCell(type);
-    if (lc == nullptr) {
-      throw StaError("unknown cell type (flatten first?): " + type);
+    const liberty::BoundType* bt = bound.typeOf(cid);
+    if (bt == nullptr) {
+      throw StaError("unknown cell type (flatten first?): " +
+                     std::string(names.str(cell.type)));
     }
-    const bool cell_disabled = [&] {
-      for (const DisabledArc& d : options_.disabled) {
-        if (d.cell == names.str(cell.name) && d.from_pin.empty()) return true;
-      }
-      return false;
-    }();
+    const bool cell_disabled =
+        std::find(disabled_cells.begin(), disabled_cells.end(),
+                  cid.index()) != disabled_cells.end();
 
-    if (lc->kind == liberty::CellKind::kCombinational) {
-      for (const liberty::LibPin& out : lc->pins) {
-        if (out.dir != liberty::PinDir::kOutput || out.function.empty()) {
-          continue;
-        }
-        netlist::NetId out_net = m.pinNet(cid, out.name);
+    if (bt->kind == liberty::CellKind::kCombinational) {
+      for (const liberty::BoundOutput& o : bt->outputs) {
+        netlist::NetId out_net = bound.pinNet(cid, o.pin);
         if (!out_net.valid()) continue;
         const double cap = load[out_net.value];
-        const std::uint64_t table = out.function.truthTable();
-        const auto& vars = out.function.vars();
-        for (std::size_t v = 0; v < vars.size(); ++v) {
-          netlist::NetId in_net = m.pinNet(cid, vars[v]);
+        const liberty::LibPin& out = bt->cell->pins[o.pin];
+        for (std::size_t v = 0; v < o.inputs.size(); ++v) {
+          netlist::NetId in_net = bound.pinNet(cid, o.inputs[v]);
           if (!in_net.valid()) continue;
           bool pin_disabled = cell_disabled;
-          for (const DisabledArc& d : options_.disabled) {
-            if (d.cell == names.str(cell.name) && d.from_pin == vars[v]) {
-              pin_disabled = true;
+          if (!pin_disabled) {
+            for (const auto& [dc, dp] : disabled_pins) {
+              if (dc == cid.index() && dp == o.inputs[v]) {
+                pin_disabled = true;
+                break;
+              }
             }
           }
-          // Delay from the arc matching this related pin (fallback: worst).
+          // Delay from the arc matching this related pin (resolved at bind
+          // time; fallback: worst arc of the output).
           double dr = 0.0, df = 0.0;
-          bool found = false;
-          for (const liberty::TimingArc& a : out.arcs) {
-            if (a.type != liberty::ArcType::kCombinational &&
-                a.type != liberty::ArcType::kClockToQ) {
-              continue;
-            }
-            if (a.related_pin == vars[v]) {
-              dr = a.intrinsic_rise + a.rise_resistance * cap;
-              df = a.intrinsic_fall + a.fall_resistance * cap;
-              found = true;
-              break;
-            }
-          }
-          if (!found) {
+          if (const liberty::TimingArc* a = o.input_arcs[v]) {
+            dr = a->intrinsic_rise + a->rise_resistance * cap;
+            df = a->intrinsic_fall + a->fall_resistance * cap;
+          } else {
             for (const liberty::TimingArc& a : out.arcs) {
               dr = std::max(dr, a.intrinsic_rise + a.rise_resistance * cap);
               df = std::max(df, a.intrinsic_fall + a.fall_resistance * cap);
@@ -146,7 +146,7 @@ void Sta::buildGraph() {
           arc.cell = cid;
           arc.d_rise = dr * scale;
           arc.d_fall = df * scale;
-          arc.unate = unateness(table, vars.size(), v);
+          arc.unate = unateness(o.table, o.inputs.size(), v);
           arc.disabled = pin_disabled;
           arcs_.push_back(arc);
         }
@@ -156,19 +156,18 @@ void Sta::buildGraph() {
 
     // Sequential cell: data-ish inputs are endpoints with setup; outputs are
     // startpoints (handled in propagate()).
-    const liberty::SeqClass* sc = gatefile_->seqClass(type);
-    if (sc == nullptr) return;
-    auto addEndpoint = [&](const std::string& pin) {
-      if (pin.empty()) return;
-      netlist::NetId net = m.pinNet(cid, pin);
+    if (bt->seq == nullptr) return;
+    auto addEndpoint = [&](std::int16_t lib_pin) {
+      if (lib_pin < 0) return;
+      netlist::NetId net = bound.rolePinNet(cid, lib_pin);
       if (!net.valid()) return;
       double setup = 0.0;
-      if (const liberty::LibPin* lp = lc->findPin(pin)) {
-        for (const liberty::TimingArc& a : lp->arcs) {
-          if (a.type == liberty::ArcType::kSetup) {
-            setup = std::max(setup,
-                             std::max(a.intrinsic_rise, a.intrinsic_fall));
-          }
+      const liberty::LibPin& lp =
+          bt->cell->pins[static_cast<std::size_t>(lib_pin)];
+      for (const liberty::TimingArc& a : lp.arcs) {
+        if (a.type == liberty::ArcType::kSetup) {
+          setup = std::max(setup,
+                           std::max(a.intrinsic_rise, a.intrinsic_fall));
         }
       }
       Endpoint e;
@@ -177,10 +176,10 @@ void Sta::buildGraph() {
       e.cell = cid;
       endpoints_.push_back(e);
     };
-    addEndpoint(sc->data_pin);
-    addEndpoint(sc->scan_in);
-    addEndpoint(sc->scan_enable);
-    addEndpoint(sc->sync_pin);
+    addEndpoint(bt->seq_pins.data);
+    addEndpoint(bt->seq_pins.scan_in);
+    addEndpoint(bt->seq_pins.scan_en);
+    addEndpoint(bt->seq_pins.sync);
   });
 
   // Output ports are endpoints too.
@@ -245,7 +244,7 @@ void Sta::breakLoops() {
 
 void Sta::propagate() {
   const netlist::Module& m = *module_;
-  const liberty::Library& lib = gatefile_->library();
+  const liberty::BoundModule& bound = *bound_;
   const netlist::NameTable& names = m.design().names();
 
   arr_rise_.assign(m.netCapacity(), kNegInf);
@@ -261,15 +260,14 @@ void Sta::propagate() {
     }
   }
   m.forEachCell([&](netlist::CellId cid) {
-    std::string type(names.str(m.cell(cid).type));
-    const liberty::LibCell* lc = lib.findCell(type);
-    if (lc == nullptr || lc->kind == liberty::CellKind::kCombinational) {
+    const liberty::BoundType* bt = bound.typeOf(cid);
+    if (bt == nullptr || bt->kind == liberty::CellKind::kCombinational) {
       return;
     }
-    for (const liberty::LibPin& p : lc->pins) {
-      if (p.dir != liberty::PinDir::kOutput) continue;
-      netlist::NetId net = m.pinNet(cid, p.name);
+    for (std::uint16_t j : bt->output_pins) {
+      netlist::NetId net = bound.pinNet(cid, j);
       if (!net.valid()) continue;
+      const liberty::LibPin& p = bt->cell->pins[j];
       double cq = 0.0;
       for (const liberty::TimingArc& a : p.arcs) {
         if (a.type == liberty::ArcType::kClockToQ) {

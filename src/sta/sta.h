@@ -20,11 +20,13 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "liberty/bound.h"
 #include "liberty/gatefile.h"
 #include "netlist/netlist.h"
 
@@ -68,9 +70,16 @@ struct BrokenArc {
 
 class Sta {
  public:
-  /// Builds the timing graph.  `module` must be flat.
+  /// Builds the timing graph.  `module` must be flat.  Binds the module
+  /// internally; prefer the BoundModule overload when several passes share
+  /// one binding.
   Sta(const netlist::Module& module, const liberty::Gatefile& gatefile,
       StaOptions options = {});
+
+  /// Builds the timing graph from an existing binding (no per-cell string
+  /// lookups).  `bound` must outlive the Sta and stay in sync with the
+  /// module (no netlist mutation in between).
+  explicit Sta(const liberty::BoundModule& bound, StaOptions options = {});
   ~Sta();  // out of line: members hold vectors of private incomplete types
   Sta(const Sta&) = delete;
   Sta& operator=(const Sta&) = delete;
@@ -127,7 +136,8 @@ class Sta {
   void propagate();
 
   const netlist::Module* module_;
-  const liberty::Gatefile* gatefile_;
+  std::unique_ptr<liberty::BoundModule> owned_bound_;  // string-ctor only
+  const liberty::BoundModule* bound_;
   StaOptions options_;
 
   // Arrival times per net slot (rise/fall), -inf when unreachable.

@@ -1,0 +1,105 @@
+// BoundModule: the dense library binding must agree with the string-keyed
+// lookup path on a real design, and constructing the hot passes from it
+// must perform zero string-keyed library lookups.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "designs/cpu.h"
+#include "liberty/bound.h"
+#include "liberty/stdlib90.h"
+#include "netlist/netlist.h"
+#include "sim/simulator.h"
+#include "sta/sta.h"
+
+namespace nl = desync::netlist;
+namespace lib = desync::liberty;
+namespace sim = desync::sim;
+namespace sta = desync::sta;
+namespace designs = desync::designs;
+
+namespace {
+
+const lib::Gatefile& gf() {
+  static const lib::Library l = lib::makeStdLib90(lib::LibVariant::kHighSpeed);
+  static const lib::Gatefile g(l);
+  return g;
+}
+
+TEST(BoundModule, AgreesWithStringLookupsOnDlx) {
+  nl::Design d;
+  designs::buildCpu(d, gf(), designs::dlxConfig());
+  nl::Module& m = *d.findModule("dlx");
+  const lib::Library& l = gf().library();
+
+  lib::BoundModule bound(m, gf());
+  EXPECT_EQ(bound.numUnboundCells(), 0u);
+  EXPECT_GT(bound.numTypes(), 0u);
+
+  std::size_t checked = 0;
+  m.forEachCell([&](nl::CellId cid) {
+    const std::string type(m.cellType(cid));
+    const lib::LibCell* lc = l.findCell(type);
+    ASSERT_NE(lc, nullptr) << type;
+    EXPECT_EQ(bound.libCell(cid), lc) << type;
+    EXPECT_EQ(bound.seqClass(cid), gf().seqClass(type)) << type;
+    EXPECT_DOUBLE_EQ(bound.area(cid), lc->area) << type;
+    EXPECT_DOUBLE_EQ(bound.leakage(cid), lc->leakage) << type;
+    for (std::size_t j = 0; j < lc->pins.size(); ++j) {
+      EXPECT_EQ(bound.pinNet(cid, j), m.pinNet(cid, lc->pins[j].name))
+          << type << "/" << lc->pins[j].name;
+    }
+    ++checked;
+  });
+  EXPECT_EQ(checked, m.numCells());
+}
+
+TEST(BoundModule, PassConstructionDoesNoStringLookups) {
+  for (const bool arm : {false, true}) {
+    nl::Design d;
+    designs::buildCpu(d, gf(),
+                      arm ? designs::armClassConfig() : designs::dlxConfig());
+    nl::Module& m = *d.findModule(arm ? "armlike" : "dlx");
+
+    lib::BoundModule bound(m, gf());
+    // The binding itself did one findCell per distinct type; from here on
+    // the counters must not move.
+    const std::uint64_t cell_lookups = gf().library().lookupCount();
+    const std::uint64_t pin_lookups = lib::detail::pinLookupCount();
+
+    sim::Simulator s(bound);
+    sta::Sta analysis(bound);
+
+    EXPECT_EQ(gf().library().lookupCount(), cell_lookups)
+        << "pass construction performed string-keyed cell lookups ("
+        << (arm ? "arm" : "dlx") << ")";
+    EXPECT_EQ(lib::detail::pinLookupCount(), pin_lookups)
+        << "pass construction performed string-keyed pin lookups ("
+        << (arm ? "arm" : "dlx") << ")";
+
+    // Sanity: the models built from the binding are live.
+    EXPECT_GT(analysis.criticalPathNs(), 0.0);
+    EXPECT_EQ(&s.bound(), &bound);
+    EXPECT_EQ(s.netLoads(), bound.netLoads());
+  }
+}
+
+TEST(BoundModule, UnboundTypesAreReportedNotFatal) {
+  nl::Design d;
+  nl::Module& m = d.addModule("t");
+  nl::NetId a = m.addNet("a");
+  nl::NetId z = m.addNet("z");
+  m.addCell("u1", "IV",
+            {{"A", nl::PortDir::kInput, a}, {"Z", nl::PortDir::kOutput, z}});
+  m.addCell("u2", "MYSTERY", {{"A", nl::PortDir::kInput, z}});
+
+  lib::BoundModule bound(m, gf());
+  EXPECT_EQ(bound.numUnboundCells(), 1u);
+  EXPECT_NE(bound.typeOf(m.findCell("u1")), nullptr);
+  EXPECT_EQ(bound.typeOf(m.findCell("u2")), nullptr);
+  EXPECT_THROW((void)bound.typeOrThrow(m.findCell("u2")), lib::BindError);
+  EXPECT_DOUBLE_EQ(bound.area(m.findCell("u2")), 0.0);
+}
+
+}  // namespace

@@ -10,6 +10,7 @@
 #include "liberty/stdlib90.h"
 #include "netlist/verilog.h"
 #include "sim/simulator.h"
+#include "sta/sdc.h"
 #include "sta/sta.h"
 
 namespace nl = desync::netlist;
@@ -276,5 +277,146 @@ TEST_P(StaConservative, SimSettleWithinStaBound) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StaConservative,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 42));
+
+// ------------------------------------------------- malformed-input edges
+
+TEST(SdcEdge, MalformedPeriodReportsSourceLine) {
+  const std::string text =
+      "# constraints\n"
+      "create_clock -name c -period 1.2x [get_ports {clk}]\n";
+  try {
+    sta::SdcFile::parse(text);
+    FAIL() << "expected SdcError";
+  } catch (const sta::SdcError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("SDC line 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("1.2x"), std::string::npos) << what;
+  }
+}
+
+TEST(SdcEdge, MissingPeriodValueRejected) {
+  EXPECT_THROW(sta::SdcFile::parse("create_clock -name c -period\n"),
+               sta::SdcError);
+}
+
+TEST(SdcEdge, WellFormedFileStillParses) {
+  sta::SdcFile sdc = sta::SdcFile::parse(
+      "create_clock -name c -period 2.5 [get_ports {clk}]\n");
+  ASSERT_EQ(sdc.clocks.size(), 1u);
+  EXPECT_DOUBLE_EQ(sdc.clocks[0].period_ns, 2.5);
+}
+
+TEST(LibertyEdge, MalformedNumericAttributeReportsSourceLine) {
+  const char* text =
+      "library (x) {\n"
+      "  cell (B1) {\n"
+      "    area : bogus;\n"
+      "  }\n"
+      "}\n";
+  try {
+    lib::readLiberty(text);
+    FAIL() << "expected LibertyParseError";
+  } catch (const lib::LibertyParseError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("liberty:3"), std::string::npos) << what;
+    EXPECT_NE(what.find("area"), std::string::npos) << what;
+  }
+}
+
+TEST(LibertyEdge, GluedUnitSuffixRejected) {
+  EXPECT_THROW(lib::readLiberty("library (x) {\n"
+                                "  cell (B1) { area : 1.0x; }\n"
+                                "}\n"),
+               lib::LibertyParseError);
+}
+
+TEST(LibertyEdge, NumericAttributeWithUnitTailAccepted) {
+  lib::Library l = lib::readLiberty(
+      "library (x) {\n"
+      "  default_wire_load_capacitance : 0.002 pF;\n"
+      "}\n");
+  EXPECT_DOUBLE_EQ(l.default_wire_cap, 0.002);
+}
+
+TEST(LibertyEdge, GatefileBadAreaReportsSourceLine) {
+  try {
+    lib::Gatefile::parseText("# library=std90\ncell N2 ND2 area=12x\n");
+    FAIL() << "expected LibraryError";
+  } catch (const lib::LibraryError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("gatefile:2"), std::string::npos) << what;
+    EXPECT_NE(what.find("12x"), std::string::npos) << what;
+  }
+}
+
+TEST(VerilogEdge, HugeConstantWidthRejected) {
+  const char* src =
+      "module top (z);\n"
+      "  output z;\n"
+      "  assign z = 1000000'b0;\n"
+      "endmodule\n";
+  nl::Design d;
+  try {
+    nl::readVerilog(d, src, gf());
+    FAIL() << "expected VerilogError";
+  } catch (const nl::VerilogError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("width"), std::string::npos) << what;
+    EXPECT_NE(what.find("verilog:3"), std::string::npos) << what;
+  }
+}
+
+TEST(VerilogEdge, ConstantDigitOutOfRadixRejected) {
+  const char* src = "module top (z); output z; assign z = 4'b2; endmodule\n";
+  nl::Design d;
+  EXPECT_THROW(nl::readVerilog(d, src, gf()), nl::VerilogError);
+}
+
+TEST(VerilogEdge, ConstantBadBaseRejected) {
+  const char* src = "module top (z); output z; assign z = 8'q0; endmodule\n";
+  nl::Design d;
+  EXPECT_THROW(nl::readVerilog(d, src, gf()), nl::VerilogError);
+}
+
+TEST(VerilogEdge, ConstantMissingBaseRejected) {
+  const char* src = "module top (z); output z; assign z = 8'; endmodule\n";
+  nl::Design d;
+  EXPECT_THROW(nl::readVerilog(d, src, gf()), nl::VerilogError);
+}
+
+TEST(VerilogEdge, ConstantValueOverflowRejected) {
+  // 17 hex digits = 68 value bits: more than the 64-bit constant value the
+  // gate-level reader supports, even though the declared width would fit.
+  const char* src =
+      "module top (z);\n"
+      "  output z;\n"
+      "  assign z = 72'hFFFFFFFFFFFFFFFFF;\n"
+      "endmodule\n";
+  nl::Design d;
+  EXPECT_THROW(nl::readVerilog(d, src, gf()), nl::VerilogError);
+}
+
+TEST(VerilogEdge, GarbageWidthPrefixRejected) {
+  // `x'b0` lexes as identifier `x` followed by the tick literal — it must
+  // surface as a parse error, not silently read as a constant.
+  const char* src = "module top (z); output z; assign z = x'b0; endmodule\n";
+  nl::Design d;
+  EXPECT_THROW(nl::readVerilog(d, src, gf()), nl::VerilogError);
+}
+
+TEST(VerilogEdge, WideZeroPaddedConstantParses) {
+  // Widths above 64 are fine as long as the value itself fits in 64 bits;
+  // the upper bits read as constant zero.
+  const char* src =
+      "module top (z);\n"
+      "  output [69:0] z;\n"
+      "  assign z = 70'h5;\n"
+      "endmodule\n";
+  nl::Design d;
+  nl::readVerilog(d, src, gf());
+  nl::Module& m = d.top();
+  EXPECT_TRUE(m.findPort("z[69]").valid());
+  EXPECT_TRUE(m.findPort("z[0]").valid());
+}
 
 }  // namespace

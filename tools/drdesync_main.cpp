@@ -10,7 +10,10 @@
 //            --reset-port rst_n --reset-active-low
 //            --group "pc_,ifid_;idex_;exmem_,red_;rf_,dmem_"
 //            --out dlx_desync.v --sdc dlx.sdc --blif dlx.blif --report
+#include <cerrno>
+#include <charconv>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -40,6 +43,43 @@ void usage() {
       "                [--mux-taps N]              0/2/4/8 calibration taps\n"
       "                [--no-bus-heuristic] [--no-clean]\n",
       stderr);
+}
+
+/// Strict full-token numeric parses for flag values: trailing garbage and
+/// out-of-range values are usage errors, not silently accepted prefixes.
+double parseDoubleFlag(const std::string& flag, const std::string& text) {
+  const char* begin = text.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(begin, &end);
+  if (end == begin || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr, "invalid number for %s: '%s'\n", flag.c_str(),
+                 text.c_str());
+    std::exit(2);
+  }
+  return v;
+}
+
+int parseIntFlag(const std::string& flag, const std::string& text) {
+  int v = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), v);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    std::fprintf(stderr, "invalid integer for %s: '%s'\n", flag.c_str(),
+                 text.c_str());
+    std::exit(2);
+  }
+  return v;
+}
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
 }
 
 std::vector<std::vector<std::string>> parseGroups(const std::string& spec) {
@@ -98,9 +138,15 @@ int main(int argc, char** argv) {
     } else if (arg == "--false-path") {
       opt.grouping.false_path_nets.push_back(next());
     } else if (arg == "--margin") {
-      opt.control.margin = std::stod(next());
+      opt.control.margin = parseDoubleFlag(arg, next());
     } else if (arg == "--mux-taps") {
-      opt.control.mux_taps = std::stoi(next());
+      const int taps = parseIntFlag(arg, next());
+      if (taps != 0 && taps != 2 && taps != 4 && taps != 8) {
+        std::fprintf(stderr, "--mux-taps must be 0, 2, 4 or 8 (got %d)\n",
+                     taps);
+        return 2;
+      }
+      opt.control.mux_taps = taps;
     } else if (arg == "--no-bus-heuristic") {
       opt.grouping.bus_heuristic = false;
     } else if (arg == "--no-clean") {
@@ -152,19 +198,42 @@ int main(int argc, char** argv) {
     }
 
     if (report) {
-      std::printf("drdesync: %s (%zu cells) -> %zu cells\n", in_path.c_str(),
-                  cells_in, module.numCells());
-      std::printf("  regions: %d, flip-flops substituted: %zu\n",
-                  result.regions.n_groups,
-                  result.substitution.ffs_replaced);
-      std::printf("  synchronous min period: %.3f ns\n",
-                  result.sync_min_period_ns);
-      for (const core::RegionControl& rc : result.control.regions) {
-        std::printf("  G%-3d delay element %3d levels  (cloud %.3f ns, "
-                    "matched %.3f ns)\n",
-                    rc.group, rc.delay_levels, rc.required_delay_ns,
-                    rc.matched_delay_ns);
+      // Machine-readable run report (schema documented in the README):
+      // design totals, per-region delay elements and the per-pass flow
+      // timings collected by desynchronize().
+      std::ostringstream os;
+      os.precision(6);
+      os << std::fixed;
+      os << "{\n";
+      os << "  \"input\": \"" << jsonEscape(in_path) << "\",\n";
+      os << "  \"cells_in\": " << cells_in << ",\n";
+      os << "  \"cells_out\": " << module.numCells() << ",\n";
+      os << "  \"nets_out\": " << module.numNets() << ",\n";
+      os << "  \"regions\": " << result.regions.n_groups << ",\n";
+      os << "  \"ffs_replaced\": " << result.substitution.ffs_replaced
+         << ",\n";
+      os << "  \"sync_min_period_ns\": " << result.sync_min_period_ns
+         << ",\n";
+      os << "  \"delay_elements\": [";
+      for (std::size_t i = 0; i < result.control.regions.size(); ++i) {
+        const core::RegionControl& rc = result.control.regions[i];
+        os << (i == 0 ? "" : ",") << "\n    {\"group\": " << rc.group
+           << ", \"levels\": " << rc.delay_levels
+           << ", \"cloud_ns\": " << rc.required_delay_ns
+           << ", \"matched_ns\": " << rc.matched_delay_ns << "}";
       }
+      os << (result.control.regions.empty() ? "" : "\n  ") << "],\n";
+      // FlowReport::toJson is a nested object; re-indent it two spaces.
+      std::istringstream flow_in(result.flow.toJson());
+      os << "  \"flow\": ";
+      std::string line;
+      bool first = true;
+      while (std::getline(flow_in, line)) {
+        os << (first ? "" : "\n  ") << line;
+        first = false;
+      }
+      os << "\n}\n";
+      std::fputs(os.str().c_str(), stdout);
     }
     return 0;
   } catch (const std::exception& e) {
