@@ -1,0 +1,161 @@
+// Parallel-layer scaling: serial vs parallel wall time for the three
+// workloads wired onto core/parallel.h, plus a determinism cross-check.
+//
+//   1. Monte-Carlo SSTA die samples (one STA per die, shared binding);
+//   2. multi-corner STA (one Sta per corner via sta::analyzeCorners);
+//   3. flow-equivalence vector batches (one simulator pair per batch).
+//
+// Each workload runs twice — --jobs 1, then the parallel worker count —
+// and the bench FAILS (exit 1) unless the two result sets are identical:
+// this is the byte-identical determinism contract, checked on real data.
+// Speedups are wall-clock and therefore *not* deterministic; they go to
+// stdout for a human and to BENCH_parallel_scaling.json for CI.  On a
+// single-core host the speedup hovers around 1.0 (the contract still
+// holds); the >=2x target applies to 4+-core machines.
+#include <sstream>
+
+#include "harness.h"
+
+using namespace bench;
+
+namespace {
+
+/// Serial vs parallel legs of one workload: runs `fn` under both jobs
+/// settings, returns {serial_min_ms, parallel_min_ms} and the two result
+/// strings for the determinism check.
+struct Leg {
+  double serial_min_ms = 0;
+  double parallel_min_ms = 0;
+  std::string serial_result;
+  std::string parallel_result;
+  [[nodiscard]] double speedup() const {
+    return parallel_min_ms > 0 ? serial_min_ms / parallel_min_ms : 0;
+  }
+  [[nodiscard]] bool deterministic() const {
+    return serial_result == parallel_result;
+  }
+};
+
+template <typename Fn>
+Leg runLeg(int par_jobs, int repeats, Fn&& fn) {
+  Leg leg;
+  core::setGlobalJobs(1);
+  leg.serial_min_ms =
+      measureRepeated(repeats, [&] { leg.serial_result = fn(); }).min_ms;
+  core::setGlobalJobs(par_jobs);
+  leg.parallel_min_ms =
+      measureRepeated(repeats, [&] { leg.parallel_result = fn(); }).min_ms;
+  core::setGlobalJobs(0);  // back to the env/hardware default
+  return leg;
+}
+
+}  // namespace
+
+int main() {
+  header("Parallel scaling: SSTA / multi-corner STA / FE batches");
+
+  // The parallel leg uses the configured worker count, but never less than
+  // 4 so the pool is exercised even where hardware_concurrency() is 1.
+  const int par_jobs = std::max(core::globalJobs(), 4);
+  const int repeats = benchRepeats(2);
+  row("  parallel jobs: %d; repeats per leg: %d", par_jobs, repeats);
+
+  DlxPair pair = makeDlxPair(/*mux_taps=*/8);
+  const lib::Gatefile& gf = *pair.gf;
+  nl::Module& m = pair.desyncModule();
+  const lib::BoundModule bound(m, gf);
+  const double sync_min = pair.report.sync_min_period_ns;
+
+  // 1. Monte-Carlo SSTA: per-die STA over the shared binding.
+  constexpr std::size_t kSamples = 24;
+  const var::VariationModel model = var::makeSpanModel(11);
+  Leg ssta = runLeg(par_jobs, repeats, [&] {
+    std::vector<double> periods(kSamples);
+    var::forEachSample(model, kSamples,
+                       [&](std::size_t s, const var::ChipSample& chip) {
+                         sta::StaOptions so;
+                         so.disabled = pair.report.sdc.disabled;
+                         so.delay_scale = chip.global;
+                         so.cell_scale = chip.cell_factor;
+                         periods[s] = sta::Sta(bound, so).minPeriodNs();
+                       });
+    std::ostringstream os;
+    os.precision(9);
+    for (double p : periods) os << p << ";";
+    return os.str();
+  });
+
+  // 2. Multi-corner STA: one Sta per delay scale over the shared binding.
+  Leg corners = runLeg(par_jobs, repeats, [&] {
+    std::vector<sta::StaOptions> options;
+    for (double scale : {0.72, 0.85, 1.0, 1.1, 1.2, 1.3, 1.45, 1.6}) {
+      sta::StaOptions so;
+      so.disabled = pair.report.sdc.disabled;
+      so.delay_scale = scale;
+      options.push_back(std::move(so));
+    }
+    auto analyses = sta::analyzeCorners(bound, std::move(options));
+    std::ostringstream os;
+    os.precision(9);
+    for (const auto& a : analyses) os << a->minPeriodNs() << ";";
+    return os.str();
+  });
+
+  // 3. Flow-equivalence batches: one sync/desync simulator pair per batch
+  // (batch = calibration selection), merged in batch order.
+  Leg fe = runLeg(par_jobs, repeats, [&] {
+    sim::FlowEqBatchReport report = sim::checkFlowEquivalenceBatches(
+        4,
+        [&](std::size_t) {
+          return runSync(pair.syncModule(), gf, sync_min * 2, 30);
+        },
+        [&](std::size_t b) {
+          return runDesync(pair.desyncModule(), gf, 45 * sync_min,
+                           static_cast<int>(4 + b))
+              .sim;
+        });
+    std::ostringstream os;
+    os << report.equivalent << "/" << report.batches_run << "/"
+       << report.elements_compared << "/" << report.values_compared << "/"
+       << report.mismatches;
+    return os.str();
+  });
+
+  row("  %-22s %12s %12s %9s %6s", "workload", "jobs=1 (ms)",
+      "jobs=N (ms)", "speedup", "same?");
+  const struct {
+    const char* name;
+    const Leg* leg;
+  } rows[] = {{"ssta_monte_carlo", &ssta},
+              {"multi_corner_sta", &corners},
+              {"flow_eq_batches", &fe}};
+  bool all_deterministic = true;
+  for (const auto& r : rows) {
+    row("  %-22s %12.2f %12.2f %8.2fx %6s", r.name, r.leg->serial_min_ms,
+        r.leg->parallel_min_ms, r.leg->speedup(),
+        r.leg->deterministic() ? "yes" : "NO");
+    all_deterministic = all_deterministic && r.leg->deterministic();
+  }
+  if (!all_deterministic) {
+    row("\n  DETERMINISM MISMATCH: parallel results differ from --jobs 1");
+    return 1;
+  }
+  row("\n  all workloads byte-identical at jobs=1 and jobs=%d", par_jobs);
+
+  // One JSON per workload so CI tracks each trajectory separately.
+  auto record = [&](const char* name, const Leg& leg) {
+    RepeatedTiming t;
+    t.runs_ms = {leg.serial_min_ms, leg.parallel_min_ms};
+    t.min_ms = std::min(leg.serial_min_ms, leg.parallel_min_ms);
+    t.median_ms = leg.parallel_min_ms;
+    writeBenchJson(std::string("parallel_scaling_") + name, t,
+                   {{"par_jobs", static_cast<double>(par_jobs)},
+                    {"serial_min_ms", leg.serial_min_ms},
+                    {"parallel_min_ms", leg.parallel_min_ms},
+                    {"speedup", leg.speedup()}});
+  };
+  record("ssta", ssta);
+  record("sta_corners", corners);
+  record("flow_eq", fe);
+  return 0;
+}

@@ -8,6 +8,12 @@
 // sample, and the margin distribution (element delay / required delay) is
 // reported.  A margin that dips below 1.0 on some die is a timing-yield
 // loss; the flow's margin option must cover the intra-die sigma.
+//
+// The die samples are independent (each derives its randomness from
+// (seed, sample, cell-name) hashing), so they are distributed over the
+// parallel layer — one STA per die over a shared read-only binding — and
+// reduced serially in sample order: the table below is byte-identical at
+// any --jobs / DESYNC_JOBS setting.  Timings go to BENCH_ssta_margins.json.
 #include <algorithm>
 #include <cmath>
 
@@ -29,6 +35,70 @@ int main() {
   row("  flow margin option: %.0f%%; intra-die sigma: %.0f%%",
       (1.15 - 1.0) * 100, model.intra_die_sigma * 100);
 
+  // Shared read-only binding: every die's STA builds on it concurrently.
+  const lib::BoundModule bound(m, gf);
+
+  const std::size_t n_regions = pair.report.control.regions.size();
+
+  // Per-region query nets, resolved once (shared, read-only).
+  struct RegionQuery {
+    std::string src;  ///< delay-element input net
+    std::string ri;   ///< master request net
+    bool ok = false;
+  };
+  std::vector<RegionQuery> queries(n_regions);
+  std::vector<std::vector<nl::CellId>> region_cells(n_regions);
+  for (std::size_t r = 0; r < n_regions; ++r) {
+    const core::RegionControl& rc = pair.report.control.regions[r];
+    region_cells[r] =
+        pair.report.regions.seq_cells[static_cast<std::size_t>(rc.group)];
+    const std::string g = "G" + std::to_string(rc.group);
+    nl::NetId ri = m.findNet(g + "_m_ri");
+    if (!ri.valid() || !m.net(ri).driver.isCellPin()) continue;
+    nl::CellId first = m.findCell(g + "_DE/u0");
+    if (!first.valid()) continue;
+    queries[r].src = std::string(m.netName(m.pinNet(first, "A")));
+    queries[r].ri = std::string(m.netName(ri));
+    queries[r].ok = true;
+  }
+
+  // One margin row per die, filled concurrently, merged in sample order.
+  // margin < 0 marks a skipped (unmeasurable) region, as before.
+  std::vector<std::vector<double>> margins;
+  auto sampleAll = [&] {
+    margins.assign(static_cast<std::size_t>(kSamples), {});
+    var::forEachSample(
+        model, static_cast<std::size_t>(kSamples),
+        [&](std::size_t s, const var::ChipSample& chip) {
+          sta::StaOptions so;
+          so.disabled = pair.report.sdc.disabled;
+          // Inter-die scale applies to everything equally; margins depend
+          // only on the intra-die component, but we keep both for realism.
+          so.delay_scale = chip.global;
+          so.cell_scale = chip.cell_factor;
+          sta::Sta analysis(bound, so);
+
+          // Required: worst path into each region's master latches (the
+          // nested per-region queries run inline inside this sample).
+          const std::vector<double> required =
+              analysis.regionWorstDelays(region_cells, "_Lm");
+
+          std::vector<double> die(n_regions, -1.0);
+          for (std::size_t r = 0; r < n_regions; ++r) {
+            if (!queries[r].ok || required[r] <= 0) continue;
+            // Matched: the in-place delay element, re-timed with this
+            // die's per-cell factors (input request net -> master ri net).
+            auto matched = analysis.netToNetNs(queries[r].src, queries[r].ri,
+                                               /*rising_out=*/true);
+            if (!matched) continue;
+            die[r] = *matched / required[r];
+          }
+          margins[s] = std::move(die);
+        });
+  };
+  const RepeatedTiming timing = measureRepeated(benchRepeats(), sampleAll);
+
+  // Serial reduction in sample order: byte-identical at any jobs count.
   struct Stats {
     double min = 1e9, sum = 0, sum2 = 0;
     int n = 0;
@@ -39,53 +109,13 @@ int main() {
       ++n;
     }
   };
-  std::vector<Stats> per_region(pair.report.control.regions.size());
+  std::vector<Stats> per_region(n_regions);
   int failing_dies = 0;
-
   for (int s = 0; s < kSamples; ++s) {
-    var::ChipSample chip =
-        var::sampleChip(model, static_cast<std::uint64_t>(s));
-    sta::StaOptions so;
-    so.disabled = pair.report.sdc.disabled;
-    // Inter-die scale applies to everything equally; margins depend only on
-    // the intra-die component, but we keep both for realism.
-    so.delay_scale = chip.global;
-    so.cell_scale = chip.cell_factor;
-    sta::Sta analysis(m, gf, so);
-
     bool die_fails = false;
-    for (std::size_t r = 0; r < pair.report.control.regions.size(); ++r) {
-      const core::RegionControl& rc = pair.report.control.regions[r];
-      // Required: worst path into the region's master latches.
-      double required = 0;
-      for (nl::CellId cid :
-           pair.report.regions.seq_cells[static_cast<std::size_t>(rc.group)]) {
-        std::string name(m.cellName(cid));
-        if (name.size() < 3 || name.substr(name.size() - 3) != "_Lm") {
-          continue;
-        }
-        if (auto v = analysis.combDelayToSeq(name)) {
-          required = std::max(required, *v);
-        }
-      }
-      // Matched: the in-place delay element, re-timed with this die's
-      // per-cell factors (input joint request net -> master ri net).
-      std::string g = "G" + std::to_string(rc.group);
-      nl::NetId ri = m.findNet(g + "_m_ri");
-      if (!ri.valid() || required <= 0) continue;
-      const nl::Net& ri_net = m.net(ri);
-      if (!ri_net.driver.isCellPin()) continue;
-      // The DE's A input net:
-      nl::CellId de_last = ri_net.driver.cell();
-      (void)de_last;
-      // Find the element's source: the net feeding "G<k>_DE/u0" pin A.
-      nl::CellId first = m.findCell(g + "_DE/u0");
-      if (!first.valid()) continue;
-      nl::NetId src = m.pinNet(first, "A");
-      auto matched = analysis.netToNetNs(m.netName(src), m.netName(ri),
-                                         /*rising_out=*/true);
-      if (!matched) continue;
-      const double margin = *matched / required;
+    for (std::size_t r = 0; r < n_regions; ++r) {
+      const double margin = margins[static_cast<std::size_t>(s)][r];
+      if (margin < 0) continue;
       per_region[r].add(margin);
       if (margin < 1.0) die_fails = true;
     }
@@ -109,5 +139,9 @@ int main() {
   row("  logic (same die); only the intra-die sigma eats into the %.0f%%",
       (1.15 - 1.0) * 100);
   row("  margin — exactly the matching property the paper claims (§2.5).");
+
+  writeBenchJson("ssta_margins", timing,
+                 {{"samples", static_cast<double>(kSamples)},
+                  {"regions", static_cast<double>(n_regions)}});
   return 0;
 }

@@ -5,13 +5,19 @@
 // tables and figures are generated from.
 #pragma once
 
+#include <algorithm>
+#include <chrono>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/desync.h"
+#include "core/parallel.h"
 #include "designs/cpu.h"
 #include "liberty/stdlib90.h"
 #include "netlist/flatten.h"
@@ -79,7 +85,9 @@ inline DlxPair makeDlxPair(int mux_taps = 0, double margin = 1.15) {
 }
 
 /// Runs the synchronous DLX for `cycles` at `period_ns`, returning the sim.
-inline std::unique_ptr<sim::Simulator> runSync(nl::Module& m,
+/// Takes the module const: several batches may run concurrently over the
+/// same netlist (each with its own simulator instance).
+inline std::unique_ptr<sim::Simulator> runSync(const nl::Module& m,
                                                const lib::Gatefile& gf,
                                                double period_ns, int cycles,
                                                sim::SimOptions so = {}) {
@@ -108,7 +116,7 @@ struct DesyncRun {
 /// Runs the desynchronized circuit for a time window, measuring the
 /// effective period.  `dsel` sets the delay-element calibration mux (-1 =
 /// no mux ports).
-inline DesyncRun runDesync(nl::Module& m, const lib::Gatefile& gf,
+inline DesyncRun runDesync(const nl::Module& m, const lib::Gatefile& gf,
                            double window_ns, int dsel = -1,
                            sim::SimOptions so = {}) {
   DesyncRun run;
@@ -137,6 +145,70 @@ inline DesyncRun runDesync(nl::Module& m, const lib::Gatefile& gf,
                         static_cast<double>(rises.size() - 3) / 1000.0;
   }
   return run;
+}
+
+// --- repeated measurement + machine-readable results ---------------------
+//
+// Wall-clock numbers from a single run are noisy; every timed bench section
+// runs `benchRepeats()` times and reports the min and the median.  The
+// deterministic *results* go to stdout (byte-identical across --jobs
+// settings); the timing numbers go to a BENCH_<name>.json file next to the
+// binary so CI can track trajectories without parsing tables.
+
+/// Repeat count for timed sections (DESYNC_BENCH_REPEATS env, default 3).
+inline int benchRepeats(int fallback = 3) {
+  if (const char* env = std::getenv("DESYNC_BENCH_REPEATS")) {
+    const int v = std::atoi(env);
+    if (v >= 1 && v <= 100) return v;
+  }
+  return fallback;
+}
+
+struct RepeatedTiming {
+  std::vector<double> runs_ms;  ///< per-run wall time, run order
+  double min_ms = 0.0;
+  double median_ms = 0.0;
+};
+
+/// Runs `fn` `repeats` times, returning min/median wall time.  `fn` must be
+/// idempotent (the deterministic results are identical on every repeat).
+template <typename Fn>
+RepeatedTiming measureRepeated(int repeats, Fn&& fn) {
+  RepeatedTiming t;
+  for (int r = 0; r < repeats; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    t.runs_ms.push_back(std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count());
+  }
+  std::vector<double> sorted = t.runs_ms;
+  std::sort(sorted.begin(), sorted.end());
+  t.min_ms = sorted.front();
+  t.median_ms = sorted[sorted.size() / 2];
+  return t;
+}
+
+/// Writes BENCH_<name>.json: {"name", "jobs", "repeats", "min_ms",
+/// "median_ms", "runs_ms": [...]} plus any extra numeric fields.  `jobs`
+/// records the worker count the measurement ran with (--jobs / DESYNC_JOBS).
+inline void writeBenchJson(
+    const std::string& name, const RepeatedTiming& t,
+    const std::vector<std::pair<std::string, double>>& extra = {}) {
+  std::ofstream os("BENCH_" + name + ".json");
+  os.precision(6);
+  os << std::fixed;
+  os << "{\"name\": \"" << name << "\", \"jobs\": " << core::globalJobs()
+     << ", \"repeats\": " << t.runs_ms.size() << ", \"min_ms\": " << t.min_ms
+     << ", \"median_ms\": " << t.median_ms;
+  for (const auto& [k, v] : extra) {
+    os << ", \"" << k << "\": " << v;
+  }
+  os << ", \"runs_ms\": [";
+  for (std::size_t i = 0; i < t.runs_ms.size(); ++i) {
+    os << (i == 0 ? "" : ", ") << t.runs_ms[i];
+  }
+  os << "]}\n";
 }
 
 /// printf-style row helper.

@@ -47,21 +47,12 @@ ControlNetworkReport insertControlNetwork(
   insertBufferTrees(m, gatefile);
 
   // --- region critical paths (post-substitution STA) --------------------
+  // The matched delay covers paths into each region's master latches; the
+  // per-region queries are independent and run concurrently (the analysis
+  // itself is read-only after construction).
   sta::Sta sta(m, gatefile);
-  std::vector<double> required(static_cast<std::size_t>(regions.n_groups),
-                               0.0);
-  for (int g = 0; g < regions.n_groups; ++g) {
-    for (netlist::CellId cid :
-         regions.seq_cells[static_cast<std::size_t>(g)]) {
-      // The matched delay covers paths into the region's master latches.
-      std::string name(m.cellName(cid));
-      if (name.size() < 3 || name.substr(name.size() - 3) != "_Lm") continue;
-      if (auto d = sta.combDelayToSeq(name)) {
-        required[static_cast<std::size_t>(g)] =
-            std::max(required[static_cast<std::size_t>(g)], *d);
-      }
-    }
-  }
+  std::vector<double> required = sta.regionWorstDelays(regions.seq_cells,
+                                                       "_Lm");
 
   // --- reset --------------------------------------------------------------
   NetId rst;

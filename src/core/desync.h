@@ -48,6 +48,15 @@ struct DesyncResult {
   /// + setup), used as the reference period for the generated clocks and
   /// for the synchronous-version comparisons.
   double sync_min_period_ns = 0.0;
+  /// Synchronous reference period at each PVT corner (best/typical/worst,
+  /// in that order), from the multi-corner reference_sta pass.  The three
+  /// analyses run concurrently on the parallel layer (core/parallel.h).
+  struct CornerPeriod {
+    std::string corner;         ///< variability corner name
+    double delay_scale = 1.0;   ///< the corner's delay multiplier
+    double min_period_ns = 0.0;
+  };
+  std::vector<CornerPeriod> corner_periods;
   /// Per-pass wall times and work counters (`drdesync --report`).
   FlowReport flow;
 };

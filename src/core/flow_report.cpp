@@ -41,7 +41,7 @@ std::string jsonEscape(std::string_view s) {
 }  // namespace
 
 PassStat& FlowReport::addPass(std::string name) {
-  passes_.push_back(PassStat{std::move(name), 0.0, {}});
+  passes_.push_back(PassStat{std::move(name), 0.0, 0.0, {}});
   return passes_.back();
 }
 
@@ -67,11 +67,20 @@ std::string FlowReport::toJson(int indent) const {
   os << std::fixed;
   os << "{" << nl;
   os << pad1 << "\"total_ms\": " << totalMs() << "," << nl;
+  if (jobs_ > 0) {
+    os << pad1 << "\"jobs\": " << jobs_ << "," << nl;
+  }
   os << pad1 << "\"passes\": [";
   for (std::size_t i = 0; i < passes_.size(); ++i) {
     const PassStat& p = passes_[i];
     os << (i == 0 ? "" : ",") << nl << pad2 << "{\"name\": \""
        << jsonEscape(p.name) << "\", \"wall_ms\": " << p.wall_ms;
+    if (p.work_ms > 0.0) {
+      os << ", \"work_ms\": " << p.work_ms;
+      if (p.wall_ms > 0.0) {
+        os << ", \"speedup\": " << p.work_ms / p.wall_ms;
+      }
+    }
     for (const auto& [k, v] : p.counters) {
       os << ", \"" << jsonEscape(k) << "\": " << v;
     }
@@ -91,6 +100,7 @@ ScopedPass::~ScopedPass() {
   PassStat& stat = report_->addPass(std::move(name_));
   stat.wall_ms =
       std::chrono::duration<double, std::milli>(end - start_).count();
+  stat.work_ms = work_ms_;
   stat.counters = std::move(counters_);
 }
 

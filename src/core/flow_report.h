@@ -22,6 +22,10 @@ namespace desync::core {
 struct PassStat {
   std::string name;
   double wall_ms = 0.0;
+  /// Summed per-task time of the pass's parallel section (0 when the pass
+  /// ran serially).  work_ms / wall_ms is the realized speedup; toJson
+  /// emits both so `--report` exposes the scaling at the current --jobs.
+  double work_ms = 0.0;
   /// Pass-specific work counters, in insertion order (e.g. "cells",
   /// "nets", "ffs_replaced").
   std::vector<std::pair<std::string, std::int64_t>> counters;
@@ -46,20 +50,27 @@ class FlowReport {
   [[nodiscard]] const std::vector<PassStat>& passes() const {
     return passes_;
   }
+  /// Worker count the flow ran with (core::globalJobs() at flow entry);
+  /// 0 when never set.  Serialized as the top-level "jobs" field.
+  void setJobs(int jobs) { jobs_ = jobs; }
+  [[nodiscard]] int jobs() const { return jobs_; }
   /// First pass with the given name; nullptr when absent.
   [[nodiscard]] const PassStat* find(std::string_view name) const;
   /// Sum of all pass wall times.
   [[nodiscard]] double totalMs() const;
 
   /// Serializes as a JSON object:
-  ///   {"total_ms": 12.3,
-  ///    "passes": [{"name": "...", "wall_ms": 1.2, "cells": 42, ...}, ...]}
+  ///   {"total_ms": 12.3, "jobs": 4,
+  ///    "passes": [{"name": "...", "wall_ms": 1.2,
+  ///                "work_ms": 4.6, "speedup": 3.83, "cells": 42, ...}]}
   /// Counter keys become sibling fields of name/wall_ms within each pass
-  /// object.  `indent` < 0 emits a single line.
+  /// object; work_ms/speedup appear only for passes with a parallel
+  /// section.  `indent` < 0 emits a single line.
   [[nodiscard]] std::string toJson(int indent = 2) const;
 
  private:
   std::vector<PassStat> passes_;
+  int jobs_ = 0;
 };
 
 /// RAII pass timer: measures from construction to destruction and appends
@@ -73,11 +84,14 @@ class ScopedPass {
 
   /// Records a work counter reported with the pass.
   void counter(std::string key, std::int64_t value);
+  /// Accumulates per-task time of the pass's parallel section.
+  void work(double ms) { work_ms_ += ms; }
 
  private:
   FlowReport* report_;
   std::string name_;
   std::vector<std::pair<std::string, std::int64_t>> counters_;
+  double work_ms_ = 0.0;
   std::chrono::steady_clock::time_point start_;
 };
 

@@ -1,0 +1,191 @@
+#include "core/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace desync::core {
+
+namespace {
+
+thread_local bool tls_in_parallel = false;
+
+/// One parallelFor invocation: an index range consumed through an atomic
+/// counter by the pool workers and the calling thread together.
+struct Job {
+  std::size_t n = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::atomic<bool> cancelled{false};
+
+  std::mutex err_mutex;
+  std::exception_ptr error;
+  std::size_t error_index = std::numeric_limits<std::size_t>::max();
+
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  /// Pulls and runs iterations until the range is exhausted (or an earlier
+  /// iteration failed).  Called from workers and from the issuing thread.
+  void work() {
+    tls_in_parallel = true;
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      if (!cancelled.load(std::memory_order_relaxed)) {
+        try {
+          (*fn)(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(err_mutex);
+          // Keep the lowest-indexed failure so the surfaced exception does
+          // not depend on scheduling.
+          if (i < error_index) {
+            error_index = i;
+            error = std::current_exception();
+          }
+          cancelled.store(true, std::memory_order_relaxed);
+        }
+      }
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        done_cv.notify_all();
+      }
+    }
+    tls_in_parallel = false;
+  }
+
+  void waitFinished() {
+    std::unique_lock<std::mutex> lock(done_mutex);
+    done_cv.wait(lock,
+                 [&] { return done.load(std::memory_order_acquire) >= n; });
+  }
+};
+
+/// The process-wide pool.  Threads are created lazily on first parallel
+/// use and grow (never shrink) when a later section requests more workers;
+/// idle workers block on a condition variable.
+class Pool {
+ public:
+  static Pool& instance() {
+    static Pool pool;
+    return pool;
+  }
+
+  void run(std::size_t n, const std::function<void(std::size_t)>& fn,
+           int jobs) {
+    // One section at a time: concurrent top-level callers queue up here
+    // (the flow itself is single-threaded; this guards library misuse).
+    std::lock_guard<std::mutex> run_lock(run_mutex_);
+    auto job = std::make_shared<Job>();
+    job->n = n;
+    job->fn = &fn;
+
+    ensureWorkers(jobs - 1);  // the caller is worker #0
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      job_ = job;
+      ++job_serial_;
+    }
+    wake_cv_.notify_all();
+
+    job->work();          // participate until the range is drained
+    job->waitFinished();  // then wait for workers still inside fn
+
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (job_ == job) job_.reset();
+    }
+    if (job->error) std::rethrow_exception(job->error);
+  }
+
+ private:
+  Pool() = default;
+
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      shutdown_ = true;
+    }
+    wake_cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  void ensureWorkers(int count) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    while (static_cast<int>(workers_.size()) < count) {
+      workers_.emplace_back([this] { workerLoop(); });
+    }
+  }
+
+  void workerLoop() {
+    std::uint64_t seen_serial = 0;
+    for (;;) {
+      std::shared_ptr<Job> job;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_cv_.wait(lock, [&] {
+          return shutdown_ || (job_ != nullptr && job_serial_ != seen_serial);
+        });
+        if (shutdown_) return;
+        job = job_;
+        seen_serial = job_serial_;
+      }
+      job->work();
+    }
+  }
+
+  std::mutex run_mutex_;
+  std::mutex mutex_;
+  std::condition_variable wake_cv_;
+  std::vector<std::thread> workers_;
+  std::shared_ptr<Job> job_;
+  std::uint64_t job_serial_ = 0;
+  bool shutdown_ = false;
+};
+
+/// Default job count from the environment / hardware (computed once).
+int environmentJobs() {
+  if (const char* env = std::getenv("DESYNC_JOBS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1 && v <= 1024) {
+      return static_cast<int>(v);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+std::atomic<int> g_jobs_override{0};  // 0 = use environmentJobs()
+
+}  // namespace
+
+int globalJobs() {
+  const int over = g_jobs_override.load(std::memory_order_relaxed);
+  return over > 0 ? over : environmentJobs();
+}
+
+void setGlobalJobs(int jobs) {
+  g_jobs_override.store(jobs > 0 ? jobs : 0, std::memory_order_relaxed);
+}
+
+bool inParallelSection() { return tls_in_parallel; }
+
+void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  const int jobs = globalJobs();
+  if (jobs <= 1 || n == 1 || tls_in_parallel) {
+    // Exact serial path: index order, caller's thread, pool untouched.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  Pool::instance().run(n, fn, jobs);
+}
+
+}  // namespace desync::core

@@ -1,0 +1,66 @@
+// Deterministic parallel execution layer.
+//
+// A small fixed-size thread pool shared by the flow's embarrassingly
+// parallel workloads: Monte-Carlo chip samples (SSTA), multi-corner /
+// per-region STA and flow-equivalence vector batches.  The design follows
+// the work-queue style of parallel commercial timers (cf. OpenTimer):
+// workers pull iteration indices from a shared atomic counter, so load
+// balances dynamically, but every iteration writes only state owned by its
+// index and callers merge results in index order — making the final output
+// byte-identical to the serial (`--jobs 1`) run regardless of scheduling.
+//
+// Concurrency contract for callers:
+//   * fn(i) must touch only shared *read-only* state (const Module,
+//     Gatefile, BoundModule, ...) plus per-index slots;
+//   * floating-point reductions are performed by the caller, serially, in
+//     index order (never with an order-dependent parallel accumulation);
+//   * nested parallelFor calls run inline on the calling worker (no
+//     deadlock, no oversubscription).
+//
+// Worker count resolution: setGlobalJobs() (the `--jobs` CLI flag) >
+// DESYNC_JOBS environment variable > std::thread::hardware_concurrency().
+// jobs == 1 is an exact serial fast path: fn runs on the caller's thread
+// and no pool thread is ever created or woken.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <type_traits>
+#include <vector>
+
+namespace desync::core {
+
+/// Effective worker count (>= 1) used by subsequent parallel sections.
+[[nodiscard]] int globalJobs();
+
+/// Overrides the worker count (the `--jobs N` flag).  `jobs <= 0` resets
+/// to the environment/hardware default (DESYNC_JOBS, then
+/// hardware_concurrency).  Existing pool threads are kept; the pool grows
+/// lazily when a later section asks for more workers.
+void setGlobalJobs(int jobs);
+
+/// True while the calling thread is executing inside a parallel section
+/// (worker or participating caller).  Nested sections run serially.
+[[nodiscard]] bool inParallelSection();
+
+/// Runs fn(0), ..., fn(n-1), distributing iterations over the pool.
+/// Blocks until every iteration finished.  If any iteration throws, the
+/// remaining un-started iterations are skipped and the exception thrown by
+/// the lowest-indexed failing iteration is rethrown on the caller.
+/// With jobs == 1, n <= 1, or from inside a parallel section, iterations
+/// run inline on the calling thread in index order (exact serial path).
+void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+/// parallelFor that collects fn's results index-aligned: out[i] = fn(i).
+/// The result type must be default-constructible and movable.
+template <typename Fn>
+[[nodiscard]] auto parallelMap(std::size_t n, Fn&& fn) {
+  using R = std::decay_t<decltype(fn(std::size_t{0}))>;
+  static_assert(std::is_default_constructible_v<R>,
+                "parallelMap results are pre-allocated by index");
+  std::vector<R> out(n);
+  parallelFor(n, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace desync::core

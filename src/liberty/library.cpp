@@ -1,14 +1,30 @@
 #include "liberty/library.h"
 
+#include <atomic>
+
 namespace desync::liberty {
 
 namespace detail {
 namespace {
-std::uint64_t pin_lookups = 0;
+std::atomic<std::uint64_t> pin_lookups{0};
 }  // namespace
-void bumpPinLookup() { ++pin_lookups; }
-std::uint64_t pinLookupCount() { return pin_lookups; }
+void bumpPinLookup() {
+  pin_lookups.fetch_add(1, std::memory_order_relaxed);
+}
+std::uint64_t pinLookupCount() {
+  return pin_lookups.load(std::memory_order_relaxed);
+}
 }  // namespace detail
+
+void Library::bumpLookup() const {
+  std::atomic_ref<std::uint64_t>(lookups_).fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+std::uint64_t Library::lookupCount() const {
+  return std::atomic_ref<std::uint64_t>(lookups_).load(
+      std::memory_order_relaxed);
+}
 
 LibCell& Library::addCell(LibCell cell) {
   auto [it, inserted] = cells_.emplace(cell.name, std::move(cell));
@@ -20,13 +36,13 @@ LibCell& Library::addCell(LibCell cell) {
 }
 
 const LibCell* Library::findCell(std::string_view name) const {
-  ++lookups_;
+  bumpLookup();
   auto it = cells_.find(name);
   return it == cells_.end() ? nullptr : &it->second;
 }
 
 LibCell* Library::findCell(std::string_view name) {
-  ++lookups_;
+  bumpLookup();
   auto it = cells_.find(name);
   return it == cells_.end() ? nullptr : &it->second;
 }

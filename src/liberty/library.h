@@ -151,8 +151,10 @@ class Library {
 
   /// Number of string-keyed cell resolutions performed so far (every
   /// findCell/cell call).  Passes that consume a BoundModule must not
-  /// advance this per cell; see tests/bound_test.cpp.
-  [[nodiscard]] std::uint64_t lookupCount() const { return lookups_; }
+  /// advance this per cell; see tests/bound_test.cpp.  Counted with a
+  /// relaxed atomic_ref: parallel sections (core/parallel.h) may resolve
+  /// cells from several workers at once.
+  [[nodiscard]] std::uint64_t lookupCount() const;
 
   [[nodiscard]] std::size_t size() const { return order_.size(); }
   /// Cells in insertion order.
@@ -166,8 +168,12 @@ class Library {
   }
 
  private:
+  void bumpLookup() const;
+
   std::map<std::string, LibCell, std::less<>> cells_;
   std::vector<std::string> order_;
+  // Plain integer (Library must stay movable); all access goes through
+  // std::atomic_ref in library.cpp.
   mutable std::uint64_t lookups_ = 0;
 };
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/parallel.h"
+
 namespace desync::sim {
 
 FlowEqReport checkFlowEquivalence(const Simulator& sync_sim,
@@ -82,6 +84,46 @@ FlowEqReport checkFlowEquivalence(const Simulator& sync_sim,
     report.details.push_back("no comparable sequential elements");
   }
   return report;
+}
+
+namespace {
+
+/// Index-order reduction of per-batch reports (deterministic regardless of
+/// the schedule that produced them).
+FlowEqBatchReport mergeBatches(std::vector<FlowEqReport> per_batch) {
+  FlowEqBatchReport merged;
+  merged.batches_run = per_batch.size();
+  for (const FlowEqReport& r : per_batch) {
+    merged.equivalent = merged.equivalent && r.equivalent;
+    merged.elements_compared += r.elements_compared;
+    merged.values_compared += r.values_compared;
+    merged.mismatches += r.mismatches;
+  }
+  merged.per_batch = std::move(per_batch);
+  return merged;
+}
+
+}  // namespace
+
+FlowEqBatchReport checkFlowEquivalenceBatches(std::size_t n_batches,
+                                              const SimFactory& run_sync,
+                                              const SimFactory& run_desync,
+                                              const FlowEqOptions& options) {
+  return mergeBatches(core::parallelMap(n_batches, [&](std::size_t b) {
+    const std::unique_ptr<Simulator> sync_sim = run_sync(b);
+    const std::unique_ptr<Simulator> desync_sim = run_desync(b);
+    return checkFlowEquivalence(*sync_sim, *desync_sim, options);
+  }));
+}
+
+FlowEqBatchReport checkFlowEquivalenceBatches(const Simulator& golden_sync,
+                                              std::size_t n_batches,
+                                              const SimFactory& run_desync,
+                                              const FlowEqOptions& options) {
+  return mergeBatches(core::parallelMap(n_batches, [&](std::size_t b) {
+    const std::unique_ptr<Simulator> desync_sim = run_desync(b);
+    return checkFlowEquivalence(golden_sync, *desync_sim, options);
+  }));
 }
 
 }  // namespace desync::sim

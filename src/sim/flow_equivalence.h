@@ -49,4 +49,45 @@ FlowEqReport checkFlowEquivalence(const Simulator& sync_sim,
                                   const Simulator& desync_sim,
                                   const FlowEqOptions& options = {});
 
+// --- batched checking over partitioned input-vector sets -----------------
+//
+// Large flow-equivalence campaigns split the stimulus into independent
+// vector batches (different input vectors, windows or delay selections per
+// batch).  Each batch gets its own per-worker simulator instances, so the
+// batches run concurrently on the parallel layer (core/parallel.h) while
+// the merged verdict stays byte-identical to a serial run: per-batch
+// reports are collected index-aligned and reduced in batch order.
+
+/// Builds *and runs* the simulation for one batch: the factory derives the
+/// batch's stimulus deterministically from the batch index alone (vectors,
+/// window length, calibration selection, ...) and returns the finished
+/// simulator, whose capture logs are then compared.
+using SimFactory =
+    std::function<std::unique_ptr<Simulator>(std::size_t batch)>;
+
+struct FlowEqBatchReport {
+  bool equivalent = true;             ///< AND over all batches
+  std::size_t batches_run = 0;
+  std::size_t elements_compared = 0;  ///< summed over batches
+  std::size_t values_compared = 0;
+  std::size_t mismatches = 0;
+  std::vector<FlowEqReport> per_batch;  ///< index-aligned with batches
+};
+
+/// Runs `n_batches` independent sync/desync simulation pairs and checks
+/// flow equivalence per batch.  Both factories are invoked concurrently
+/// from pool workers and must only read shared state (const netlist,
+/// gatefile, binding).
+FlowEqBatchReport checkFlowEquivalenceBatches(
+    std::size_t n_batches, const SimFactory& run_sync,
+    const SimFactory& run_desync, const FlowEqOptions& options = {});
+
+/// Variant with one shared golden synchronous run: the stored-value
+/// sequences of the synchronous circuit do not depend on delays, so a
+/// single capture log can serve every batch (e.g. Fig 5.3's per-corner
+/// sweeps).  `golden_sync` is read concurrently and must outlive the call.
+FlowEqBatchReport checkFlowEquivalenceBatches(
+    const Simulator& golden_sync, std::size_t n_batches,
+    const SimFactory& run_desync, const FlowEqOptions& options = {});
+
 }  // namespace desync::sim

@@ -5,6 +5,8 @@
 #include <deque>
 #include <limits>
 
+#include "core/parallel.h"
+
 namespace desync::sta {
 
 namespace {
@@ -490,5 +492,43 @@ double Sta::worstSetupSlackNs(double period_ns) const {
 }
 
 double Sta::minPeriodNs() const { return worst_; }
+
+std::vector<double> Sta::regionWorstDelays(
+    const std::vector<std::vector<netlist::CellId>>& region_cells,
+    std::string_view seq_suffix) const {
+  const netlist::Module& m = *module_;
+  std::vector<double> worst(region_cells.size(), 0.0);
+  // Each region reads only the propagated arrival arrays (const) and
+  // writes its own slot; max() is order-independent, so the result does
+  // not depend on scheduling.
+  core::parallelFor(region_cells.size(), [&](std::size_t g) {
+    double w = 0.0;
+    for (netlist::CellId cid : region_cells[g]) {
+      const std::string_view name = m.cellName(cid);
+      if (name.size() < seq_suffix.size() ||
+          name.substr(name.size() - seq_suffix.size()) != seq_suffix) {
+        continue;
+      }
+      for (const Endpoint& e : endpoints_) {
+        if (!(e.cell == cid)) continue;
+        for (const auto* arr : {&arr_rise_, &arr_fall_}) {
+          const double a = (*arr)[e.net];
+          if (a > kNegInf) w = std::max(w, a + e.setup);
+        }
+      }
+    }
+    worst[g] = w;
+  });
+  return worst;
+}
+
+std::vector<std::unique_ptr<Sta>> analyzeCorners(
+    const liberty::BoundModule& bound, std::vector<StaOptions> options) {
+  std::vector<std::unique_ptr<Sta>> out(options.size());
+  core::parallelFor(options.size(), [&](std::size_t i) {
+    out[i] = std::make_unique<Sta>(bound, std::move(options[i]));
+  });
+  return out;
+}
 
 }  // namespace desync::sta

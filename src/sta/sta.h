@@ -128,6 +128,16 @@ class Sta {
   /// Smallest period with non-negative setup slack.
   [[nodiscard]] double minPeriodNs() const;
 
+  /// Worst combinational arrival into the master latches (cells whose name
+  /// ends in `seq_suffix`) of each listed region, index-aligned with
+  /// `region_cells`.  Entries stay 0 for regions without timed paths.  The
+  /// queries are independent per region and run concurrently on the
+  /// parallel layer (core/parallel.h); the result is identical at any
+  /// --jobs setting.
+  [[nodiscard]] std::vector<double> regionWorstDelays(
+      const std::vector<std::vector<netlist::CellId>>& region_cells,
+      std::string_view seq_suffix) const;
+
  private:
   struct Arc;
   struct Endpoint;
@@ -150,5 +160,15 @@ class Sta {
   std::uint32_t worst_net_ = 0;
   bool worst_rise_ = true;
 };
+
+/// Multi-corner analysis: builds one Sta per options entry (e.g. the
+/// best/typical/worst PVT corners, or one Monte-Carlo die each) over the
+/// shared read-only binding.  The constructions are independent and run
+/// concurrently on the parallel layer; the returned analyses are
+/// index-aligned with `options`, so any report merged in index order is
+/// byte-identical to a serial (--jobs 1) run.  `bound` must outlive the
+/// returned analyses.
+[[nodiscard]] std::vector<std::unique_ptr<Sta>> analyzeCorners(
+    const liberty::BoundModule& bound, std::vector<StaOptions> options);
 
 }  // namespace desync::sta

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/parallel.h"
+
 namespace desync::variability {
 
 namespace {
@@ -123,6 +125,21 @@ ChipSample sampleChip(const VariationModel& model, std::uint64_t index) {
     return std::max(1.0 + intra_sigma * z2, 0.5);
   };
   return sample;
+}
+
+std::vector<ChipSample> sampleChips(const VariationModel& model,
+                                    std::size_t count) {
+  return core::parallelMap(count, [&](std::size_t i) {
+    return sampleChip(model, static_cast<std::uint64_t>(i));
+  });
+}
+
+void forEachSample(
+    const VariationModel& model, std::size_t count,
+    const std::function<void(std::size_t, const ChipSample&)>& fn) {
+  core::parallelFor(count, [&](std::size_t i) {
+    fn(i, sampleChip(model, static_cast<std::uint64_t>(i)));
+  });
 }
 
 }  // namespace desync::variability

@@ -15,10 +15,12 @@
 //     the component the delay-element margin must absorb.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace desync::variability {
 
@@ -59,6 +61,20 @@ struct ChipSample {
 /// Draws chip sample `index` from the model (Monte-Carlo over dies).
 [[nodiscard]] ChipSample sampleChip(const VariationModel& model,
                                     std::uint64_t index);
+
+/// Draws samples 0..count-1, index-aligned.  Every sample derives its
+/// randomness from (seed, index, cell-name) hashing alone, so the batch is
+/// order-independent and identical at any --jobs setting.
+[[nodiscard]] std::vector<ChipSample> sampleChips(const VariationModel& model,
+                                                  std::size_t count);
+
+/// Monte-Carlo driver: runs `fn(index, chip)` for every die sample,
+/// distributing samples over the parallel layer (core/parallel.h).  `fn`
+/// must write only per-index state (results are merged by the caller in
+/// sample order); it may freely run STA / simulation over shared read-only
+/// structures.  With --jobs 1 the samples run serially in index order.
+void forEachSample(const VariationModel& model, std::size_t count,
+                   const std::function<void(std::size_t, const ChipSample&)>& fn);
 
 /// Inter-die delay scale at cumulative probability `q` in (0,1): the normal
 /// quantile of the Fig 5.4 distribution.  q=0.5 gives the typical scale.

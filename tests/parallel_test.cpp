@@ -1,0 +1,152 @@
+// Unit tests for the deterministic parallel execution layer
+// (core/parallel.h): coverage semantics, the jobs=1 exact serial path,
+// exception propagation, nested sections and the jobs resolution order.
+//
+// This suite is also compiled under ThreadSanitizer as parallel_test_tsan
+// (see tests/CMakeLists.txt), so keep it free of benign-but-racy idioms.
+#include "core/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace core = desync::core;
+
+namespace {
+
+/// Restores the --jobs override (and thus the env/hardware default) on
+/// scope exit so tests cannot leak their worker-count setting.
+struct JobsGuard {
+  explicit JobsGuard(int jobs) { core::setGlobalJobs(jobs); }
+  ~JobsGuard() { core::setGlobalJobs(0); }
+};
+
+}  // namespace
+
+TEST(ParallelFor, EveryIndexRunsExactlyOnce) {
+  JobsGuard guard(8);
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> counts(kN);
+  core::parallelFor(kN, [&](std::size_t i) {
+    counts[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(counts[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, ZeroIterationsIsANoOp) {
+  for (int jobs : {1, 4}) {
+    JobsGuard guard(jobs);
+    core::parallelFor(0, [](std::size_t) { std::abort(); });
+  }
+}
+
+TEST(ParallelFor, JobsOneRunsInIndexOrderOnCallerThread) {
+  JobsGuard guard(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  core::parallelFor(100, [&](std::size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);  // safe: serial path, no data race
+  });
+  ASSERT_EQ(order.size(), 100u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ParallelFor, SingleIterationRunsInlineEvenWithManyJobs) {
+  JobsGuard guard(8);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  core::parallelFor(1, [&](std::size_t) { ran_on = std::this_thread::get_id(); });
+  EXPECT_EQ(ran_on, caller);
+}
+
+TEST(ParallelFor, ExceptionPropagatesToCaller) {
+  JobsGuard guard(4);
+  try {
+    core::parallelFor(64, [&](std::size_t i) {
+      if (i == 5) throw std::runtime_error("iteration 5 failed");
+    });
+    FAIL() << "expected the iteration exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "iteration 5 failed");
+  }
+}
+
+TEST(ParallelFor, PoolIsReusableAfterAnException) {
+  JobsGuard guard(4);
+  EXPECT_THROW(core::parallelFor(
+                   16, [](std::size_t) { throw std::runtime_error("boom"); }),
+               std::runtime_error);
+  // The failed section must leave the pool fully operational.
+  std::vector<std::atomic<int>> counts(256);
+  core::parallelFor(256, [&](std::size_t i) {
+    counts[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    ASSERT_EQ(counts[i].load(), 1);
+  }
+}
+
+TEST(ParallelFor, NestedSectionsRunInlineOnTheSameThread) {
+  JobsGuard guard(4);
+  constexpr std::size_t kOuter = 8, kInner = 16;
+  // Per outer index: the worker thread seen outside and inside the nested
+  // section, plus the nested iteration order (inline => index order).
+  std::vector<std::thread::id> outer_tid(kOuter), inner_tid(kOuter);
+  std::vector<std::vector<std::size_t>> inner_order(kOuter);
+  std::vector<char> was_in_section(kOuter, 0);
+  EXPECT_FALSE(core::inParallelSection());
+  core::parallelFor(kOuter, [&](std::size_t o) {
+    outer_tid[o] = std::this_thread::get_id();
+    was_in_section[o] = core::inParallelSection() ? 1 : 0;
+    core::parallelFor(kInner, [&](std::size_t i) {
+      inner_tid[o] = std::this_thread::get_id();
+      inner_order[o].push_back(i);
+    });
+  });
+  EXPECT_FALSE(core::inParallelSection());
+  for (std::size_t o = 0; o < kOuter; ++o) {
+    EXPECT_EQ(was_in_section[o], 1);
+    EXPECT_EQ(inner_tid[o], outer_tid[o]) << "nested section migrated";
+    ASSERT_EQ(inner_order[o].size(), kInner);
+    for (std::size_t i = 0; i < kInner; ++i) EXPECT_EQ(inner_order[o][i], i);
+  }
+}
+
+TEST(ParallelMap, CollectsResultsIndexAligned) {
+  JobsGuard guard(8);
+  const std::vector<std::size_t> squares =
+      core::parallelMap(1000, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(squares.size(), 1000u);
+  for (std::size_t i = 0; i < squares.size(); ++i) {
+    ASSERT_EQ(squares[i], i * i);
+  }
+}
+
+TEST(ParallelJobs, OverrideWinsAndZeroResetsToDefault) {
+  core::setGlobalJobs(3);
+  EXPECT_EQ(core::globalJobs(), 3);
+  core::setGlobalJobs(0);
+  EXPECT_GE(core::globalJobs(), 1);  // env or hardware default
+}
+
+TEST(ParallelJobs, EnvironmentVariableProvidesTheDefault) {
+  core::setGlobalJobs(0);
+  ASSERT_EQ(setenv("DESYNC_JOBS", "5", 1), 0);
+  EXPECT_EQ(core::globalJobs(), 5);
+  // An explicit override still wins over the environment.
+  core::setGlobalJobs(2);
+  EXPECT_EQ(core::globalJobs(), 2);
+  core::setGlobalJobs(0);
+  // Garbage values fall back to the hardware default.
+  ASSERT_EQ(setenv("DESYNC_JOBS", "not-a-number", 1), 0);
+  EXPECT_GE(core::globalJobs(), 1);
+  ASSERT_EQ(unsetenv("DESYNC_JOBS"), 0);
+}

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/desync.h"
+#include "core/parallel.h"
 #include "liberty/liberty_io.h"
 #include "liberty/stdlib90.h"
 #include "netlist/blif.h"
@@ -41,7 +42,10 @@ void usage() {
       "                [--false-path NET]...       nets ignored by grouping\n"
       "                [--margin F]                matched-delay margin\n"
       "                [--mux-taps N]              0/2/4/8 calibration taps\n"
-      "                [--no-bus-heuristic] [--no-clean]\n",
+      "                [--no-bus-heuristic] [--no-clean]\n"
+      "                [--jobs N]                  worker threads (0 = auto;\n"
+      "                                            default DESYNC_JOBS env or\n"
+      "                                            hardware concurrency)\n",
       stderr);
 }
 
@@ -147,6 +151,13 @@ int main(int argc, char** argv) {
         return 2;
       }
       opt.control.mux_taps = taps;
+    } else if (arg == "--jobs") {
+      const int jobs = parseIntFlag(arg, next());
+      if (jobs < 0 || jobs > 1024) {
+        std::fprintf(stderr, "--jobs must be in 0..1024 (got %d)\n", jobs);
+        return 2;
+      }
+      core::setGlobalJobs(jobs);  // 0 resets to the env/hardware default
     } else if (arg == "--no-bus-heuristic") {
       opt.grouping.bus_heuristic = false;
     } else if (arg == "--no-clean") {
@@ -214,6 +225,13 @@ int main(int argc, char** argv) {
          << ",\n";
       os << "  \"sync_min_period_ns\": " << result.sync_min_period_ns
          << ",\n";
+      os << "  \"sync_min_period_by_corner\": {";
+      for (std::size_t i = 0; i < result.corner_periods.size(); ++i) {
+        const core::DesyncResult::CornerPeriod& cp = result.corner_periods[i];
+        os << (i == 0 ? "" : ", ") << "\"" << jsonEscape(cp.corner)
+           << "\": " << cp.min_period_ns;
+      }
+      os << "},\n";
       os << "  \"delay_elements\": [";
       for (std::size_t i = 0; i < result.control.regions.size(); ++i) {
         const core::RegionControl& rc = result.control.regions[i];
