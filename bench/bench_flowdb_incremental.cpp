@@ -1,0 +1,133 @@
+// FlowDB incremental-rebuild bench: cold vs warm desynchronization.
+//
+// The pass cache keys every stage of the flow on (snapshot, library
+// fingerprint, pass options); a change to a post-substitution control knob
+// (here: --margin) leaves the STA-heavy prefix — reference STA, grouping,
+// substitution, dependency graph, region timing — cache-valid, so the warm
+// run only recomputes control-network insertion and SDC generation.  This
+// bench measures that speedup on the two case studies and checks the warm
+// output is byte-identical to a cold run at the same options.
+//
+// Timed region: desynchronize() only.  Design construction stands in for
+// netlist parsing and is paid identically by both runs; output writing is
+// verification, not flow work.
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "harness.h"
+#include "netlist/verilog.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct FlowOutput {
+  std::string verilog;
+  std::string sdc;
+};
+
+/// One full desynchronization of `config` at `margin`; returns the wall
+/// time of the desynchronize() call and, optionally, the output text.
+double runFlow(const bench::designs::CpuConfig& config, double margin,
+               const std::string& cache_dir, FlowOutput* out) {
+  bench::nl::Design design;
+  bench::designs::buildCpu(design, bench::gatefileHs(), config);
+  bench::nl::Module& m = *design.findModule(config.name);
+  bench::core::DesyncOptions opt;
+  opt.control.reset_port = "rst_n";
+  opt.control.reset_active_low = true;
+  opt.control.margin = margin;
+  if (config.name != "dlx") opt.manual_seq_groups = {{""}};
+  opt.flowdb.cache_dir = cache_dir;
+  const auto t0 = std::chrono::steady_clock::now();
+  bench::core::DesyncResult r =
+      bench::core::desynchronize(design, m, bench::gatefileHs(), opt);
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  if (out) {
+    out->verilog = bench::nl::writeVerilog(m);
+    out->sdc = r.sdc.toText();
+  }
+  return ms;
+}
+
+struct ColdWarm {
+  double cold_ms = 0;  ///< min over repeats, empty cache, margin 1.15
+  double warm_ms = 0;  ///< min over repeats, primed cache, margin 1.25
+  bool warm_matches_cold = false;
+  double speedup() const { return warm_ms > 0 ? cold_ms / warm_ms : 0; }
+};
+
+ColdWarm measureDesign(const bench::designs::CpuConfig& config, int repeats) {
+  const fs::path dir =
+      fs::temp_directory_path() / ("bench_flowdb_" + config.name);
+  ColdWarm cw;
+  cw.cold_ms = 1e300;
+  cw.warm_ms = 1e300;
+
+  // Reference: what a cold run at the *changed* margin produces.  The warm
+  // (cache-assisted) run must reproduce it byte-for-byte.
+  fs::remove_all(dir);
+  FlowOutput reference;
+  runFlow(config, 1.25, dir.string(), &reference);
+
+  for (int r = 0; r < repeats; ++r) {
+    fs::remove_all(dir);
+    cw.cold_ms =
+        std::min(cw.cold_ms, runFlow(config, 1.15, dir.string(), nullptr));
+    FlowOutput warm;
+    cw.warm_ms =
+        std::min(cw.warm_ms, runFlow(config, 1.25, dir.string(), &warm));
+    cw.warm_matches_cold =
+        warm.verilog == reference.verilog && warm.sdc == reference.sdc;
+    if (!cw.warm_matches_cold) break;
+  }
+  fs::remove_all(dir);
+  return cw;
+}
+
+}  // namespace
+
+int main() {
+  const int repeats = bench::benchRepeats();
+  bench::header("FlowDB incremental rebuild (margin 1.15 -> 1.25)");
+  bench::row("%-8s %12s %12s %9s %8s", "design", "cold_ms", "warm_ms",
+             "speedup", "match");
+
+  bench::RepeatedTiming total;
+  const auto t0 = std::chrono::steady_clock::now();
+
+  const ColdWarm dlx = measureDesign(bench::designs::dlxConfig(), repeats);
+  bench::row("%-8s %12.1f %12.1f %8.1fx %8s", "dlx", dlx.cold_ms, dlx.warm_ms,
+             dlx.speedup(), dlx.warm_matches_cold ? "yes" : "NO");
+
+  const ColdWarm arm =
+      measureDesign(bench::designs::armClassConfig(), repeats);
+  bench::row("%-8s %12.1f %12.1f %8.1fx %8s", "arm", arm.cold_ms, arm.warm_ms,
+             arm.speedup(), arm.warm_matches_cold ? "yes" : "NO");
+
+  total.runs_ms.push_back(std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count());
+  total.min_ms = total.median_ms = total.runs_ms.front();
+  bench::writeBenchJson("flowdb_incremental", total,
+                        {{"dlx_cold_ms", dlx.cold_ms},
+                         {"dlx_warm_ms", dlx.warm_ms},
+                         {"dlx_speedup", dlx.speedup()},
+                         {"dlx_warm_matches_cold",
+                          dlx.warm_matches_cold ? 1.0 : 0.0},
+                         {"arm_cold_ms", arm.cold_ms},
+                         {"arm_warm_ms", arm.warm_ms},
+                         {"arm_speedup", arm.speedup()},
+                         {"arm_warm_matches_cold",
+                          arm.warm_matches_cold ? 1.0 : 0.0}});
+
+  const bool ok = dlx.warm_matches_cold && arm.warm_matches_cold &&
+                  dlx.speedup() >= 2.0 && arm.speedup() >= 2.0;
+  bench::row("%s", ok ? "OK: warm >= 2x cold on both designs"
+                      : "FAIL: warm run too slow or output mismatch");
+  return ok ? 0 : 1;
+}

@@ -33,12 +33,11 @@ double perLevelDelayNs(Design& design, const liberty::Gatefile& gatefile) {
 
 }  // namespace
 
-ControlNetworkReport insertControlNetwork(
-    Design& design, Module& m, const liberty::Gatefile& gatefile,
-    const Regions& regions, const DependencyGraph& ddg,
-    const SubstitutionResult& subst, const ControlNetworkOptions& options) {
-  ControlNetworkReport report;
-  report.per_level_delay_ns = perLevelDelayNs(design, gatefile);
+RegionTiming computeRegionTiming(Design& design, Module& m,
+                                 const liberty::Gatefile& gatefile,
+                                 const Regions& regions) {
+  RegionTiming timing;
+  timing.per_level_delay_ns = perLevelDelayNs(design, gatefile);
 
   // Re-buffer the datapath first (the cleaning pass stripped the synthesis
   // buffers): the delay elements must be sized against the timing the
@@ -46,13 +45,23 @@ ControlNetworkReport insertControlNetwork(
   // silently eats the matching margin.
   insertBufferTrees(m, gatefile);
 
-  // --- region critical paths (post-substitution STA) --------------------
-  // The matched delay covers paths into each region's master latches; the
-  // per-region queries are independent and run concurrently (the analysis
-  // itself is read-only after construction).
+  // Region critical paths (post-substitution STA).  The matched delay
+  // covers paths into each region's master latches; the per-region queries
+  // are independent and run concurrently (the analysis itself is read-only
+  // after construction).
   sta::Sta sta(m, gatefile);
-  std::vector<double> required = sta.regionWorstDelays(regions.seq_cells,
-                                                       "_Lm");
+  timing.required_delay_ns = sta.regionWorstDelays(regions.seq_cells, "_Lm");
+  return timing;
+}
+
+ControlNetworkReport insertControlNetwork(
+    Design& design, Module& m, const liberty::Gatefile& gatefile,
+    const Regions& regions, const DependencyGraph& ddg,
+    const SubstitutionResult& subst, const RegionTiming& timing,
+    const ControlNetworkOptions& options) {
+  ControlNetworkReport report;
+  report.per_level_delay_ns = timing.per_level_delay_ns;
+  const std::vector<double>& required = timing.required_delay_ns;
 
   // --- reset --------------------------------------------------------------
   NetId rst;

@@ -54,13 +54,37 @@ struct ControlNetworkReport {
   double per_level_delay_ns = 0;  ///< characterized AND-stage rise delay
 };
 
+/// STA products the control network consumes, computed by the flow's
+/// region_timing pass.  Split out of insertControlNetwork so the (slow)
+/// timing analysis can be cached independently of the (cheap) network
+/// construction: changing a post-substitution knob — margin, mux taps,
+/// controller kind, reset wiring — re-runs construction from the cached
+/// timing instead of re-running STA.
+struct RegionTiming {
+  double per_level_delay_ns = 0;  ///< characterized AND-stage rise delay
+  /// Per group: worst combinational delay into the region's master latches
+  /// (with clk-to-q and setup), i.e. the path the matched delay must cover.
+  std::vector<double> required_delay_ns;
+};
+
+/// Runs the timing prerequisites of control-network insertion: re-buffers
+/// the datapath (the cleaning pass stripped the synthesis buffers, and the
+/// delay elements must be sized against the timing the backend netlist
+/// will actually have), characterizes the delay-element stage delay, and
+/// measures each region's critical path with the STA engine.
+RegionTiming computeRegionTiming(netlist::Design& design,
+                                 netlist::Module& module,
+                                 const liberty::Gatefile& gatefile,
+                                 const Regions& regions);
+
 /// Inserts controllers, C-elements and delay elements into `module` (which
-/// already went through grouping and flip-flop substitution) and flattens
-/// them.  Delay elements are sized with the STA engine.
+/// already went through grouping, flip-flop substitution and
+/// computeRegionTiming) and flattens them.  Delay elements are sized from
+/// `timing`; this function performs no STA of its own.
 ControlNetworkReport insertControlNetwork(
     netlist::Design& design, netlist::Module& module,
     const liberty::Gatefile& gatefile, const Regions& regions,
     const DependencyGraph& ddg, const SubstitutionResult& subst,
-    const ControlNetworkOptions& options = {});
+    const RegionTiming& timing, const ControlNetworkOptions& options = {});
 
 }  // namespace desync::core

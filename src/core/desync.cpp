@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "core/flow_cache.h"
 #include "core/parallel.h"
 #include "sta/sta.h"
 #include "variability/variability.h"
@@ -13,12 +14,12 @@ DesyncResult desynchronize(netlist::Design& design, netlist::Module& module,
                            const DesyncOptions& options) {
   DesyncResult result;
   result.flow.setJobs(globalJobs());
+  FlowSession session(design, module, gatefile, options, result);
 
   // Reference periods of the synchronous circuit (before any mutation):
   // one STA per PVT corner, built concurrently over a shared binding.  The
   // typical corner (delay_scale 1.0) is the flow's reference period.
-  {
-    ScopedPass pass(result.flow, "reference_sta");
+  session.addPass("reference_sta", nullptr, [&](ScopedPass& pass) {
     const liberty::BoundModule bound(module, gatefile);
     const variability::Corner corners[] = {variability::Corner::kBest,
                                            variability::Corner::kTypical,
@@ -51,11 +52,22 @@ DesyncResult desynchronize(netlist::Design& design, netlist::Module& module,
     pass.counter("jobs", globalJobs());
     pass.counter("cells", static_cast<std::int64_t>(module.numCells()));
     pass.counter("nets", static_cast<std::int64_t>(module.numNets()));
-  }
+  });
 
   // 1+2. Cleaning + region creation (automatic or designer-specified).
-  {
-    ScopedPass pass(result.flow, "region_grouping");
+  auto grouping_fp = [&](flowdb::KeyHasher& h) {
+    h.u64(options.grouping.clean_logic ? 1 : 0);
+    h.u64(options.grouping.bus_heuristic ? 1 : 0);
+    h.u64(options.grouping.false_path_nets.size());
+    for (const std::string& s : options.grouping.false_path_nets) h.str(s);
+    h.str(options.clock_port);
+    h.u64(options.manual_seq_groups.size());
+    for (const auto& group : options.manual_seq_groups) {
+      h.u64(group.size());
+      for (const std::string& s : group) h.str(s);
+    }
+  };
+  session.addPass("region_grouping", grouping_fp, [&](ScopedPass& pass) {
     if (options.manual_seq_groups.empty()) {
       result.regions = groupRegions(module, gatefile, options.grouping);
     } else {
@@ -64,11 +76,10 @@ DesyncResult desynchronize(netlist::Design& design, netlist::Module& module,
     }
     pass.counter("regions", result.regions.n_groups);
     pass.counter("cells", static_cast<std::int64_t>(module.numCells()));
-  }
+  });
 
   // 3. Flip-flop substitution (latch pairs + extra-latch glue).
-  {
-    ScopedPass pass(result.flow, "ff_substitution");
+  session.addPass("ff_substitution", nullptr, [&](ScopedPass& pass) {
     result.substitution =
         substituteFlipFlops(module, gatefile, result.regions);
     pass.counter("ffs_replaced",
@@ -76,39 +87,57 @@ DesyncResult desynchronize(netlist::Design& design, netlist::Module& module,
     pass.counter(
         "glue_cells",
         static_cast<std::int64_t>(result.substitution.glue_cells_added));
-  }
+  });
 
   // 4. Data-dependency graph over the regions.
-  {
-    ScopedPass pass(result.flow, "dependency_graph");
+  session.addPass("dependency_graph", nullptr, [&](ScopedPass& pass) {
     result.ddg = buildDependencyGraph(module, gatefile, result.regions);
     std::int64_t edges = 0;
     for (const auto& preds : result.ddg.preds) {
       edges += static_cast<std::int64_t>(preds.size());
     }
     pass.counter("edges", edges);
-  }
+  });
 
-  // 5+6. Delay elements and control network.
-  {
-    ScopedPass pass(result.flow, "control_network");
+  // 5a. Region timing: datapath re-buffering, delay-element stage
+  // characterization and per-region critical paths.  Deliberately keyed
+  // without the control knobs (margin, mux taps, controller kind, reset):
+  // changing any of those reuses this pass's cached STA results and only
+  // recomputes the cheap network construction below.
+  session.addPass("region_timing", nullptr, [&](ScopedPass& pass) {
+    result.timing = computeRegionTiming(design, module, gatefile,
+                                        result.regions);
+    pass.counter("regions", static_cast<std::int64_t>(
+                                result.timing.required_delay_ns.size()));
+    pass.counter("cells", static_cast<std::int64_t>(module.numCells()));
+  });
+
+  // 5b+6. Delay elements and control network.
+  auto control_fp = [&](flowdb::KeyHasher& h) {
+    h.u64(static_cast<std::uint64_t>(options.control.controller));
+    h.f64(options.control.margin);
+    h.u64(static_cast<std::uint64_t>(options.control.mux_taps));
+    h.u64(static_cast<std::uint64_t>(options.control.nominal_selection));
+    h.str(options.control.reset_port);
+    h.u64(options.control.reset_active_low ? 1 : 0);
+  };
+  session.addPass("control_network", control_fp, [&](ScopedPass& pass) {
     result.control = insertControlNetwork(
         design, module, gatefile, result.regions, result.ddg,
-        result.substitution, options.control);
+        result.substitution, result.timing, options.control);
     pass.counter("controllers",
                  static_cast<std::int64_t>(result.control.regions.size()));
     pass.counter("loop_cuts",
                  static_cast<std::int64_t>(result.control.loop_cuts.size()));
     pass.counter("cells", static_cast<std::int64_t>(module.numCells()));
     pass.counter("nets", static_cast<std::int64_t>(module.numNets()));
-  }
+  });
 
   // 7. Backend constraints (thesis §4.5, Fig 4.2): the original clock
   // becomes two non-overlapping latch-enable clocks sourced at the
   // controllers' g drivers; the falling edge of the master coincides with
   // the rising edge of the slave at the original capture instant.
-  {
-    ScopedPass pass(result.flow, "sdc_generation");
+  session.addPass("sdc_generation", nullptr, [&](ScopedPass& pass) {
     const double period = result.sync_min_period_ns;
     sta::SdcClock clk_m, clk_s;
     clk_m.name = "ClkM";
@@ -142,8 +171,9 @@ DesyncResult desynchronize(netlist::Design& design, netlist::Module& module,
     pass.counter("clocks", static_cast<std::int64_t>(result.sdc.clocks.size()));
     pass.counter("disabled_arcs",
                  static_cast<std::int64_t>(result.sdc.disabled.size()));
-  }
+  });
 
+  session.run();
   return result;
 }
 

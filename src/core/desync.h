@@ -16,6 +16,8 @@
 // network, which self-starts from the slave latches' reset data tokens.
 #pragma once
 
+#include <stdexcept>
+
 #include "core/control_network.h"
 #include "core/ff_substitution.h"
 #include "core/flow_report.h"
@@ -23,6 +25,16 @@
 #include "sta/sdc.h"
 
 namespace desync::core {
+
+/// FlowDB persistence knobs (`--cache-dir`, `--resume`).
+struct FlowDbOptions {
+  /// Content-addressed pass cache directory; empty disables FlowDB
+  /// entirely (no snapshots, no checkpoints, zero overhead).
+  std::string cache_dir;
+  /// Restore the last valid checkpoint found in cache_dir instead of
+  /// recomputing the passes leading up to it (`drdesync --resume`).
+  bool resume = false;
+};
 
 struct DesyncOptions {
   GroupingOptions grouping;
@@ -34,12 +46,17 @@ struct DesyncOptions {
   /// come from these sequential-cell name-prefix groups instead of the
   /// automatic algorithm (group i+1 = prefixes[i]).
   std::vector<std::vector<std::string>> manual_seq_groups;
+  /// Pass caching and checkpoint/resume.
+  FlowDbOptions flowdb;
 };
 
 struct DesyncResult {
   Regions regions;
   DependencyGraph ddg;
   SubstitutionResult substitution;
+  /// STA products of the region_timing pass (delay-element stage delay,
+  /// per-region critical paths); cached independently of the control knobs.
+  RegionTiming timing;
   ControlNetworkReport control;
   /// Backend constraints: ClkM/ClkS latch-enable clocks (Fig 4.2),
   /// controller loop cuts (Fig 4.5) and size_only markers.
@@ -61,8 +78,33 @@ struct DesyncResult {
   FlowReport flow;
 };
 
+/// Raised when a flow pass fails: carries the failing pass's name and the
+/// FlowReport as of the failure (completed passes plus the failing one),
+/// so `drdesync --report` can still emit a partial report with an "error"
+/// field instead of losing all pass statistics.
+class FlowError : public std::runtime_error {
+ public:
+  FlowError(std::string pass, FlowReport flow, const std::string& message)
+      : std::runtime_error(message),
+        pass_(std::move(pass)),
+        flow_(std::move(flow)) {}
+
+  /// Name of the pass that failed.
+  [[nodiscard]] const std::string& pass() const { return pass_; }
+  /// Pass statistics collected up to (and including) the failing pass.
+  [[nodiscard]] const FlowReport& flow() const { return flow_; }
+
+ private:
+  std::string pass_;
+  FlowReport flow_;
+};
+
 /// Desynchronizes `module` in place.  `design` receives the helper modules
 /// (controllers, C-elements, delay elements) before they are flattened in.
+/// A pass failure is reported as FlowError.  With options.flowdb.cache_dir
+/// set, every pass first consults the FlowDB cache (and, under
+/// options.flowdb.resume, the checkpoint written by a previous run);
+/// restored and computed runs produce byte-identical results.
 DesyncResult desynchronize(netlist::Design& design, netlist::Module& module,
                            const liberty::Gatefile& gatefile,
                            const DesyncOptions& options = {});

@@ -41,7 +41,9 @@ std::string jsonEscape(std::string_view s) {
 }  // namespace
 
 PassStat& FlowReport::addPass(std::string name) {
-  passes_.push_back(PassStat{std::move(name), 0.0, 0.0, {}});
+  PassStat stat;
+  stat.name = std::move(name);
+  passes_.push_back(std::move(stat));
   return passes_.back();
 }
 
@@ -70,11 +72,20 @@ std::string FlowReport::toJson(int indent) const {
   if (jobs_ > 0) {
     os << pad1 << "\"jobs\": " << jobs_ << "," << nl;
   }
+  if (cache_.enabled) {
+    os << pad1 << "\"cache\": {\"hits\": " << cache_.hits
+       << ", \"misses\": " << cache_.misses
+       << ", \"bytes_read\": " << cache_.bytes_read
+       << ", \"bytes_written\": " << cache_.bytes_written
+       << ", \"restore_ms\": " << cache_.restore_ms
+       << ", \"compute_ms\": " << cache_.compute_ms << "}," << nl;
+  }
   os << pad1 << "\"passes\": [";
   for (std::size_t i = 0; i < passes_.size(); ++i) {
     const PassStat& p = passes_[i];
     os << (i == 0 ? "" : ",") << nl << pad2 << "{\"name\": \""
-       << jsonEscape(p.name) << "\", \"wall_ms\": " << p.wall_ms;
+       << jsonEscape(p.name) << "\", \"wall_ms\": " << p.wall_ms
+       << ", \"source\": \"" << jsonEscape(p.source) << "\"";
     if (p.work_ms > 0.0) {
       os << ", \"work_ms\": " << p.work_ms;
       if (p.wall_ms > 0.0) {
@@ -86,7 +97,15 @@ std::string FlowReport::toJson(int indent) const {
     }
     os << "}";
   }
-  os << nl << pad1 << "]" << nl << "}";
+  os << nl << pad1 << "]";
+  if (!notes_.empty()) {
+    os << "," << nl << pad1 << "\"notes\": [";
+    for (std::size_t i = 0; i < notes_.size(); ++i) {
+      os << (i == 0 ? "" : ", ") << "\"" << jsonEscape(notes_[i]) << "\"";
+    }
+    os << "]";
+  }
+  os << nl << "}";
   return os.str();
 }
 
@@ -101,6 +120,7 @@ ScopedPass::~ScopedPass() {
   stat.wall_ms =
       std::chrono::duration<double, std::milli>(end - start_).count();
   stat.work_ms = work_ms_;
+  stat.source = std::move(source_);
   stat.counters = std::move(counters_);
 }
 

@@ -26,6 +26,11 @@ struct PassStat {
   /// ran serially).  work_ms / wall_ms is the realized speedup; toJson
   /// emits both so `--report` exposes the scaling at the current --jobs.
   double work_ms = 0.0;
+  /// How the pass's result was obtained: "computed" (ran), "cache"
+  /// (restored from a FlowDB cache entry) or "checkpoint" (restored via
+  /// `--resume`).  For restored passes wall_ms is the restore cost, so
+  /// `--report` exposes per-pass restore-vs-compute time directly.
+  std::string source = "computed";
   /// Pass-specific work counters, in insertion order (e.g. "cells",
   /// "nets", "ffs_replaced").
   std::vector<std::pair<std::string, std::int64_t>> counters;
@@ -37,6 +42,19 @@ struct PassStat {
     }
     return fallback;
   }
+};
+
+/// FlowDB cache traffic of one flow run (zeroed / disabled when the flow
+/// ran without --cache-dir).  Serialized as the top-level "cache" object.
+struct FlowCacheStats {
+  bool enabled = false;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  /// Total time spent restoring cached state vs computing passes.
+  double restore_ms = 0.0;
+  double compute_ms = 0.0;
 };
 
 /// Ordered collection of pass statistics for one flow run.
@@ -59,18 +77,36 @@ class FlowReport {
   /// Sum of all pass wall times.
   [[nodiscard]] double totalMs() const;
 
+  /// FlowDB cache traffic; stats.enabled gates the "cache" JSON object.
+  void setCacheStats(FlowCacheStats stats) { cache_ = std::move(stats); }
+  [[nodiscard]] const FlowCacheStats& cacheStats() const { return cache_; }
+
+  /// Appends a free-form diagnostic note (e.g. "cache entry invalid:
+  /// ...").  Serialized as the top-level "notes" array when non-empty.
+  void note(std::string text) { notes_.push_back(std::move(text)); }
+  [[nodiscard]] const std::vector<std::string>& notes() const {
+    return notes_;
+  }
+
   /// Serializes as a JSON object:
   ///   {"total_ms": 12.3, "jobs": 4,
-  ///    "passes": [{"name": "...", "wall_ms": 1.2,
-  ///                "work_ms": 4.6, "speedup": 3.83, "cells": 42, ...}]}
+  ///    "cache": {"hits": 5, "misses": 2, "bytes_read": 1024,
+  ///              "bytes_written": 2048, "restore_ms": 0.8,
+  ///              "compute_ms": 11.5},
+  ///    "passes": [{"name": "...", "wall_ms": 1.2, "source": "computed",
+  ///                "work_ms": 4.6, "speedup": 3.83, "cells": 42, ...}],
+  ///    "notes": ["..."]}
   /// Counter keys become sibling fields of name/wall_ms within each pass
   /// object; work_ms/speedup appear only for passes with a parallel
-  /// section.  `indent` < 0 emits a single line.
+  /// section; "cache"/"notes" appear only when cache stats are enabled /
+  /// notes exist.  `indent` < 0 emits a single line.
   [[nodiscard]] std::string toJson(int indent = 2) const;
 
  private:
   std::vector<PassStat> passes_;
   int jobs_ = 0;
+  FlowCacheStats cache_;
+  std::vector<std::string> notes_;
 };
 
 /// RAII pass timer: measures from construction to destruction and appends
@@ -86,12 +122,15 @@ class ScopedPass {
   void counter(std::string key, std::int64_t value);
   /// Accumulates per-task time of the pass's parallel section.
   void work(double ms) { work_ms_ += ms; }
+  /// Overrides the pass source ("computed" by default).
+  void source(std::string s) { source_ = std::move(s); }
 
  private:
   FlowReport* report_;
   std::string name_;
   std::vector<std::pair<std::string, std::int64_t>> counters_;
   double work_ms_ = 0.0;
+  std::string source_ = "computed";
   std::chrono::steady_clock::time_point start_;
 };
 

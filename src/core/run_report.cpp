@@ -1,0 +1,91 @@
+#include "core/run_report.h"
+
+#include <sstream>
+
+#include "core/version.h"
+#include "flowdb/snapshot.h"
+
+namespace desync::core {
+
+namespace {
+
+std::string jsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+/// Appends FlowReport::toJson (a nested multi-line object) re-indented two
+/// spaces under the "flow" key.
+void appendFlow(std::ostringstream& os, const FlowReport& flow) {
+  std::istringstream flow_in(flow.toJson());
+  os << "  \"flow\": ";
+  std::string line;
+  bool first = true;
+  while (std::getline(flow_in, line)) {
+    os << (first ? "" : "\n  ") << line;
+    first = false;
+  }
+}
+
+void openReport(std::ostringstream& os, const RunInfo& info) {
+  os.precision(6);
+  os << std::fixed;
+  os << "{\n";
+  os << "  \"input\": \"" << jsonEscape(info.input) << "\",\n";
+  os << "  \"tool_version\": \"" << kToolVersion << "\",\n";
+  os << "  \"snapshot_format_version\": " << flowdb::kSnapshotFormatVersion
+     << ",\n";
+}
+
+}  // namespace
+
+std::string runReportJson(const RunInfo& info, const DesyncResult& result) {
+  std::ostringstream os;
+  openReport(os, info);
+  os << "  \"cells_in\": " << info.cells_in << ",\n";
+  os << "  \"cells_out\": " << info.cells_out << ",\n";
+  os << "  \"nets_out\": " << info.nets_out << ",\n";
+  os << "  \"regions\": " << result.regions.n_groups << ",\n";
+  os << "  \"ffs_replaced\": " << result.substitution.ffs_replaced << ",\n";
+  os << "  \"sync_min_period_ns\": " << result.sync_min_period_ns << ",\n";
+  os << "  \"sync_min_period_by_corner\": {";
+  for (std::size_t i = 0; i < result.corner_periods.size(); ++i) {
+    const DesyncResult::CornerPeriod& cp = result.corner_periods[i];
+    os << (i == 0 ? "" : ", ") << "\"" << jsonEscape(cp.corner)
+       << "\": " << cp.min_period_ns;
+  }
+  os << "},\n";
+  os << "  \"delay_elements\": [";
+  for (std::size_t i = 0; i < result.control.regions.size(); ++i) {
+    const RegionControl& rc = result.control.regions[i];
+    os << (i == 0 ? "" : ",") << "\n    {\"group\": " << rc.group
+       << ", \"levels\": " << rc.delay_levels
+       << ", \"cloud_ns\": " << rc.required_delay_ns
+       << ", \"matched_ns\": " << rc.matched_delay_ns << "}";
+  }
+  os << (result.control.regions.empty() ? "" : "\n  ") << "],\n";
+  appendFlow(os, result.flow);
+  os << "\n}\n";
+  return os.str();
+}
+
+std::string errorReportJson(const RunInfo& info, std::string_view error,
+                            std::string_view failed_pass,
+                            const FlowReport& flow) {
+  std::ostringstream os;
+  openReport(os, info);
+  os << "  \"error\": \"" << jsonEscape(error) << "\",\n";
+  if (!failed_pass.empty()) {
+    os << "  \"failed_pass\": \"" << jsonEscape(failed_pass) << "\",\n";
+  }
+  appendFlow(os, flow);
+  os << "\n}\n";
+  return os.str();
+}
+
+}  // namespace desync::core

@@ -1,0 +1,41 @@
+// `drdesync --report` JSON assembly.
+//
+// Two shapes, both stamped with the tool version and the FlowDB snapshot
+// format version (the identities that also participate in cache keys):
+//   - runReportJson: the full report of a successful run — design totals,
+//     per-region delay elements, per-corner reference periods and the
+//     nested FlowReport (per-pass timings, sources and cache traffic);
+//   - errorReportJson: the partial report of a failed run — an "error"
+//     message, the "failed_pass" name and the FlowReport of every pass
+//     that ran before (and including) the failure, so a mid-flow crash
+//     still tells the caller how far the flow got and what it cost.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "core/desync.h"
+
+namespace desync::core {
+
+/// Design-level facts of one drdesync invocation.
+struct RunInfo {
+  std::string input;          ///< input netlist path
+  std::size_t cells_in = 0;   ///< top-module cells before the flow
+  std::size_t cells_out = 0;  ///< after
+  std::size_t nets_out = 0;
+};
+
+/// Full report of a successful run (schema documented in the README).
+[[nodiscard]] std::string runReportJson(const RunInfo& info,
+                                        const DesyncResult& result);
+
+/// Partial report of a failed run: "error" + "failed_pass" + the passes
+/// completed before the failure.
+[[nodiscard]] std::string errorReportJson(const RunInfo& info,
+                                          std::string_view error,
+                                          std::string_view failed_pass,
+                                          const FlowReport& flow);
+
+}  // namespace desync::core

@@ -1,0 +1,163 @@
+#include "flowdb/cache.h"
+
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "flowdb/io.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace desync::flowdb {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::uint32_t kCacheFormatVersion = 1;
+constexpr std::string_view kEntryMagic = "DSYNCENT";
+constexpr std::string_view kCheckpointMagic = "DSYNCCKP";
+constexpr std::string_view kCheckpointFile = "checkpoint.ckpt";
+
+std::uint64_t processId() {
+#if defined(__unix__) || defined(__APPLE__)
+  return static_cast<std::uint64_t>(::getpid());
+#else
+  return 0;
+#endif
+}
+
+/// Reads a whole file; std::nullopt when it does not exist or cannot be
+/// read.  Sized bulk read — entries are megabytes and a streambuf iterator
+/// loop would dominate warm lookups.
+std::optional<std::string> slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return std::nullopt;
+  const std::streamoff size = in.tellg();
+  if (size < 0) return std::nullopt;
+  std::string data(static_cast<std::size_t>(size), '\0');
+  in.seekg(0);
+  in.read(data.data(), size);
+  if (!in || in.gcount() != size) return std::nullopt;
+  return data;
+}
+
+}  // namespace
+
+PassCache::PassCache(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    throw FlowDbError("cache: cannot create directory '" + dir_ +
+                      "': " + ec.message());
+  }
+}
+
+std::optional<std::string> PassCache::readValidated(const std::string& path,
+                                                    std::string_view magic,
+                                                    bool count,
+                                                    std::string* diag) {
+  std::optional<std::string> raw = slurp(path);
+  if (!raw.has_value()) {
+    if (count) ++stats_.misses;
+    return std::nullopt;
+  }
+  try {
+    std::string_view payload = openEnvelope(*raw, magic, kCacheFormatVersion);
+    if (count) {
+      ++stats_.hits;
+      stats_.bytes_read += payload.size();
+    }
+    return std::string(payload);
+  } catch (const FlowDbError& e) {
+    if (diag != nullptr) {
+      if (!diag->empty()) diag->append("; ");
+      diag->append(path).append(": ").append(e.what());
+    }
+    if (count) {
+      ++stats_.misses;
+      ++stats_.invalid;
+    }
+    return std::nullopt;
+  }
+}
+
+bool PassCache::writeAtomic(const std::string& path, std::string_view magic,
+                            std::string_view payload, bool count) {
+  const std::string sealed = sealEnvelope(magic, kCacheFormatVersion, payload);
+  const std::string tmp = dir_ + "/.tmp." + std::to_string(processId()) + "." +
+                          std::to_string(temp_counter_++);
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(sealed.data(), static_cast<std::streamsize>(sealed.size()));
+    out.flush();
+    if (!out) {
+      out.close();
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      return false;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return false;
+  }
+  if (count) stats_.bytes_written += payload.size();
+  return true;
+}
+
+std::optional<std::string> PassCache::load(const CacheKey& key,
+                                           std::string* diag) {
+  return readValidated(dir_ + "/" + key.hex() + ".entry", kEntryMagic,
+                       /*count=*/true, diag);
+}
+
+bool PassCache::store(const CacheKey& key, std::string_view payload) {
+  return writeAtomic(dir_ + "/" + key.hex() + ".entry", kEntryMagic, payload,
+                     /*count=*/true);
+}
+
+std::optional<PassCache::Checkpoint> PassCache::loadCheckpoint(
+    std::string* diag) {
+  std::optional<std::string> payload =
+      readValidated(dir_ + "/" + std::string(kCheckpointFile), kCheckpointMagic,
+                    /*count=*/false, diag);
+  if (!payload.has_value()) return std::nullopt;
+  try {
+    ByteReader r(*payload);
+    Checkpoint ck;
+    ck.pass_index = r.u32();
+    ck.pass_name = std::string(r.str());
+    ck.key.hi = r.u64();
+    ck.key.lo = r.u64();
+    ck.entry = std::string(r.str());
+    if (!r.atEnd()) throw FlowDbError("trailing bytes");
+    return ck;
+  } catch (const FlowDbError& e) {
+    if (diag != nullptr) {
+      if (!diag->empty()) diag->append("; ");
+      diag->append("checkpoint: ").append(e.what());
+    }
+    return std::nullopt;
+  }
+}
+
+bool PassCache::storeCheckpoint(std::uint32_t pass_index,
+                                std::string_view pass_name,
+                                const CacheKey& key, std::string_view entry) {
+  ByteWriter w;
+  w.u32(pass_index);
+  w.str(pass_name);
+  w.u64(key.hi);
+  w.u64(key.lo);
+  w.str(entry);
+  return writeAtomic(dir_ + "/" + std::string(kCheckpointFile),
+                     kCheckpointMagic, w.bytes(), /*count=*/false);
+}
+
+}  // namespace desync::flowdb

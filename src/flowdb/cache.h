@@ -1,0 +1,91 @@
+// Content-addressed pass cache + checkpoint store.
+//
+// A PassCache maps 128-bit content keys (flowdb::CacheKey, computed by the
+// flow from the input snapshot, the library fingerprint, the tool/format
+// versions and each pass's relevant options) to opaque entry payloads on
+// disk.  Entries are written atomically — the payload is sealed in an
+// envelope, written to a process-unique temp file and renamed into place —
+// so a killed run can never leave a half-written entry behind; a reader
+// either sees the complete previous entry or none.  Loads validate the
+// envelope (magic, format version, checksum) and treat any invalid entry
+// as a miss with a diagnostic, so corruption degrades to a cold run rather
+// than an error.
+//
+// The same directory holds one well-known *checkpoint* slot, written after
+// every completed flow pass and consumed by `drdesync --resume`: it wraps
+// the latest entry payload together with the pass index and chain key it
+// corresponds to, letting a restarted run jump straight to the last valid
+// state instead of probing the cache pass by pass.
+//
+// Several concurrent runs may share one cache directory: stores of the
+// same key race benignly (both write identical content; rename is atomic
+// and last-writer-wins), and stats are per-PassCache-instance.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "flowdb/hash.h"
+
+namespace desync::flowdb {
+
+/// Traffic counters for one PassCache instance.
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;          ///< absent or invalid entries
+  std::uint64_t invalid = 0;         ///< subset of misses: present but bad
+  std::uint64_t bytes_read = 0;      ///< payload bytes of successful loads
+  std::uint64_t bytes_written = 0;   ///< payload bytes of successful stores
+};
+
+/// On-disk content-addressed store.  All methods are exception-free except
+/// the constructor (directory creation failure throws FlowDbError).
+class PassCache {
+ public:
+  /// Opens (creating if needed) the cache directory.
+  explicit PassCache(std::string dir);
+
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+  /// Loads the entry for `key`.  Returns the payload, or std::nullopt when
+  /// the entry is absent or fails validation; in the invalid case a
+  /// diagnostic is appended to *diag (when given) and the entry counts as
+  /// a miss.
+  std::optional<std::string> load(const CacheKey& key,
+                                  std::string* diag = nullptr);
+
+  /// Atomically stores `payload` under `key` (write temp + rename).
+  /// Returns false (leaving no partial file) on I/O failure.
+  bool store(const CacheKey& key, std::string_view payload);
+
+  /// Loads the checkpoint slot: (pass_index, pass_name, key, entry
+  /// payload).  std::nullopt when absent/invalid (diagnostic to *diag).
+  struct Checkpoint {
+    std::uint32_t pass_index = 0;
+    std::string pass_name;
+    CacheKey key;
+    std::string entry;
+  };
+  std::optional<Checkpoint> loadCheckpoint(std::string* diag = nullptr);
+
+  /// Atomically overwrites the checkpoint slot.
+  bool storeCheckpoint(std::uint32_t pass_index, std::string_view pass_name,
+                       const CacheKey& key, std::string_view entry);
+
+  [[nodiscard]] const CacheStats& stats() const { return stats_; }
+
+ private:
+  std::optional<std::string> readValidated(const std::string& path,
+                                           std::string_view magic,
+                                           bool count, std::string* diag);
+  bool writeAtomic(const std::string& path, std::string_view magic,
+                   std::string_view payload, bool count);
+
+  std::string dir_;
+  CacheStats stats_;
+  std::uint64_t temp_counter_ = 0;
+};
+
+}  // namespace desync::flowdb

@@ -1,0 +1,307 @@
+#include "flowdb/snapshot.h"
+
+#include <vector>
+
+namespace desync::flowdb {
+
+namespace {
+
+using netlist::BusRef;
+using netlist::Cell;
+using netlist::CellId;
+using netlist::Design;
+using netlist::Module;
+using netlist::NameId;
+using netlist::Net;
+using netlist::NetId;
+using netlist::PinConn;
+using netlist::Port;
+using netlist::PortDir;
+using netlist::TermKind;
+using netlist::TermRef;
+
+constexpr std::uint32_t kNoRef = 0xffffffffu;
+
+/// Assigns dense string-table refs in first-use order while the module
+/// bodies are serialized, so the table layout is a pure function of the
+/// design state (no dependence on live NameTable id numbering).
+class StringTableBuilder {
+ public:
+  explicit StringTableBuilder(const netlist::NameTable& names)
+      : names_(&names), refs_(names.size(), kNoRef) {}
+
+  std::uint32_t ref(NameId id) {
+    // NameIds index the live NameTable densely, so a flat vector replaces a
+    // hash map on this per-name hot path.
+    std::uint32_t& slot = refs_[id.value];
+    if (slot == kNoRef) {
+      slot = static_cast<std::uint32_t>(strings_.size());
+      strings_.push_back(names_->str(id));
+    }
+    return slot;
+  }
+  std::uint32_t refOrNone(NameId id) { return id.valid() ? ref(id) : kNoRef; }
+
+  void write(ByteWriter& w) const {
+    w.u32(static_cast<std::uint32_t>(strings_.size()));
+    for (std::string_view s : strings_) w.str(s);
+  }
+
+ private:
+  const netlist::NameTable* names_;
+  std::vector<std::uint32_t> refs_;  ///< NameId.value -> table ref
+  std::vector<std::string_view> strings_;
+};
+
+void writeTerm(ByteWriter& w, const TermRef& t) {
+  w.u8(static_cast<std::uint8_t>(t.kind));
+  w.u32(t.index);
+  w.u16(t.pin);
+}
+
+TermRef readTerm(ByteReader& r) {
+  TermRef t;
+  const std::uint8_t kind = r.u8();
+  if (kind > static_cast<std::uint8_t>(TermKind::kConst1)) {
+    throw SnapshotError("snapshot: invalid terminal kind " +
+                        std::to_string(kind));
+  }
+  t.kind = static_cast<TermKind>(kind);
+  t.index = r.u32();
+  t.pin = r.u16();
+  return t;
+}
+
+void writeModule(ByteWriter& w, const Module& m, StringTableBuilder& st) {
+  w.u32(st.ref(m.nameId()));
+
+  const std::vector<Net>& nets = m.rawNets();
+  w.u32(static_cast<std::uint32_t>(nets.size()));
+  for (const Net& n : nets) {
+    w.u32(st.ref(n.name));
+    std::uint8_t flags = 0;
+    if (n.valid) flags |= 1;
+    if (n.false_path) flags |= 2;
+    if (n.bus.valid()) flags |= 4;
+    w.u8(flags);
+    if (n.bus.valid()) {
+      w.u32(st.ref(n.bus.bus));
+      w.i32(n.bus.bit);
+    }
+    writeTerm(w, n.driver);
+    w.u32(static_cast<std::uint32_t>(n.sinks.size()));
+    for (const TermRef& t : n.sinks) writeTerm(w, t);
+  }
+
+  const std::vector<Cell>& cells = m.rawCells();
+  w.u32(static_cast<std::uint32_t>(cells.size()));
+  for (const Cell& c : cells) {
+    w.u32(st.ref(c.name));
+    w.u32(st.ref(c.type));
+    std::uint8_t flags = 0;
+    if (c.valid) flags |= 1;
+    if (c.size_only) flags |= 2;
+    if (c.dont_touch) flags |= 4;
+    w.u8(flags);
+    w.u32(static_cast<std::uint32_t>(c.pins.size()));
+    for (const PinConn& p : c.pins) {
+      w.u32(st.ref(p.name));
+      w.u8(static_cast<std::uint8_t>(p.dir));
+      w.u32(p.net.value);
+    }
+  }
+
+  w.u32(static_cast<std::uint32_t>(m.numPorts()));
+  for (const Port& p : m.ports()) {
+    w.u32(st.ref(p.name));
+    w.u8(static_cast<std::uint8_t>(p.dir));
+    w.u32(p.net.value);
+    w.u8(p.bus.valid() ? 1 : 0);
+    if (p.bus.valid()) {
+      w.u32(st.ref(p.bus.bus));
+      w.i32(p.bus.bit);
+    }
+  }
+
+  w.u32(m.constNetRaw(false).value);
+  w.u32(m.constNetRaw(true).value);
+}
+
+PortDir readDir(ByteReader& r) {
+  const std::uint8_t d = r.u8();
+  if (d > static_cast<std::uint8_t>(PortDir::kInout)) {
+    throw SnapshotError("snapshot: invalid port direction " +
+                        std::to_string(d));
+  }
+  return static_cast<PortDir>(d);
+}
+
+/// Resolves snapshot string refs to live NameIds (interning on demand).
+class StringTable {
+ public:
+  StringTable(ByteReader& r, netlist::NameTable& names) {
+    const std::uint32_t n = r.u32();
+    ids_.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) ids_.push_back(names.intern(r.str()));
+  }
+
+  NameId id(std::uint32_t ref) const {
+    if (ref >= ids_.size()) {
+      throw SnapshotError("snapshot: string ref " + std::to_string(ref) +
+                          " out of range (table has " +
+                          std::to_string(ids_.size()) + ")");
+    }
+    return ids_[ref];
+  }
+  NameId idOrNone(std::uint32_t ref) const {
+    return ref == kNoRef ? NameId{} : id(ref);
+  }
+
+ private:
+  std::vector<NameId> ids_;
+};
+
+Module::RawState readModuleBody(ByteReader& r, const StringTable& st) {
+  Module::RawState state;
+
+  const std::uint32_t n_nets = r.u32();
+  state.nets.reserve(n_nets);
+  for (std::uint32_t i = 0; i < n_nets; ++i) {
+    Net n;
+    n.name = st.id(r.u32());
+    const std::uint8_t flags = r.u8();
+    n.valid = (flags & 1) != 0;
+    n.false_path = (flags & 2) != 0;
+    if ((flags & 4) != 0) {
+      n.bus.bus = st.id(r.u32());
+      n.bus.bit = r.i32();
+    }
+    n.driver = readTerm(r);
+    const std::uint32_t n_sinks = r.u32();
+    n.sinks.reserve(n_sinks);
+    for (std::uint32_t s = 0; s < n_sinks; ++s) n.sinks.push_back(readTerm(r));
+    state.nets.push_back(std::move(n));
+  }
+
+  const std::uint32_t n_cells = r.u32();
+  state.cells.reserve(n_cells);
+  for (std::uint32_t i = 0; i < n_cells; ++i) {
+    Cell c;
+    c.name = st.id(r.u32());
+    c.type = st.id(r.u32());
+    const std::uint8_t flags = r.u8();
+    c.valid = (flags & 1) != 0;
+    c.size_only = (flags & 2) != 0;
+    c.dont_touch = (flags & 4) != 0;
+    const std::uint32_t n_pins = r.u32();
+    c.pins.reserve(n_pins);
+    for (std::uint32_t p = 0; p < n_pins; ++p) {
+      PinConn pin;
+      pin.name = st.id(r.u32());
+      pin.dir = readDir(r);
+      pin.net = NetId{r.u32()};
+      c.pins.push_back(pin);
+    }
+    state.cells.push_back(std::move(c));
+  }
+
+  const std::uint32_t n_ports = r.u32();
+  state.ports.reserve(n_ports);
+  for (std::uint32_t i = 0; i < n_ports; ++i) {
+    Port p;
+    p.name = st.id(r.u32());
+    p.dir = readDir(r);
+    p.net = NetId{r.u32()};
+    if (r.u8() != 0) {
+      p.bus.bus = st.id(r.u32());
+      p.bus.bit = r.i32();
+    }
+    state.ports.push_back(std::move(p));
+  }
+
+  state.const_nets[0] = NetId{r.u32()};
+  state.const_nets[1] = NetId{r.u32()};
+  return state;
+}
+
+SnapshotMeta readMeta(ByteReader& r) {
+  SnapshotMeta meta;
+  meta.tool_version = std::string(r.str());
+  meta.library = std::string(r.str());
+  meta.library_fingerprint = r.u64();
+  return meta;
+}
+
+}  // namespace
+
+std::string serializeDesign(const Design& design, const SnapshotMeta& meta) {
+  // Module bodies are written to a side buffer first: the string table they
+  // populate (in first-use order) must precede them in the payload.
+  StringTableBuilder strings(design.names());
+  ByteWriter body;
+  std::uint32_t n_modules = 0;
+  design.forEachModule([&](const Module& m) {
+    writeModule(body, m, strings);
+    ++n_modules;
+  });
+
+  ByteWriter payload;
+  payload.str(meta.tool_version);
+  payload.str(meta.library);
+  payload.u64(meta.library_fingerprint);
+  strings.write(payload);
+  const bool has_top = design.hasTop();
+  payload.u8(has_top ? 1 : 0);
+  if (has_top) {
+    // The top module was serialized above, so its name ref already exists.
+    payload.u32(strings.ref(design.top().nameId()));
+  }
+  payload.u32(n_modules);
+  payload.bytesRaw(body.bytes());
+
+  return sealEnvelope(kSnapshotMagic, kSnapshotFormatVersion, payload.bytes());
+}
+
+SnapshotMeta peekSnapshotMeta(std::string_view bytes) {
+  std::string_view payload;
+  try {
+    payload = openEnvelope(bytes, kSnapshotMagic, kSnapshotFormatVersion);
+  } catch (const FlowDbError& e) {
+    throw SnapshotError(e.what());
+  }
+  ByteReader r(payload);
+  return readMeta(r);
+}
+
+SnapshotMeta restoreDesign(Design& design, std::string_view bytes) {
+  std::string_view payload;
+  try {
+    payload = openEnvelope(bytes, kSnapshotMagic, kSnapshotFormatVersion);
+  } catch (const FlowDbError& e) {
+    throw SnapshotError(e.what());
+  }
+  ByteReader r(payload);
+  SnapshotMeta meta = readMeta(r);
+
+  StringTable strings(r, design.names());
+  const bool has_top = r.u8() != 0;
+  NameId top_name;
+  if (has_top) top_name = strings.id(r.u32());
+  const std::uint32_t n_modules = r.u32();
+
+  for (std::uint32_t i = 0; i < n_modules; ++i) {
+    const NameId mod_name = strings.id(r.u32());
+    Module::RawState state = readModuleBody(r, strings);
+    std::string_view name_str = design.names().str(mod_name);
+    Module* m = design.findModule(name_str);
+    if (m == nullptr) m = &design.addModule(name_str);
+    m->restoreRawState(std::move(state));
+  }
+  if (!r.atEnd()) {
+    throw SnapshotError("snapshot: trailing bytes after design data");
+  }
+  if (has_top) design.setTop(design.names().str(top_name));
+  return meta;
+}
+
+}  // namespace desync::flowdb

@@ -1,0 +1,75 @@
+// FlowDB design snapshots: persistent, versioned netlist state.
+//
+// A snapshot serializes a complete netlist::Design — every module's full
+// net/cell/port slot arrays *including tombstoned slots*, bus membership,
+// attributes (false_path, size_only, dont_touch), the lazily-created
+// constant nets and the top-module designation — plus the library-binding
+// header (library name + content fingerprint) and the tool version that
+// produced it.  Preserving dead slots is what keeps NetId/CellId positional
+// ids stable across a save/restore, so serialized pass results (region
+// membership, enable nets) remain valid against the restored design.
+//
+// Names are stored as an embedded string table in first-use order, not as
+// live NameTable ids: a snapshot can therefore be restored into a design
+// whose NameTable grew differently (e.g. a fresh process that only parsed
+// the input netlist), with ids remapped by re-interning.  Restoration is
+// *exact* at the Verilog level: writeVerilog of a restored design is
+// byte-identical to writeVerilog of the design that was saved.
+//
+// Wire format: an io.h envelope — 8-byte magic "DSYNSNAP", a format-version
+// word (kSnapshotFormatVersion), explicit little-endian payload, trailing
+// FNV-1a 64 checksum.  Truncated, foreign, version-mismatched or corrupted
+// files are rejected with distinct diagnostics (SnapshotError), never read
+// as garbage.  The format version participates in FlowDB cache keys, so a
+// format change cold-starts stale caches instead of misreading them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "flowdb/io.h"
+#include "netlist/netlist.h"
+
+namespace desync::flowdb {
+
+/// Error raised when a snapshot cannot be read or applied.
+class SnapshotError : public FlowDbError {
+ public:
+  using FlowDbError::FlowDbError;
+};
+
+/// Version of the snapshot wire format this build reads and writes.
+inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
+
+/// Magic prefix of snapshot files.
+inline constexpr std::string_view kSnapshotMagic = "DSYNSNAP";
+
+/// Provenance header carried by every snapshot.
+struct SnapshotMeta {
+  std::string tool_version;           ///< drdesync version that wrote it
+  std::string library;                ///< technology library name
+  std::uint64_t library_fingerprint = 0;  ///< liberty::Library::contentHash
+};
+
+/// Serializes the whole design (all modules, top designation) with `meta`
+/// as provenance.  Deterministic: the same design state always produces the
+/// same bytes, at any --jobs setting.
+[[nodiscard]] std::string serializeDesign(const netlist::Design& design,
+                                          const SnapshotMeta& meta);
+
+/// Validates `bytes` and applies the snapshot to `design`: modules present
+/// in the snapshot are replaced slot-exactly (existing Module objects are
+/// reused, so Module& references held by callers stay valid), missing ones
+/// are created in snapshot order, and the snapshot's top module becomes the
+/// design top.  Names are re-interned into the design's NameTable.
+/// Returns the snapshot's provenance header.  Throws SnapshotError on any
+/// validation failure; the design is only mutated after the envelope and
+/// header checks pass.
+SnapshotMeta restoreDesign(netlist::Design& design, std::string_view bytes);
+
+/// Reads just the provenance header (envelope-validated, no design
+/// mutation).  Throws SnapshotError on invalid input.
+[[nodiscard]] SnapshotMeta peekSnapshotMeta(std::string_view bytes);
+
+}  // namespace desync::flowdb

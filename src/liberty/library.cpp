@@ -1,8 +1,36 @@
 #include "liberty/library.h"
 
 #include <atomic>
+#include <bit>
 
 namespace desync::liberty {
+
+namespace {
+
+/// Minimal FNV-1a accumulator for contentHash (kept local: liberty must
+/// not depend on the flowdb library that consumes the fingerprint).
+struct ContentHasher {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  void bytes(std::string_view s) {
+    for (char c : s) {
+      h ^= static_cast<std::uint8_t>(c);
+      h *= 0x100000001b3ULL;
+    }
+  }
+  /// Length-prefixed, so adjacent strings cannot alias.
+  void str(std::string_view s) {
+    u64(s.size());
+    bytes(s);
+  }
+  void u64(std::uint64_t v) {
+    char b[8];
+    for (int i = 0; i < 8; ++i) b[i] = static_cast<char>(v >> (8 * i));
+    bytes(std::string_view(b, 8));
+  }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+};
+
+}  // namespace
 
 namespace detail {
 namespace {
@@ -45,6 +73,52 @@ LibCell* Library::findCell(std::string_view name) {
   bumpLookup();
   auto it = cells_.find(name);
   return it == cells_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t Library::contentHash() const {
+  ContentHasher hasher;
+  hasher.str(name);
+  hasher.f64(default_wire_cap);
+  hasher.u64(order_.size());
+  forEachCell([&](const LibCell& c) {
+    hasher.str(c.name);
+    hasher.u64(static_cast<std::uint64_t>(c.kind));
+    hasher.f64(c.area);
+    hasher.f64(c.leakage);
+    if (c.seq.has_value()) {
+      hasher.u64(1);
+      hasher.str(c.seq->state_var);
+      hasher.str(c.seq->state_var_n);
+      hasher.str(c.seq->clocked_on);
+      hasher.str(c.seq->next_state);
+      hasher.str(c.seq->enable);
+      hasher.str(c.seq->data_in);
+      hasher.str(c.seq->clear);
+      hasher.str(c.seq->preset);
+    } else {
+      hasher.u64(0);
+    }
+    hasher.u64(c.pins.size());
+    for (const LibPin& p : c.pins) {
+      hasher.str(p.name);
+      hasher.u64(static_cast<std::uint64_t>(p.dir));
+      hasher.f64(p.capacitance);
+      hasher.f64(p.max_capacitance);
+      hasher.u64(p.is_clock ? 1 : 0);
+      hasher.str(p.nextstate_type);
+      hasher.str(p.function_str);
+      hasher.u64(p.arcs.size());
+      for (const TimingArc& a : p.arcs) {
+        hasher.str(a.related_pin);
+        hasher.u64(static_cast<std::uint64_t>(a.type));
+        hasher.f64(a.intrinsic_rise);
+        hasher.f64(a.intrinsic_fall);
+        hasher.f64(a.rise_resistance);
+        hasher.f64(a.fall_resistance);
+      }
+    }
+  });
+  return hasher.h;
 }
 
 const LibCell& Library::cell(std::string_view name) const {

@@ -156,6 +156,12 @@ class Library {
   /// cells from several workers at once.
   [[nodiscard]] std::uint64_t lookupCount() const;
 
+  /// Stable 64-bit fingerprint of the library content: name, units, every
+  /// cell's classification, pins, functions and timing arcs, in insertion
+  /// order.  FlowDB embeds it in design snapshots and cache keys so state
+  /// produced against a different (or edited) library is never reused.
+  [[nodiscard]] std::uint64_t contentHash() const;
+
   [[nodiscard]] std::size_t size() const { return order_.size(); }
   /// Cells in insertion order.
   [[nodiscard]] const std::vector<std::string>& cellNames() const {

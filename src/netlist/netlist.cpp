@@ -303,6 +303,42 @@ void Module::detachTerm(NetId net_id, TermRef term, PortDir dir) {
   }
 }
 
+void Module::restoreRawState(RawState state) {
+  nets_ = std::move(state.nets);
+  cells_ = std::move(state.cells);
+  ports_ = std::move(state.ports);
+  const_net_[0] = state.const_nets[0];
+  const_net_[1] = state.const_nets[1];
+
+  net_by_name_.clear();
+  cell_by_name_.clear();
+  port_by_name_.clear();
+  live_nets_ = 0;
+  live_cells_ = 0;
+  for (std::uint32_t i = 0; i < nets_.size(); ++i) {
+    if (!nets_[i].valid) continue;
+    if (!net_by_name_.emplace(nets_[i].name, NetId{i}).second) {
+      fail("restoreRawState: duplicate net name: " +
+           std::string(names().str(nets_[i].name)));
+    }
+    ++live_nets_;
+  }
+  for (std::uint32_t i = 0; i < cells_.size(); ++i) {
+    if (!cells_[i].valid) continue;
+    if (!cell_by_name_.emplace(cells_[i].name, CellId{i}).second) {
+      fail("restoreRawState: duplicate cell name: " +
+           std::string(names().str(cells_[i].name)));
+    }
+    ++live_cells_;
+  }
+  for (std::uint32_t i = 0; i < ports_.size(); ++i) {
+    if (!port_by_name_.emplace(ports_[i].name, PortId{i}).second) {
+      fail("restoreRawState: duplicate port name: " +
+           std::string(names().str(ports_[i].name)));
+    }
+  }
+}
+
 std::vector<std::string> Module::checkInvariants() const {
   std::vector<std::string> problems;
   auto report = [&](const std::string& s) { problems.push_back(s); };

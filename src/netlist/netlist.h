@@ -231,6 +231,39 @@ class Module {
     }
   }
 
+  // --- snapshot support (src/flowdb) ----------------------------------
+  //
+  // FlowDB snapshots must reproduce a module *slot-exactly*: NetId/CellId
+  // are positional, so serialized pass state (region membership, enable
+  // nets, ...) stays valid across a save/restore only if tombstoned slots
+  // are preserved too.  rawNets()/rawCells() expose the full slot arrays
+  // (ports() already does); restoreRawState() replaces the module content
+  // wholesale and rebuilds the name indices and live counts.
+
+  /// Full net slot array, tombstones included (read-only; for snapshots).
+  [[nodiscard]] const std::vector<Net>& rawNets() const { return nets_; }
+  /// Full cell slot array, tombstones included.
+  [[nodiscard]] const std::vector<Cell>& rawCells() const { return cells_; }
+  /// The lazily-created constant net slot (invalid when never requested);
+  /// cached outside the net array, so snapshots persist it explicitly.
+  [[nodiscard]] NetId constNetRaw(bool value) const {
+    return const_net_[value ? 1 : 0];
+  }
+
+  /// Complete module content for restoreRawState.
+  struct RawState {
+    std::vector<Net> nets;
+    std::vector<Cell> cells;
+    std::vector<Port> ports;
+    NetId const_nets[2];
+  };
+
+  /// Replaces the module's entire content with `state` (slot arrays are
+  /// adopted as-is, preserving ids), rebuilds the by-name lookup maps and
+  /// live counts.  All NameIds in `state` must belong to this design's
+  /// NameTable.  Throws NetlistError on duplicate live names.
+  void restoreRawState(RawState state);
+
   // --- validation -----------------------------------------------------
 
   /// Structural consistency check: every pin's net lists the pin back as

@@ -23,6 +23,9 @@
 
 #include "core/desync.h"
 #include "core/parallel.h"
+#include "core/run_report.h"
+#include "core/version.h"
+#include "flowdb/snapshot.h"
 #include "liberty/liberty_io.h"
 #include "liberty/stdlib90.h"
 #include "netlist/blif.h"
@@ -36,13 +39,18 @@ void usage() {
   std::fputs(
       "usage: drdesync --lib <file.lib|builtin:hs|builtin:ll> --in <v>\n"
       "                [--top NAME] --out <v> [--sdc <f>] [--blif <f>]\n"
-      "                [--gatefile <f>] [--report]\n"
+      "                [--gatefile <f>] [--report] [--version]\n"
       "                [--reset-port NAME] [--reset-active-low]\n"
       "                [--group \"p1,p2;p3;...\"]   manual regions by prefix\n"
       "                [--false-path NET]...       nets ignored by grouping\n"
       "                [--margin F]                matched-delay margin\n"
       "                [--mux-taps N]              0/2/4/8 calibration taps\n"
       "                [--no-bus-heuristic] [--no-clean]\n"
+      "                [--cache-dir DIR]           FlowDB pass cache: restore\n"
+      "                                            unchanged pipeline prefixes\n"
+      "                                            instead of recomputing\n"
+      "                [--resume]                  restart from the last valid\n"
+      "                                            checkpoint in --cache-dir\n"
       "                [--jobs N]                  worker threads (0 = auto;\n"
       "                                            default DESYNC_JOBS env or\n"
       "                                            hardware concurrency)\n",
@@ -74,16 +82,6 @@ int parseIntFlag(const std::string& flag, const std::string& text) {
     std::exit(2);
   }
   return v;
-}
-
-std::string jsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
-  }
-  return out;
 }
 
 std::vector<std::vector<std::string>> parseGroups(const std::string& spec) {
@@ -162,8 +160,17 @@ int main(int argc, char** argv) {
       opt.grouping.bus_heuristic = false;
     } else if (arg == "--no-clean") {
       opt.grouping.clean_logic = false;
+    } else if (arg == "--cache-dir") {
+      opt.flowdb.cache_dir = next();
+    } else if (arg == "--resume") {
+      opt.flowdb.resume = true;
     } else if (arg == "--report") {
       report = true;
+    } else if (arg == "--version") {
+      std::printf("drdesync %s (snapshot format %u)\n",
+                  std::string(core::kToolVersion).c_str(),
+                  flowdb::kSnapshotFormatVersion);
+      return 0;
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -177,8 +184,14 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
+  if (opt.flowdb.resume && opt.flowdb.cache_dir.empty()) {
+    std::fputs("drdesync: --resume requires --cache-dir\n", stderr);
+    return 2;
+  }
   opt.manual_seq_groups = parseGroups(group_spec);
 
+  core::RunInfo info;
+  info.input = in_path;
   try {
     liberty::Library library =
         lib_path == "builtin:hs"
@@ -196,7 +209,7 @@ int main(int argc, char** argv) {
     netlist::Module& module =
         top.empty() ? design.top() : *design.findModule(top);
 
-    const std::size_t cells_in = module.numCells();
+    info.cells_in = module.numCells();
     core::DesyncResult result =
         core::desynchronize(design, module, gatefile, opt);
 
@@ -209,52 +222,28 @@ int main(int argc, char** argv) {
     }
 
     if (report) {
-      // Machine-readable run report (schema documented in the README):
-      // design totals, per-region delay elements and the per-pass flow
-      // timings collected by desynchronize().
-      std::ostringstream os;
-      os.precision(6);
-      os << std::fixed;
-      os << "{\n";
-      os << "  \"input\": \"" << jsonEscape(in_path) << "\",\n";
-      os << "  \"cells_in\": " << cells_in << ",\n";
-      os << "  \"cells_out\": " << module.numCells() << ",\n";
-      os << "  \"nets_out\": " << module.numNets() << ",\n";
-      os << "  \"regions\": " << result.regions.n_groups << ",\n";
-      os << "  \"ffs_replaced\": " << result.substitution.ffs_replaced
-         << ",\n";
-      os << "  \"sync_min_period_ns\": " << result.sync_min_period_ns
-         << ",\n";
-      os << "  \"sync_min_period_by_corner\": {";
-      for (std::size_t i = 0; i < result.corner_periods.size(); ++i) {
-        const core::DesyncResult::CornerPeriod& cp = result.corner_periods[i];
-        os << (i == 0 ? "" : ", ") << "\"" << jsonEscape(cp.corner)
-           << "\": " << cp.min_period_ns;
-      }
-      os << "},\n";
-      os << "  \"delay_elements\": [";
-      for (std::size_t i = 0; i < result.control.regions.size(); ++i) {
-        const core::RegionControl& rc = result.control.regions[i];
-        os << (i == 0 ? "" : ",") << "\n    {\"group\": " << rc.group
-           << ", \"levels\": " << rc.delay_levels
-           << ", \"cloud_ns\": " << rc.required_delay_ns
-           << ", \"matched_ns\": " << rc.matched_delay_ns << "}";
-      }
-      os << (result.control.regions.empty() ? "" : "\n  ") << "],\n";
-      // FlowReport::toJson is a nested object; re-indent it two spaces.
-      std::istringstream flow_in(result.flow.toJson());
-      os << "  \"flow\": ";
-      std::string line;
-      bool first = true;
-      while (std::getline(flow_in, line)) {
-        os << (first ? "" : "\n  ") << line;
-        first = false;
-      }
-      os << "\n}\n";
-      std::fputs(os.str().c_str(), stdout);
+      // Machine-readable run report (schema documented in the README).
+      info.cells_out = module.numCells();
+      info.nets_out = module.numNets();
+      std::fputs(core::runReportJson(info, result).c_str(), stdout);
     }
     return 0;
+  } catch (const core::FlowError& e) {
+    // A pass failed mid-flow: the partial report still carries every pass
+    // that ran (with timings) plus the failure itself.
+    if (report) {
+      std::fputs(
+          core::errorReportJson(info, e.what(), e.pass(), e.flow()).c_str(),
+          stdout);
+    }
+    std::fprintf(stderr, "drdesync: error in pass %s: %s\n", e.pass().c_str(),
+                 e.what());
+    return 1;
   } catch (const std::exception& e) {
+    if (report) {
+      std::fputs(core::errorReportJson(info, e.what(), "", {}).c_str(),
+                 stdout);
+    }
     std::fprintf(stderr, "drdesync: error: %s\n", e.what());
     return 1;
   }
