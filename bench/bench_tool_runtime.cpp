@@ -6,10 +6,13 @@
 // with cell count.
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+
 #include "core/desync.h"
 #include "designs/cpu.h"
 #include "designs/small.h"
 #include "liberty/stdlib90.h"
+#include "trace/trace.h"
 
 namespace core = desync::core;
 namespace designs = desync::designs;
@@ -71,6 +74,39 @@ void BM_DesyncDlx(benchmark::State& state) {
   state.SetLabel("~10k cells");
 }
 BENCHMARK(BM_DesyncDlx)->Unit(benchmark::kMillisecond);
+
+/// Same flow with `--trace` active: the delta against BM_DesyncDlx is the
+/// tracer's overhead (acceptance: < 2% on a traced run, 0 when disabled —
+/// the disabled cost is one relaxed load + branch per instrumentation
+/// site).  The trace is restarted each iteration so every run records a
+/// full event stream, like a real traced invocation.
+void BM_DesyncDlxTraced(benchmark::State& state) {
+  const std::string trace_path =
+      (std::filesystem::temp_directory_path() / "bench_dlx.trace.json")
+          .string();
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    nl::Design d;
+    designs::buildCpu(d, gf(), designs::dlxConfig());
+    core::DesyncOptions opt;
+    opt.control.reset_port = "rst_n";
+    opt.control.reset_active_low = true;
+    desync::trace::start(trace_path);
+    state.ResumeTiming();
+    core::DesyncResult r =
+        core::desynchronize(d, *d.findModule("dlx"), gf(), opt);
+    benchmark::DoNotOptimize(r.regions.n_groups);
+    state.PauseTiming();
+    events += desync::trace::finish().events;  // drain outside the timing
+    state.ResumeTiming();
+    addFlowCounters(state, r.flow);
+  }
+  state.counters["trace_events"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kAvgIterations);
+  state.SetLabel("~10k cells, traced");
+}
+BENCHMARK(BM_DesyncDlxTraced)->Unit(benchmark::kMillisecond);
 
 void BM_DesyncArmClass(benchmark::State& state) {
   for (auto _ : state) {

@@ -5,6 +5,7 @@
 #include "core/flow_cache.h"
 #include "core/parallel.h"
 #include "sta/sta.h"
+#include "trace/trace.h"
 #include "variability/variability.h"
 
 namespace desync::core {
@@ -33,6 +34,7 @@ DesyncResult desynchronize(netlist::Design& design, netlist::Module& module,
     std::vector<double> task_ms(corner_opts.size(), 0.0);
     std::vector<std::unique_ptr<sta::Sta>> analyses(corner_opts.size());
     parallelFor(corner_opts.size(), [&](std::size_t i) {
+      trace::Span span("sta_corner", "sta");
       const auto t0 = std::chrono::steady_clock::now();
       sta::StaOptions so = corner_opts[i];
       analyses[i] = std::make_unique<sta::Sta>(bound, std::move(so));

@@ -6,6 +6,8 @@
 #include "core/version.h"
 #include "flowdb/io.h"
 #include "flowdb/snapshot.h"
+#include "liberty/library.h"
+#include "trace/trace.h"
 
 namespace desync::core {
 
@@ -94,6 +96,26 @@ std::vector<sta::DisabledArc> readArcs(flowdb::ByteReader& r) {
     a.from_pin = std::string(r.str());
   }
   return v;
+}
+
+/// Pass-boundary counter samples (`--trace` runs only): cumulative liberty
+/// lookup totals, FlowDB cache traffic and the process's peak RSS, so the
+/// trace shows which pass grew which resource (docs/trace-format.md).
+void tracePassBoundaryCounters(const liberty::Gatefile& gatefile,
+                               const flowdb::PassCache* cache) {
+  if (!trace::enabled()) return;
+  trace::counter("liberty_cell_lookups",
+                 static_cast<double>(gatefile.library().lookupCount()));
+  trace::counter("liberty_pin_lookups",
+                 static_cast<double>(liberty::detail::pinLookupCount()));
+  trace::counter("peak_rss_mb", static_cast<double>(trace::peakRssBytes()) /
+                                    (1024.0 * 1024.0));
+  if (cache != nullptr) {
+    trace::counter("cache_bytes_read",
+                   static_cast<double>(cache->stats().bytes_read));
+    trace::counter("cache_bytes_written",
+                   static_cast<double>(cache->stats().bytes_written));
+  }
 }
 
 }  // namespace
@@ -293,6 +315,7 @@ void FlowSession::addPass(
 }
 
 int FlowSession::findRestorePoint() {
+  trace::Span span("cache_probe", "flowdb");
   for (int i = static_cast<int>(passes_.size()) - 1; i >= 0; --i) {
     const flowdb::CacheKey& key = passes_[static_cast<std::size_t>(i)].key;
     if (checkpoint_.has_value() &&
@@ -317,6 +340,7 @@ int FlowSession::findRestorePoint() {
 
 void FlowSession::applyPending(const char* pass) {
   if (!pending_entry_.has_value()) return;
+  trace::Span span("cache_restore", "flowdb");
   try {
     flowdb::ByteReader r(*pending_entry_);
     const std::string_view snapshot = r.str();
@@ -346,6 +370,7 @@ void FlowSession::computePass(const Pass& pass, std::uint32_t index) {
   }
 
   if (cacheActive()) {
+    trace::Span span("cache_store", "flowdb");
     flowdb::SnapshotMeta meta;
     meta.tool_version = std::string(kToolVersion);
     meta.library = gatefile_.library().name;
@@ -356,6 +381,7 @@ void FlowSession::computePass(const Pass& pass, std::uint32_t index) {
     cache_->store(pass.key, entry.bytes());
     cache_->storeCheckpoint(index, pass.name, pass.key, entry.bytes());
   }
+  tracePassBoundaryCounters(gatefile_, cache_.get());
 }
 
 void FlowSession::run() {
@@ -383,6 +409,7 @@ void FlowSession::run() {
       stat.source = restore_source_;
       if (i == restored) stat.wall_ms = restore_ms_;
     }
+    if (restored >= 0) tracePassBoundaryCounters(gatefile_, cache_.get());
   }
 
   for (std::size_t i = static_cast<std::size_t>(restored + 1);

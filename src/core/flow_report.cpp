@@ -98,6 +98,23 @@ std::string FlowReport::toJson(int indent) const {
     os << "}";
   }
   os << nl << pad1 << "]";
+  if (trace_.has_value() && trace_->enabled) {
+    const trace::Summary& t = *trace_;
+    os << "," << nl << pad1 << "\"trace\": {\"file\": \""
+       << jsonEscape(t.file) << "\", \"events\": " << t.events
+       << ", \"spans\": " << t.spans
+       << ", \"counter_events\": " << t.counter_events
+       << ", \"worker_tracks\": " << t.worker_tracks;
+    if (t.worker_utilization_pct >= 0.0) {
+      os << ", \"worker_utilization_pct\": " << t.worker_utilization_pct;
+    }
+    os << ", \"pass_self_ms\": {";
+    for (std::size_t i = 0; i < t.pass_self_ms.size(); ++i) {
+      os << (i == 0 ? "" : ", ") << "\"" << jsonEscape(t.pass_self_ms[i].first)
+         << "\": " << t.pass_self_ms[i].second;
+    }
+    os << "}}";
+  }
   if (!notes_.empty()) {
     os << "," << nl << pad1 << "\"notes\": [";
     for (std::size_t i = 0; i < notes_.size(); ++i) {
@@ -112,7 +129,8 @@ std::string FlowReport::toJson(int indent) const {
 ScopedPass::ScopedPass(FlowReport& report, std::string name)
     : report_(&report),
       name_(std::move(name)),
-      start_(std::chrono::steady_clock::now()) {}
+      start_(std::chrono::steady_clock::now()),
+      span_(name_, "pass") {}
 
 ScopedPass::~ScopedPass() {
   const auto end = std::chrono::steady_clock::now();

@@ -11,10 +11,13 @@
 
 #include <chrono>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "trace/trace.h"
 
 namespace desync::core {
 
@@ -88,6 +91,15 @@ class FlowReport {
     return notes_;
   }
 
+  /// Post-trace statistics from trace::finish() (`--trace` runs only);
+  /// serialized as the top-level "trace" object when enabled.
+  void setTraceSummary(trace::Summary summary) {
+    trace_ = std::move(summary);
+  }
+  [[nodiscard]] const std::optional<trace::Summary>& traceSummary() const {
+    return trace_;
+  }
+
   /// Serializes as a JSON object:
   ///   {"total_ms": 12.3, "jobs": 4,
   ///    "cache": {"hits": 5, "misses": 2, "bytes_read": 1024,
@@ -98,8 +110,11 @@ class FlowReport {
   ///    "notes": ["..."]}
   /// Counter keys become sibling fields of name/wall_ms within each pass
   /// object; work_ms/speedup appear only for passes with a parallel
-  /// section; "cache"/"notes" appear only when cache stats are enabled /
-  /// notes exist.  `indent` < 0 emits a single line.
+  /// section; "cache"/"notes"/"trace" appear only when cache stats are
+  /// enabled / notes exist / a trace summary was attached.  The "trace"
+  /// object carries the trace file path, event totals, worker-track count
+  /// and utilization, and per-pass self times (docs/report-schema.md).
+  /// `indent` < 0 emits a single line.
   [[nodiscard]] std::string toJson(int indent = 2) const;
 
  private:
@@ -107,6 +122,7 @@ class FlowReport {
   int jobs_ = 0;
   FlowCacheStats cache_;
   std::vector<std::string> notes_;
+  std::optional<trace::Summary> trace_;
 };
 
 /// RAII pass timer: measures from construction to destruction and appends
@@ -132,6 +148,9 @@ class ScopedPass {
   double work_ms_ = 0.0;
   std::string source_ = "computed";
   std::chrono::steady_clock::time_point start_;
+  /// "pass"-category trace span covering the pass body (declared last so
+  /// its end event is recorded as the pass scope closes).
+  trace::Span span_;
 };
 
 }  // namespace desync::core

@@ -7,7 +7,10 @@
 #include <limits>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
+
+#include "trace/trace.h"
 
 namespace desync::core {
 
@@ -35,9 +38,13 @@ struct Job {
   /// iteration failed).  Called from workers and from the issuing thread.
   void work() {
     tls_in_parallel = true;
+    const bool tracing = trace::enabled();
+    const double run_begin = tracing ? trace::timestampUs() : 0.0;
+    std::size_t claimed = 0;
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) break;
+      ++claimed;
       if (!cancelled.load(std::memory_order_relaxed)) {
         try {
           (*fn)(i);
@@ -52,10 +59,18 @@ struct Job {
           cancelled.store(true, std::memory_order_relaxed);
         }
       }
-      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
-        std::lock_guard<std::mutex> lock(done_mutex);
-        done_cv.notify_all();
-      }
+    }
+    // The run span is recorded BEFORE the claimed iterations are published:
+    // waitFinished()'s acquire of `done` then guarantees the drain sees
+    // every event this thread buffered during the section (trace/trace.h).
+    if (tracing) {
+      trace::completedSpan("parallel_run", "parallel", run_begin,
+                           trace::timestampUs());
+    }
+    if (claimed > 0 &&
+        done.fetch_add(claimed, std::memory_order_acq_rel) + claimed == n) {
+      std::lock_guard<std::mutex> lock(done_mutex);
+      done_cv.notify_all();
     }
     tls_in_parallel = false;
   }
@@ -82,6 +97,7 @@ class Pool {
     // One section at a time: concurrent top-level callers queue up here
     // (the flow itself is single-threaded; this guards library misuse).
     std::lock_guard<std::mutex> run_lock(run_mutex_);
+    trace::Span section("parallel_for", "parallel");
     auto job = std::make_shared<Job>();
     job->n = n;
     job->fn = &fn;
@@ -119,14 +135,19 @@ class Pool {
   void ensureWorkers(int count) {
     std::lock_guard<std::mutex> lock(mutex_);
     while (static_cast<int>(workers_.size()) < count) {
-      workers_.emplace_back([this] { workerLoop(); });
+      const int index = static_cast<int>(workers_.size()) + 1;
+      workers_.emplace_back([this, index] { workerLoop(index); });
     }
   }
 
-  void workerLoop() {
+  void workerLoop(int index) {
+    // One trace track per pool worker; the issuing thread is "flow", so a
+    // section at --jobs N shows N executing tracks (flow + N-1 workers).
+    trace::setThreadName("worker-" + std::to_string(index));
     std::uint64_t seen_serial = 0;
     for (;;) {
       std::shared_ptr<Job> job;
+      const double wait_begin = trace::enabled() ? trace::timestampUs() : 0.0;
       {
         std::unique_lock<std::mutex> lock(mutex_);
         wake_cv_.wait(lock, [&] {
@@ -135,6 +156,13 @@ class Pool {
         if (shutdown_) return;
         job = job_;
         seen_serial = job_serial_;
+      }
+      // Queue-wait spans are recorded only once the wait ended, so a
+      // worker parked in the condition wait never leaves an open span in
+      // its buffer at drain time.
+      if (wait_begin != 0.0 && trace::enabled()) {
+        trace::completedSpan("queue_wait", "parallel", wait_begin,
+                             trace::timestampUs());
       }
       job->work();
     }

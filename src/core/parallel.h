@@ -21,6 +21,11 @@
 // DESYNC_JOBS environment variable > std::thread::hardware_concurrency().
 // jobs == 1 is an exact serial fast path: fn runs on the caller's thread
 // and no pool thread is ever created or woken.
+//
+// With tracing active (trace/trace.h), each section records a
+// `parallel_for` span on the caller's track, a `parallel_run` span per
+// participating thread and `queue_wait` spans on idle workers
+// (docs/trace-format.md); each pool worker is its own named trace track.
 #pragma once
 
 #include <cstddef>

@@ -4,6 +4,7 @@
 
 #include "core/version.h"
 #include "flowdb/snapshot.h"
+#include "trace/trace.h"
 
 namespace desync::core {
 
@@ -82,6 +83,18 @@ std::string errorReportJson(const RunInfo& info, std::string_view error,
   os << "  \"error\": \"" << jsonEscape(error) << "\",\n";
   if (!failed_pass.empty()) {
     os << "  \"failed_pass\": \"" << jsonEscape(failed_pass) << "\",\n";
+    // The failing pass's ScopedPass records its elapsed time during
+    // unwinding, so the partial report can say how long it ran before
+    // dying.
+    if (const PassStat* p = flow.find(failed_pass)) {
+      os << "  \"failed_pass_ms\": " << p->wall_ms << ",\n";
+    }
+  }
+  // Innermost trace span the exception unwound through — the closest
+  // instrumented scope to the failure point (`--trace` runs only).
+  const std::string span = trace::lastUnwoundSpan();
+  if (!span.empty()) {
+    os << "  \"last_open_span\": \"" << jsonEscape(span) << "\",\n";
   }
   appendFlow(os, flow);
   os << "\n}\n";

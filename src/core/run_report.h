@@ -6,9 +6,12 @@
 //     per-region delay elements, per-corner reference periods and the
 //     nested FlowReport (per-pass timings, sources and cache traffic);
 //   - errorReportJson: the partial report of a failed run — an "error"
-//     message, the "failed_pass" name and the FlowReport of every pass
-//     that ran before (and including) the failure, so a mid-flow crash
-//     still tells the caller how far the flow got and what it cost.
+//     message, the "failed_pass" name, how long that pass ran before the
+//     failure ("failed_pass_ms"), the innermost trace span the exception
+//     unwound through ("last_open_span", `--trace` runs only) and the
+//     FlowReport of every pass that ran before (and including) the
+//     failure, so a mid-flow crash still tells the caller how far the
+//     flow got and what it cost.
 #pragma once
 
 #include <cstddef>
@@ -27,12 +30,13 @@ struct RunInfo {
   std::size_t nets_out = 0;
 };
 
-/// Full report of a successful run (schema documented in the README).
+/// Full report of a successful run (schema in docs/report-schema.md).
 [[nodiscard]] std::string runReportJson(const RunInfo& info,
                                         const DesyncResult& result);
 
-/// Partial report of a failed run: "error" + "failed_pass" + the passes
-/// completed before the failure.
+/// Partial report of a failed run: "error" + "failed_pass" (with its
+/// elapsed "failed_pass_ms" and, when tracing, the "last_open_span") +
+/// the passes completed before the failure.
 [[nodiscard]] std::string errorReportJson(const RunInfo& info,
                                           std::string_view error,
                                           std::string_view failed_pass,

@@ -5,6 +5,7 @@
 #include <system_error>
 
 #include "flowdb/io.h"
+#include "trace/trace.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <unistd.h>
@@ -62,6 +63,7 @@ std::optional<std::string> PassCache::readValidated(const std::string& path,
   std::optional<std::string> raw = slurp(path);
   if (!raw.has_value()) {
     if (count) ++stats_.misses;
+    trace::instant("flowdb_miss", "flowdb");
     return std::nullopt;
   }
   try {
@@ -70,6 +72,7 @@ std::optional<std::string> PassCache::readValidated(const std::string& path,
       ++stats_.hits;
       stats_.bytes_read += payload.size();
     }
+    trace::instant("flowdb_hit", "flowdb");
     return std::string(payload);
   } catch (const FlowDbError& e) {
     if (diag != nullptr) {
@@ -80,6 +83,7 @@ std::optional<std::string> PassCache::readValidated(const std::string& path,
       ++stats_.misses;
       ++stats_.invalid;
     }
+    trace::instant("flowdb_invalid_entry", "flowdb");
     return std::nullopt;
   }
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/parallel.h"
+#include "trace/trace.h"
 
 namespace desync::sim {
 
@@ -110,6 +111,7 @@ FlowEqBatchReport checkFlowEquivalenceBatches(std::size_t n_batches,
                                               const SimFactory& run_desync,
                                               const FlowEqOptions& options) {
   return mergeBatches(core::parallelMap(n_batches, [&](std::size_t b) {
+    trace::Span span("fe_batch", "sim");
     const std::unique_ptr<Simulator> sync_sim = run_sync(b);
     const std::unique_ptr<Simulator> desync_sim = run_desync(b);
     return checkFlowEquivalence(*sync_sim, *desync_sim, options);
@@ -121,6 +123,7 @@ FlowEqBatchReport checkFlowEquivalenceBatches(const Simulator& golden_sync,
                                               const SimFactory& run_desync,
                                               const FlowEqOptions& options) {
   return mergeBatches(core::parallelMap(n_batches, [&](std::size_t b) {
+    trace::Span span("fe_batch", "sim");
     const std::unique_ptr<Simulator> desync_sim = run_desync(b);
     return checkFlowEquivalence(golden_sync, *desync_sim, options);
   }));

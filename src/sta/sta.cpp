@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "core/parallel.h"
+#include "trace/trace.h"
 
 namespace desync::sta {
 
@@ -502,6 +503,7 @@ std::vector<double> Sta::regionWorstDelays(
   // writes its own slot; max() is order-independent, so the result does
   // not depend on scheduling.
   core::parallelFor(region_cells.size(), [&](std::size_t g) {
+    trace::Span span("sta_region", "sta");
     double w = 0.0;
     for (netlist::CellId cid : region_cells[g]) {
       const std::string_view name = m.cellName(cid);
@@ -526,6 +528,7 @@ std::vector<std::unique_ptr<Sta>> analyzeCorners(
     const liberty::BoundModule& bound, std::vector<StaOptions> options) {
   std::vector<std::unique_ptr<Sta>> out(options.size());
   core::parallelFor(options.size(), [&](std::size_t i) {
+    trace::Span span("sta_corner", "sta");
     out[i] = std::make_unique<Sta>(bound, std::move(options[i]));
   });
   return out;

@@ -1,0 +1,130 @@
+// Structured flow tracing (Chrome trace_event JSON).
+//
+// A process-wide, always-compiled tracer behind a single relaxed atomic
+// flag: every instrumentation site costs one load + branch when tracing is
+// off, so the layer can stay in release builds.  When enabled
+// (`drdesync --trace out.trace.json` or the DESYNC_TRACE environment
+// variable), instrumented code records duration spans (begin/end pairs),
+// counter samples and instant markers into per-thread buffers; finish()
+// drains every buffer once and writes one Chrome `trace_event` JSON file,
+// loadable in Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+// Event names and categories are documented in docs/trace-format.md.
+//
+// Determinism contract: tracing never touches flow state — it only reads
+// clocks and appends to trace buffers — so flow outputs (Verilog, SDC,
+// BLIF, report values other than the "trace" summary object) are
+// byte-identical with tracing on or off, at any --jobs setting
+// (tests/trace_test.cpp and tests/determinism_test.cpp enforce this).
+// No randomness is used anywhere.
+//
+// Buffering: each thread appends to its own chunked buffer; publication is
+// a single-producer/single-consumer release-store of the chunk fill count
+// (and of the next-chunk pointer), so recording takes no lock and finish()
+// (the only consumer, called when no parallel section is active) attaches
+// with acquire loads.  Buffers of pool worker threads survive the threads
+// themselves; the registry owns them for the life of the process.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace desync::trace {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+/// True while tracing is active.  The fast path of every instrumentation
+/// site; a relaxed load so the disabled cost is one branch.
+[[nodiscard]] inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Starts tracing; events recorded from now on are written to `path` by
+/// finish().  Restartable: a start() after a finish() begins a fresh
+/// trace (already-drained events are never re-emitted).
+void start(std::string path);
+
+/// Starts tracing to $DESYNC_TRACE if that variable is set (and non-empty)
+/// and tracing is not already active.  No-op otherwise.
+void startFromEnv();
+
+/// Post-trace statistics, fed into `--report` JSON as the "trace" object
+/// (see FlowReport::setTraceSummary).
+struct Summary {
+  bool enabled = false;         ///< false: finish() without start()
+  std::string file;             ///< the written trace file path
+  std::uint64_t events = 0;     ///< emitted trace events (excl. metadata)
+  std::uint64_t spans = 0;      ///< completed duration spans
+  std::uint64_t counter_events = 0;
+  int worker_tracks = 0;        ///< pool worker threads with a track
+  /// Share of the flow's parallel-section time the pool workers spent
+  /// running iterations: sum(worker run spans) /
+  /// (worker_tracks * sum(caller parallel_for spans)).  Negative when no
+  /// parallel section was traced.
+  double worker_utilization_pct = -1.0;
+  /// Per-pass self time: the "pass"-category span's duration minus the
+  /// time covered by spans nested directly inside it on the same track.
+  std::vector<std::pair<std::string, double>> pass_self_ms;
+};
+
+/// Stops tracing, drains every thread buffer exactly once, writes the
+/// Chrome trace JSON file and returns the summary.  Must not be called
+/// while a parallel section is running.  Returns a disabled Summary when
+/// tracing was never started.
+Summary finish();
+
+/// RAII duration span on the calling thread's track: records a "B" event
+/// at construction and the matching "E" at destruction.  `name` is copied
+/// (truncated to an implementation limit); `cat` must be a string literal.
+/// Free when tracing is disabled.
+class Span {
+ public:
+  Span(std::string_view name, const char* cat);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  bool active_;
+};
+
+/// Records an already-completed span from explicit timestamps (both from
+/// timestampUs()).  Used where the span must only be recorded once its end
+/// is known — e.g. a pool worker's queue wait, which would otherwise sit
+/// open (and unread) in a blocked thread's buffer at drain time.
+void completedSpan(std::string_view name, const char* cat, double begin_us,
+                   double end_us);
+
+/// Counter sample ("C" event): the named series takes `value` at now.
+void counter(std::string_view name, double value);
+
+/// Instant marker ("i" event).
+void instant(std::string_view name, const char* cat);
+
+/// Microseconds on the tracer's clock (steady, process-wide); pair with
+/// completedSpan.  Valid whether or not tracing is enabled.
+[[nodiscard]] double timestampUs();
+
+/// Names the calling thread's track (Chrome "thread_name" metadata).  The
+/// pool labels its workers "worker-1".."worker-N"; the flow's caller
+/// thread is "flow".  Safe to call with tracing disabled (the name sticks
+/// and is emitted if tracing is active at drain time and the track has a
+/// name or events).
+void setThreadName(std::string name);
+
+/// Name of the innermost span that was destroyed while an exception was
+/// unwinding through it on this thread — i.e. where the most recent
+/// failure happened.  Empty when no span unwound.  Reset when a new span
+/// starts after the unwind.
+[[nodiscard]] std::string lastUnwoundSpan();
+
+/// Peak resident set size of the process in bytes (0 where unsupported).
+/// Exposed for pass-boundary counter sampling.
+[[nodiscard]] std::uint64_t peakRssBytes();
+
+}  // namespace desync::trace

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/parallel.h"
+#include "trace/trace.h"
 
 namespace desync::variability {
 
@@ -138,6 +139,7 @@ void forEachSample(
     const VariationModel& model, std::size_t count,
     const std::function<void(std::size_t, const ChipSample&)>& fn) {
   core::parallelFor(count, [&](std::size_t i) {
+    trace::Span span("mc_sample", "variability");
     fn(i, sampleChip(model, static_cast<std::uint64_t>(i)));
   });
 }

@@ -16,9 +16,11 @@
 #include "liberty/bound.h"
 #include "liberty/stdlib90.h"
 #include "netlist/flatten.h"
+#include "netlist/verilog.h"
 #include "sim/flow_equivalence.h"
 #include "sim/simulator.h"
 #include "sta/sta.h"
+#include "trace/trace.h"
 #include "variability/variability.h"
 
 namespace core = desync::core;
@@ -156,6 +158,34 @@ TEST(Determinism, RegionWorstDelaysIdenticalAcrossJobs) {
   for (std::size_t g = 0; g < serial.size(); ++g) {
     EXPECT_EQ(serial[g], parallel[g]) << "region " << g;
   }
+}
+
+TEST(Determinism, TracingDoesNotChangeFlowOutput) {
+  // The tracer's determinism contract (trace/trace.h): enabling tracing
+  // must not change a single byte of flow output.  Run the full flow on a
+  // fresh pipe2 with tracing off and on and compare the generated netlist
+  // and SDC text.
+  auto runFlow = [] {
+    nl::Design design;
+    designs::buildPipe2(design, gf(), 6);
+    nl::Module& module = *design.findModule("pipe2");
+    core::DesyncOptions opt;
+    opt.control.reset_port = "rst_n";
+    opt.control.reset_active_low = true;
+    core::DesyncResult result =
+        core::desynchronize(design, module, gf(), opt);
+    return std::make_pair(nl::writeVerilog(design), result.sdc.toText());
+  };
+  core::setGlobalJobs(kParallelJobs);
+  auto plain = runFlow();
+  desync::trace::start(std::string(::testing::TempDir()) +
+                       "determinism_trace.json");
+  auto traced = runFlow();
+  desync::trace::finish();
+  core::setGlobalJobs(0);
+  EXPECT_EQ(plain.first, traced.first);
+  EXPECT_EQ(plain.second, traced.second);
+  EXPECT_FALSE(plain.first.empty());
 }
 
 TEST(Determinism, FlowEquivalenceBatchesIdenticalAcrossJobs) {

@@ -1,0 +1,86 @@
+#!/bin/sh
+# Docs/CLI consistency checks, run by the CI "docs" job (and available as
+# a ctest).  Pure grep/sed over the sources — no build needed:
+#
+#   1. every flag the drdesync parser accepts appears in the tool's
+#      usage() text AND in docs/cli.md;
+#   2. every `--flag` docs/cli.md documents is actually accepted by the
+#      parser (no stale docs);
+#   3. every relative markdown link in README.md and docs/*.md resolves
+#      to an existing file.
+#
+# Exits non-zero listing every failure.
+set -u
+
+repo=$(cd "$(dirname "$0")/.." && pwd)
+main="$repo/tools/drdesync_main.cpp"
+cli_doc="$repo/docs/cli.md"
+fail=0
+
+# --- 1. parser flags -> usage() and docs/cli.md ---------------------------
+# Flags are recognized in an if-chain of the form:  arg == "--name"
+parser_flags=$(grep -o 'arg == "--[a-z-]*"' "$main" |
+  sed 's/arg == "//; s/"//' | sort -u | tr '\n' ' ')
+if [ -z "$parser_flags" ]; then
+  echo "FAIL: could not extract any flags from $main"
+  fail=1
+fi
+
+usage_text=$(sed -n '/^void usage()/,/^}/p' "$main")
+if [ -z "$usage_text" ]; then
+  echo "FAIL: could not locate usage() in $main"
+  fail=1
+fi
+
+for flag in $parser_flags; do
+  case "$usage_text" in
+    *"$flag"*) ;;
+    *)
+      echo "FAIL: flag $flag is accepted by the parser but missing from" \
+           "usage() in tools/drdesync_main.cpp"
+      fail=1
+      ;;
+  esac
+  if ! grep -q -- "\`$flag\`" "$cli_doc"; then
+    echo "FAIL: flag $flag is accepted by the parser but not documented" \
+         "in docs/cli.md"
+    fail=1
+  fi
+done
+
+# --- 2. docs/cli.md flags -> parser ---------------------------------------
+doc_flags=$(grep -o '`--[a-z-]*`' "$cli_doc" | sed 's/`//g' | sort -u)
+for flag in $doc_flags; do
+  case " $parser_flags " in
+    *" $flag "*) ;;
+    *)
+      echo "FAIL: docs/cli.md documents $flag but the parser does not" \
+           "accept it"
+      fail=1
+      ;;
+  esac
+done
+
+# --- 3. relative markdown links resolve -----------------------------------
+for md in "$repo/README.md" "$repo"/docs/*.md; do
+  dir=$(dirname "$md")
+  # Extract (target) of every [text](target) link, one per line.
+  links=$(grep -o '\]([^)]*)' "$md" | sed 's/^](//; s/)$//')
+  for link in $links; do
+    case "$link" in
+      http://*|https://*|mailto:*) continue ;;
+    esac
+    target=${link%%#*}          # drop a #fragment, keep the file part
+    [ -z "$target" ] && continue  # same-file fragment link
+    if [ ! -e "$dir/$target" ]; then
+      echo "FAIL: broken link '$link' in ${md#"$repo"/}"
+      fail=1
+    fi
+  done
+done
+
+if [ "$fail" -eq 0 ]; then
+  echo "check_docs: OK ($(echo "$parser_flags" | wc -w | tr -d ' ') flags," \
+       "all links resolve)"
+fi
+exit "$fail"

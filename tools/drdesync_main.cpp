@@ -30,30 +30,55 @@
 #include "liberty/stdlib90.h"
 #include "netlist/blif.h"
 #include "netlist/verilog.h"
+#include "trace/trace.h"
 
 using namespace desync;
 
 namespace {
 
 void usage() {
+  // One flag per line; tools/check_docs.sh cross-checks this text and
+  // docs/cli.md against the parser, so a new flag cannot ship undocumented.
   std::fputs(
-      "usage: drdesync --lib <file.lib|builtin:hs|builtin:ll> --in <v>\n"
-      "                [--top NAME] --out <v> [--sdc <f>] [--blif <f>]\n"
-      "                [--gatefile <f>] [--report] [--version]\n"
-      "                [--reset-port NAME] [--reset-active-low]\n"
-      "                [--group \"p1,p2;p3;...\"]   manual regions by prefix\n"
-      "                [--false-path NET]...       nets ignored by grouping\n"
-      "                [--margin F]                matched-delay margin\n"
-      "                [--mux-taps N]              0/2/4/8 calibration taps\n"
-      "                [--no-bus-heuristic] [--no-clean]\n"
-      "                [--cache-dir DIR]           FlowDB pass cache: restore\n"
-      "                                            unchanged pipeline prefixes\n"
-      "                                            instead of recomputing\n"
-      "                [--resume]                  restart from the last valid\n"
-      "                                            checkpoint in --cache-dir\n"
-      "                [--jobs N]                  worker threads (0 = auto;\n"
-      "                                            default DESYNC_JOBS env or\n"
-      "                                            hardware concurrency)\n",
+      "usage: drdesync --lib <lib> --in <netlist.v> --out <netlist.v>\n"
+      "                [options...]                (full docs: docs/cli.md)\n"
+      "\n"
+      "inputs / outputs:\n"
+      "  --lib <file.lib|builtin:hs|builtin:ll>  Liberty library (required)\n"
+      "  --in FILE          gate-level Verilog netlist to read (required)\n"
+      "  --top NAME         top module (default: sole module of the input)\n"
+      "  --out FILE         desynchronized Verilog netlist (required)\n"
+      "  --sdc FILE         write backend timing constraints (SDC)\n"
+      "  --blif FILE        write the top module as BLIF\n"
+      "  --gatefile FILE    write the derived gatefile (library view)\n"
+      "\n"
+      "flow options:\n"
+      "  --reset-port NAME  controller reset port (default: none)\n"
+      "  --reset-active-low reset is active-low\n"
+      "  --group \"p1,p2;p3\" manual regions by cell-name prefix\n"
+      "                     (';' separates regions, ',' prefixes)\n"
+      "  --false-path NET   net the grouping pass ignores (repeatable)\n"
+      "  --margin F         matched-delay safety margin (default 0.10)\n"
+      "  --mux-taps N       delay-line calibration taps: 0, 2, 4 or 8\n"
+      "  --no-bus-heuristic disable bus-name region merging\n"
+      "  --no-clean         skip netlist cleaning before grouping\n"
+      "\n"
+      "execution:\n"
+      "  --jobs N           worker threads, 0 = auto (default: DESYNC_JOBS\n"
+      "                     env or hardware concurrency)\n"
+      "  --cache-dir DIR    FlowDB pass cache: restore unchanged pipeline\n"
+      "                     prefixes instead of recomputing\n"
+      "  --resume           restart from the last valid checkpoint in\n"
+      "                     --cache-dir\n"
+      "\n"
+      "diagnostics:\n"
+      "  --report           print the run report JSON to stdout\n"
+      "                     (schema: docs/report-schema.md)\n"
+      "  --trace FILE       write a Chrome trace_event JSON of the run,\n"
+      "                     loadable in Perfetto (docs/trace-format.md);\n"
+      "                     DESYNC_TRACE env sets a default path\n"
+      "  --version          print tool and snapshot-format versions\n"
+      "  --help, -h         this message\n",
       stderr);
 }
 
@@ -104,7 +129,7 @@ std::vector<std::vector<std::string>> parseGroups(const std::string& spec) {
 
 int main(int argc, char** argv) {
   std::string lib_path, in_path, top, out_path, sdc_path, blif_path,
-      gatefile_path, group_spec;
+      gatefile_path, group_spec, trace_path;
   core::DesyncOptions opt;
   bool report = false;
 
@@ -166,6 +191,8 @@ int main(int argc, char** argv) {
       opt.flowdb.resume = true;
     } else if (arg == "--report") {
       report = true;
+    } else if (arg == "--trace") {
+      trace_path = next();
     } else if (arg == "--version") {
       std::printf("drdesync %s (snapshot format %u)\n",
                   std::string(core::kToolVersion).c_str(),
@@ -190,6 +217,13 @@ int main(int argc, char** argv) {
   }
   opt.manual_seq_groups = parseGroups(group_spec);
 
+  // The command line wins over the DESYNC_TRACE environment default.
+  if (!trace_path.empty()) {
+    trace::start(trace_path);
+  } else {
+    trace::startFromEnv();
+  }
+
   core::RunInfo info;
   info.input = in_path;
   try {
@@ -213,6 +247,13 @@ int main(int argc, char** argv) {
     core::DesyncResult result =
         core::desynchronize(design, module, gatefile, opt);
 
+    // Drain and write the trace right after the flow so the file covers
+    // exactly the seven passes; the summary rides into --report JSON.
+    trace::Summary trace_summary = trace::finish();
+    if (trace_summary.enabled) {
+      result.flow.setTraceSummary(std::move(trace_summary));
+    }
+
     netlist::writeVerilogFile(design, out_path);
     if (!sdc_path.empty()) {
       std::ofstream(sdc_path) << result.sdc.toText();
@@ -229,8 +270,10 @@ int main(int argc, char** argv) {
     }
     return 0;
   } catch (const core::FlowError& e) {
-    // A pass failed mid-flow: the partial report still carries every pass
-    // that ran (with timings) plus the failure itself.
+    // A pass failed mid-flow: still write the trace collected so far (a
+    // post-mortem of where the flow died), then the partial report with
+    // every pass that ran (with timings) plus the failure itself.
+    trace::finish();
     if (report) {
       std::fputs(
           core::errorReportJson(info, e.what(), e.pass(), e.flow()).c_str(),
@@ -240,6 +283,7 @@ int main(int argc, char** argv) {
                  e.what());
     return 1;
   } catch (const std::exception& e) {
+    trace::finish();
     if (report) {
       std::fputs(core::errorReportJson(info, e.what(), "", {}).c_str(),
                  stdout);
