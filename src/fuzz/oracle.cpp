@@ -1,0 +1,307 @@
+#include "fuzz/oracle.h"
+
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <stdexcept>
+#include <string_view>
+
+#include "core/desync.h"
+#include "core/parallel.h"
+#include "netlist/verilog.h"
+#include "sim/flow_equivalence.h"
+#include "sim/simulator.h"
+#include "sta/sta.h"
+
+namespace desync::fuzz {
+
+namespace fs = std::filesystem;
+
+FaultKind parseFaultKind(const std::string& name) {
+  if (name == "none") return FaultKind::kNone;
+  if (name == "fully-decoupled") return FaultKind::kFullyDecoupled;
+  if (name == "short-margin") return FaultKind::kShortMargin;
+  if (name == "self-test") return FaultKind::kSelfTest;
+  throw std::invalid_argument("unknown fault kind: " + name);
+}
+
+std::string faultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kFullyDecoupled: return "fully-decoupled";
+    case FaultKind::kShortMargin: return "short-margin";
+    case FaultKind::kSelfTest: return "self-test";
+  }
+  return "?";
+}
+
+namespace {
+
+namespace nl = netlist;
+
+core::DesyncOptions flowOptions(FaultKind fault) {
+  core::DesyncOptions opt;
+  opt.control.reset_port = "rst_n";
+  opt.control.reset_active_low = true;
+  if (fault == FaultKind::kFullyDecoupled) {
+    opt.control.controller = async::ControllerKind::kFullyDecoupled;
+  } else if (fault == FaultKind::kShortMargin) {
+    opt.control.margin = 0.02;  // far below the region critical path
+  }
+  return opt;
+}
+
+std::size_t countSuffix(const nl::Module& m, std::string_view suffix) {
+  std::size_t n = 0;
+  m.forEachCell([&](nl::CellId id) {
+    std::string_view name = m.cellName(id);
+    if (name.size() >= suffix.size() &&
+        name.substr(name.size() - suffix.size()) == suffix) {
+      ++n;
+    }
+  });
+  return n;
+}
+
+/// Drives the synchronous circuit for `cycles` clock periods of 2x the
+/// minimum period, exactly like the repo's reference flow tests.
+void runSyncSim(sim::Simulator& s, int cycles, double half_ns) {
+  s.setInput("clk", sim::Val::k0);
+  s.setInput("rst_n", sim::Val::k0);
+  s.run(sim::nsToPs(10));
+  s.setInput("rst_n", sim::Val::k1);
+  s.run(s.now() + sim::nsToPs(half_ns));
+  for (int i = 0; i < cycles; ++i) {
+    s.setInput("clk", sim::Val::k1);
+    s.run(s.now() + sim::nsToPs(half_ns));
+    s.setInput("clk", sim::Val::k0);
+    s.run(s.now() + sim::nsToPs(half_ns));
+  }
+}
+
+struct FlowRun {
+  // Behind a pointer: modules hold a back-reference to their owning Design,
+  // so the Design object must never move while `module` is alive.
+  std::unique_ptr<nl::Design> design;
+  nl::Module* module = nullptr;
+  core::DesyncResult result;
+  std::string verilog;  ///< converted module text
+  std::string sdc;
+};
+
+/// Parses `text` and desynchronizes the top module.  Throws what the flow
+/// throws.
+FlowRun runConversion(const std::string& text,
+                      const liberty::Gatefile& gatefile, FaultKind fault,
+                      const std::string& cache_dir = {}) {
+  FlowRun run;
+  run.design = std::make_unique<nl::Design>();
+  nl::readVerilog(*run.design, text, gatefile);
+  run.module = &run.design->top();
+  core::DesyncOptions opt = flowOptions(fault);
+  opt.flowdb.cache_dir = cache_dir;
+  run.result = core::desynchronize(*run.design, *run.module, gatefile, opt);
+  run.verilog = nl::writeVerilog(*run.module);
+  run.sdc = run.result.sdc.toText();
+  return run;
+}
+
+}  // namespace
+
+OracleVerdict runOracle(const std::string& verilog,
+                        const liberty::Gatefile& gatefile,
+                        const OracleOptions& options) {
+  OracleVerdict v;
+  auto fail = [&](std::string check, std::string detail) -> OracleVerdict& {
+    v.ok = false;
+    v.check = std::move(check);
+    v.detail = std::move(detail);
+    return v;
+  };
+
+  // 1. parse + input invariants -------------------------------------------
+  nl::Design golden;
+  try {
+    nl::readVerilog(golden, verilog, gatefile);
+    std::vector<std::string> problems = golden.top().checkInvariants();
+    if (!problems.empty()) return fail("parse", problems.front());
+  } catch (const std::exception& e) {
+    return fail("parse", e.what());
+  }
+  v.cells = golden.top().numCells();
+
+  // 2. the seven-pass flow -------------------------------------------------
+  FlowRun flow;
+  try {
+    flow = runConversion(verilog, gatefile, options.fault);
+  } catch (const core::FlowError& e) {
+    return fail("flow", "pass " + e.pass() + ": " + e.what());
+  } catch (const std::exception& e) {
+    return fail("flow", e.what());
+  }
+  v.ffs_replaced = flow.result.substitution.ffs_replaced;
+  v.regions = flow.result.regions.n_groups;
+
+  // 3. self-test fault: fake failure that is monotone under shrinking ------
+  if (options.fault == FaultKind::kSelfTest) {
+    const std::size_t pairs = countSuffix(*flow.module, "_Ls");
+    if (pairs >= 1) {
+      return fail("self-test",
+                  "injected self-test fault: " + std::to_string(pairs) +
+                      " latch pair(s) present");
+    }
+  }
+
+  // 4. flow equivalence against the synchronous golden run -----------------
+  // Defined over storage elements (thesis §2.1): a design with no replaced
+  // FF has nothing to compare, so the check passes vacuously — otherwise
+  // the shrinker could "preserve" an FE failure by deleting every register.
+  const double half_ns = std::max(flow.result.sync_min_period_ns, 0.1);
+  if (v.ffs_replaced > 0) try {
+    sim::Simulator sync_sim(golden.top(), gatefile);
+    runSyncSim(sync_sim, options.cycles, half_ns);
+
+    sim::Simulator desync_sim(*flow.module, gatefile);
+    desync_sim.setInput("clk", sim::Val::k0);
+    desync_sim.setInput("rst_n", sim::Val::k0);
+    desync_sim.run(sim::nsToPs(20));
+    desync_sim.setInput("rst_n", sim::Val::k1);
+    desync_sim.run(desync_sim.now() +
+                   sim::nsToPs(options.cycles * 4.0 * half_ns));
+
+    sim::FlowEqReport fe = sim::checkFlowEquivalence(sync_sim, desync_sim);
+    v.values_compared = fe.values_compared;
+    if (!fe.equivalent) {
+      return fail("flow-equivalence",
+                  fe.details.empty() ? "mismatch" : fe.details.front());
+    }
+    if (v.ffs_replaced > 0 && fe.elements_compared == 0) {
+      return fail("flow-equivalence",
+                  "no sequential element produced comparable captures");
+    }
+  } catch (const std::exception& e) {
+    return fail("flow-equivalence", std::string("simulation: ") + e.what());
+  }
+
+  // 5. converted-netlist invariants + latch bookkeeping --------------------
+  {
+    std::vector<std::string> problems = flow.module->checkInvariants();
+    if (!problems.empty()) return fail("netlist", problems.front());
+    const std::size_t masters = countSuffix(*flow.module, "_Lm");
+    const std::size_t slaves = countSuffix(*flow.module, "_Ls");
+    if (masters != v.ffs_replaced || slaves != v.ffs_replaced) {
+      return fail("netlist",
+                  "latch counts " + std::to_string(masters) + "/" +
+                      std::to_string(slaves) + " do not match " +
+                      std::to_string(v.ffs_replaced) + " replaced FFs");
+    }
+  }
+
+  // 6. Verilog write -> read -> write fixpoint -----------------------------
+  try {
+    nl::Design d1;
+    nl::readVerilog(d1, flow.verilog, gatefile);
+    if (d1.top().numCells() != flow.module->numCells() ||
+        d1.top().numPorts() != flow.module->numPorts()) {
+      return fail("verilog-fixpoint", "cell/port counts changed on re-read");
+    }
+    const std::string w2 = nl::writeVerilog(d1.top());
+    nl::Design d2;
+    nl::readVerilog(d2, w2, gatefile);
+    const std::string w3 = nl::writeVerilog(d2.top());
+    if (w2 != w3) {
+      return fail("verilog-fixpoint",
+                  "write->read->write did not reach a fixpoint");
+    }
+    std::vector<std::string> problems = d2.top().checkInvariants();
+    if (!problems.empty()) return fail("verilog-fixpoint", problems.front());
+  } catch (const std::exception& e) {
+    return fail("verilog-fixpoint", e.what());
+  }
+
+  // 7. STA / SDC sanity ----------------------------------------------------
+  // Gated like flow equivalence: without a single substituted FF the flow
+  // legitimately emits no latch clocks (and a cell-free module has no
+  // reference period at all), so there is nothing to check.
+  if (v.ffs_replaced > 0) try {
+    const sta::SdcFile& sdc = flow.result.sdc;
+    if (flow.result.sync_min_period_ns <= 0.0) {
+      return fail("sta", "non-positive synchronous reference period");
+    }
+    if (sdc.clocks.size() != 2 || sdc.clocks[0].name != "ClkM" ||
+        sdc.clocks[1].name != "ClkS") {
+      return fail("sta", "expected exactly the ClkM/ClkS generated clocks");
+    }
+    for (const sta::SdcClock& c : sdc.clocks) {
+      if (!(c.period_ns > 0.0) || c.targets.empty()) {
+        return fail("sta", "generated clock " + c.name +
+                               " has no period or no targets");
+      }
+    }
+    sta::Sta sync_sta(golden.top(), gatefile);
+    const double slack =
+        sync_sta.worstSetupSlackNs(flow.result.sync_min_period_ns);
+    if (slack < -1e-6) {
+      return fail("sta", "negative synchronous slack " +
+                             std::to_string(slack) +
+                             " ns at the reference period");
+    }
+    sta::StaOptions so;
+    so.disabled = sdc.disabled;
+    sta::Sta desync_sta(*flow.module, gatefile, so);
+    const double crit = desync_sta.criticalPathNs();
+    if (!std::isfinite(crit) || crit <= 0.0) {
+      return fail("sta", "converted-netlist critical path is " +
+                             std::to_string(crit) + " ns");
+    }
+  } catch (const std::exception& e) {
+    return fail("sta", e.what());
+  }
+
+  // 8. FlowDB: cold cached run and warm restored run are byte-identical ----
+  if (options.check_flowdb) {
+    const fs::path base = options.scratch_dir.empty()
+                              ? fs::temp_directory_path()
+                              : fs::path(options.scratch_dir);
+    const fs::path dir =
+        base / ("drdesync-fuzz-" +
+                std::to_string(static_cast<unsigned long>(::getpid())) +
+                "-cache");
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+    try {
+      core::setGlobalJobs(options.cold_jobs);
+      FlowRun cold =
+          runConversion(verilog, gatefile, options.fault, dir.string());
+      core::setGlobalJobs(options.warm_jobs);
+      FlowRun warm =
+          runConversion(verilog, gatefile, options.fault, dir.string());
+      core::setGlobalJobs(options.restore_jobs);
+      const std::size_t n_passes = flow.result.flow.passes().size();
+      if (cold.verilog != flow.verilog || cold.sdc != flow.sdc) {
+        fail("flowdb", "cold cached run differs from the uncached run");
+      } else if (warm.verilog != flow.verilog || warm.sdc != flow.sdc) {
+        fail("flowdb",
+             "warm restored run differs from the uncached run at --jobs " +
+                 std::to_string(options.warm_jobs));
+      } else if (warm.result.flow.cacheStats().hits != n_passes) {
+        fail("flowdb",
+             "warm run restored " +
+                 std::to_string(warm.result.flow.cacheStats().hits) +
+                 " of " + std::to_string(n_passes) + " passes");
+      }
+    } catch (const std::exception& e) {
+      core::setGlobalJobs(options.restore_jobs);
+      fail("flowdb", e.what());
+    }
+    fs::remove_all(dir, ec);
+    if (!v.ok) return v;
+  }
+
+  return v;
+}
+
+}  // namespace desync::fuzz

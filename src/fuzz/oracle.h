@@ -1,0 +1,98 @@
+// Differential end-to-end flow oracle.
+//
+// One oracle run takes a synchronous gate-level netlist (as Verilog text,
+// the fuzzing pipeline's exchange format), pushes it through the complete
+// seven-pass desynchronization flow and cross-checks every invariant the
+// repo guarantees, in a fixed order (the run stops at the first failure, so
+// a verdict's `check` name is stable and the shrinker can preserve it):
+//
+//   1. "parse"            — the input parses and passes checkInvariants()
+//   2. "flow"             — desynchronize() completes without FlowError
+//   3. "self-test"        — (fault injection only, see FaultKind::kSelfTest)
+//   4. "flow-equivalence" — the desynchronized circuit stores exactly the
+//                           value sequences of the synchronous golden
+//                           simulation (thesis §2.1); vacuous when the flow
+//                           replaced no FF (a design without storage has no
+//                           flow to preserve)
+//   5. "netlist"          — the converted module passes checkInvariants()
+//                           and latch counts match the substitution report
+//   6. "verilog-fixpoint" — write -> read -> write reaches a byte-stable
+//                           fixpoint and preserves cell/port counts
+//   7. "sta"              — generated SDC sanity: two positive-period
+//                           ClkM/ClkS clocks with targets, non-negative
+//                           sync slack at the reference period, finite
+//                           positive critical path through the converted
+//                           netlist with the SDC loop cuts applied; vacuous
+//                           when the flow replaced no FF (no latch clocks
+//                           are generated then)
+//   8. "flowdb"           — a cold cached run and a warm restored run (at
+//                           different --jobs counts) write byte-identical
+//                           Verilog + SDC, and the warm run restores every
+//                           pass from the cache
+//
+// Fault injection (`drdesync-fuzz --fault`) deliberately mis-runs the flow
+// so the detection and shrinking machinery can be exercised end to end on
+// demand; `kNone` is the honest oracle.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "liberty/gatefile.h"
+
+namespace desync::fuzz {
+
+enum class FaultKind {
+  kNone,            ///< honest oracle
+  kFullyDecoupled,  ///< fully-decoupled controllers: legal handshake, but
+                    ///< flow equivalence is lost on multi-region designs
+                    ///< (Fig 2.4's extra concurrency)
+  kShortMargin,     ///< matched delays far below the region critical path:
+                    ///< data captured before it settled (Fig 5.3's dashed
+                    ///< region)
+  kSelfTest,        ///< machinery check: report failure whenever the
+                    ///< converted design still holds a latch pair, without
+                    ///< simulating — monotone under shrinking, so the
+                    ///< shrinker must converge to a minimal register
+};
+
+FaultKind parseFaultKind(const std::string& name);  ///< throws on unknown
+std::string faultKindName(FaultKind kind);
+
+struct OracleOptions {
+  FaultKind fault = FaultKind::kNone;
+  /// Synchronous clock cycles simulated (the desynchronized version
+  /// free-runs for a comparable span).
+  int cycles = 16;
+  /// Worker counts for the FlowDB cold / warm runs.
+  int cold_jobs = 1;
+  int warm_jobs = 4;
+  /// Worker count restored after the run (0 = env/hardware default).
+  int restore_jobs = 0;
+  /// Scratch directory for the FlowDB cache; empty = system temp.  The
+  /// oracle creates and removes a per-run subdirectory inside it.
+  std::string scratch_dir;
+  /// Disables the (filesystem-touching) FlowDB check; the shrinker turns
+  /// this off when the failure it preserves is an earlier check.
+  bool check_flowdb = true;
+};
+
+struct OracleVerdict {
+  bool ok = true;
+  std::string check;   ///< failing check name ("" when ok)
+  std::string detail;  ///< first failure description
+  // Design facts, for logs and shrink metrics.
+  std::size_t cells = 0;        ///< synchronous input cell count
+  std::size_t ffs_replaced = 0;
+  int regions = 0;
+  std::size_t values_compared = 0;
+};
+
+/// Runs the full oracle on one synchronous netlist.  Deterministic: the
+/// same text + options always produce the same verdict.
+OracleVerdict runOracle(const std::string& verilog,
+                        const liberty::Gatefile& gatefile,
+                        const OracleOptions& options = {});
+
+}  // namespace desync::fuzz

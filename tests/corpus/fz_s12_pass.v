@@ -1,0 +1,31 @@
+// drdesync-fuzz honest corpus entry: seed 12, expected to PASS the full oracle
+// repro: drdesync-fuzz --replay fz_s12_pass.v
+module fz_s12 (clk, rst_n, \q[0] , \q[1] );
+  input clk;
+  input rst_n;
+  output \q[0] ;
+  output \q[1] ;
+  wire [1:0] s0_w0;
+  wire const0;
+  wire const1;
+  wire EO_n1;
+  wire EO_n3;
+  wire MAJ3_n5;
+  wire EO_n7;
+  wire EO_n9;
+  wire MAJ3_n11;
+  wire AN2_n13;
+  assign const0 = 1'b0;
+  assign const1 = 1'b1;
+  assign \q[0]  = s0_w0[0];
+  assign \q[1]  = s0_w0[1];
+  EO u2 (.A(s0_w0[0]), .B(const0), .Z(EO_n1));
+  EO u4 (.A(EO_n1), .B(const0), .Z(EO_n3));
+  MAJ3 u6 (.A(s0_w0[0]), .B(const0), .C(const0), .Z(MAJ3_n5));
+  EO u8 (.A(s0_w0[1]), .B(const1), .Z(EO_n7));
+  EO u10 (.A(EO_n7), .B(MAJ3_n5), .Z(EO_n9));
+  MAJ3 u12 (.A(s0_w0[1]), .B(const1), .C(MAJ3_n5), .Z(MAJ3_n11));
+  DFFR r0_r0 (.D(EO_n3), .CP(clk), .CDN(rst_n), .Q(s0_w0[0]));
+  DFFR r0_r1 (.D(EO_n9), .CP(clk), .CDN(rst_n), .Q(s0_w0[1]));
+  AN2 u14 (.A(s0_w0[1]), .B(s0_w0[1]), .Z(AN2_n13));
+endmodule

@@ -1,0 +1,23 @@
+// drdesync-fuzz reproducer: seed 1, failing check "self-test"
+// injected self-test fault: 11 latch pair(s) present
+// repro: drdesync-fuzz --replay fz_s1_self-test.v --fault self-test --expect-check self-test
+module fz_s1 (clk, rst_n, q_0_, q_1_, q_2_, q_3_, q_4_, q_5_);
+  input clk;
+  input rst_n;
+  output q_0_;
+  output q_1_;
+  output q_2_;
+  output q_3_;
+  output q_4_;
+  output q_5_;
+  wire [5:5] s3_w3;
+  wire const0;
+  assign const0 = 1'b0;
+  assign q_0_ = const0;
+  assign q_1_ = const0;
+  assign q_2_ = const0;
+  assign q_3_ = const0;
+  assign q_4_ = const0;
+  assign q_5_ = s3_w3[5];
+  DFFR r3_r5 (.D(const0), .CP(clk), .CDN(rst_n), .Q(s3_w3[5]));
+endmodule

@@ -1,0 +1,25 @@
+// drdesync-fuzz reproducer: seed 2, failing check "flow-equivalence"
+// r1_r0 capture #5: sync=1 desync=0
+// repro: drdesync-fuzz --replay fz_s2_flow-equivalence.v --fault fully-decoupled --expect-check flow-equivalence
+module fz_s2 (clk, rst_n, q_0_, q_1_);
+  input clk;
+  input rst_n;
+  output q_0_;
+  output q_1_;
+  wire [1:1] s0_w0;
+  wire [1:1] s1_w1;
+  wire const1;
+  wire const0;
+  wire EO_n28;
+  wire EO_n36;
+  wire EO_n42;
+  assign const1 = 1'b1;
+  assign const0 = 1'b0;
+  assign q_0_ = EO_n36;
+  assign q_1_ = s1_w1[1];
+  DFFR r0_r1 (.D(const0), .CP(clk), .CDN(rst_n), .Q(s0_w0[1]));
+  EO u29 (.A(s1_w1[1]), .B(s0_w0[1]), .Z(EO_n28));
+  EO u37 (.A(const0), .B(const1), .Z(EO_n36));
+  EO u43 (.A(EO_n28), .B(EO_n36), .Z(EO_n42));
+  DFFR r1_r1 (.D(EO_n42), .CP(clk), .CDN(rst_n), .Q(s1_w1[1]));
+endmodule

@@ -1,0 +1,231 @@
+// Flow-equivalence checker edge cases (thesis §2.1): vacuous comparisons
+// (combinational-only designs, missing counterparts), X-propagation through
+// uninitialized storage, zero-output designs where the capture logs are the
+// ONLY observable, and the smallest sequential loop there is.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/desync.h"
+#include "fuzz/generator.h"
+#include "liberty/gatefile.h"
+#include "liberty/stdlib90.h"
+#include "netlist/verilog.h"
+#include "sim/flow_equivalence.h"
+#include "sim/simulator.h"
+
+namespace nl = desync::netlist;
+namespace lib = desync::liberty;
+namespace sim = desync::sim;
+namespace core = desync::core;
+namespace fuzz = desync::fuzz;
+
+using sim::Val;
+
+namespace {
+
+const lib::Gatefile& gf() {
+  static const lib::Library l = lib::makeStdLib90(lib::LibVariant::kHighSpeed);
+  static const lib::Gatefile g(l);
+  return g;
+}
+
+nl::Design parse(const std::string& text) {
+  nl::Design d;
+  nl::readVerilog(d, text, gf());
+  return d;
+}
+
+/// Clocks `bits` through a DFF whose data port is "d" ("x" entries leave
+/// the input undriven, i.e. X).
+void drive(sim::Simulator& s, const std::vector<char>& bits) {
+  s.setInput("clk", Val::k0);
+  for (char b : bits) {
+    if (b != 'x') s.setInput("d", b == '1' ? Val::k1 : Val::k0);
+    s.run(s.now() + sim::nsToPs(5));
+    s.setInput("clk", Val::k1);
+    s.run(s.now() + sim::nsToPs(5));
+    s.setInput("clk", Val::k0);
+    s.run(s.now() + sim::nsToPs(5));
+  }
+}
+
+/// Full seven-pass flow + golden-vs-desync simulation, as the oracle runs
+/// it, for a design given as Verilog text.
+sim::FlowEqReport runFlowAndCompare(const std::string& text, int cycles) {
+  nl::Design golden = parse(text);
+  nl::Design d = parse(text);
+  core::DesyncOptions opt;
+  opt.control.reset_port = "rst_n";
+  opt.control.reset_active_low = true;
+  core::DesyncResult res = core::desynchronize(d, d.top(), gf(), opt);
+  const double half = res.sync_min_period_ns;
+
+  sim::Simulator ss(golden.top(), gf());
+  ss.setInput("clk", Val::k0);
+  ss.setInput("rst_n", Val::k0);
+  ss.run(sim::nsToPs(10));
+  ss.setInput("rst_n", Val::k1);
+  ss.run(ss.now() + sim::nsToPs(half));
+  for (int i = 0; i < cycles; ++i) {
+    ss.setInput("clk", Val::k1);
+    ss.run(ss.now() + sim::nsToPs(half));
+    ss.setInput("clk", Val::k0);
+    ss.run(ss.now() + sim::nsToPs(half));
+  }
+
+  sim::Simulator sd(d.top(), gf());
+  sd.setInput("clk", Val::k0);
+  sd.setInput("rst_n", Val::k0);
+  sd.run(sim::nsToPs(20));
+  sd.setInput("rst_n", Val::k1);
+  sd.run(sd.now() + sim::nsToPs(cycles * 4.0 * half));
+
+  return sim::checkFlowEquivalence(ss, sd);
+}
+
+TEST(FlowEq, CombinationalOnlyComparisonIsGuardedNotCrashed) {
+  // No storage elements on either side: nothing compares, and the checker
+  // refuses a vacuous pass — it reports non-equivalence with an explicit
+  // "no comparable sequential elements" guard.  The fuzz oracle makes the
+  // comb-only case vacuous one level up instead, by skipping the FE check
+  // when the flow replaced no flip-flop (src/fuzz/oracle.cpp).
+  nl::Design a = parse(R"(
+    module comb (a, b, z);
+      input a, b; output z;
+      AN2 u1 (.A(a), .B(b), .Z(z));
+    endmodule
+  )");
+  nl::Design b = parse(R"(
+    module comb2 (a, b, z);
+      input a, b; output z;
+      OR2 u1 (.A(a), .B(b), .Z(z));
+    endmodule
+  )");
+  sim::Simulator sa(a.top(), gf()), sb(b.top(), gf());
+  sa.setInput("a", Val::k1);
+  sa.setInput("b", Val::k0);
+  sa.runUntilStable(sim::nsToPs(50));
+  sb.setInput("a", Val::k1);
+  sb.setInput("b", Val::k0);
+  sb.runUntilStable(sim::nsToPs(50));
+
+  sim::FlowEqReport r = sim::checkFlowEquivalence(sa, sb);
+  EXPECT_FALSE(r.equivalent);
+  EXPECT_EQ(r.elements_compared, 0u);
+  EXPECT_EQ(r.values_compared, 0u);
+  EXPECT_EQ(r.skipped, 0u);
+  ASSERT_FALSE(r.details.empty());
+  EXPECT_EQ(r.details[0], "no comparable sequential elements");
+}
+
+TEST(FlowEq, MissingCounterpartIsSkippedAndCounted) {
+  // The sync element "r" maps to "r_Ls", which the other side does not
+  // have: the element is counted as skipped (not a mismatch), and since
+  // nothing else compares, the zero-comparison guard then rejects the run
+  // rather than passing it vacuously.
+  nl::Design a = parse(R"(
+    module s (d, clk, q);
+      input d, clk; output q;
+      DFF r (.D(d), .CP(clk), .Q(q));
+    endmodule
+  )");
+  nl::Design b = parse(R"(
+    module t (d, clk, q);
+      input d, clk; output q;
+      DFF other (.D(d), .CP(clk), .Q(q));
+    endmodule
+  )");
+  sim::Simulator sa(a.top(), gf()), sb(b.top(), gf());
+  drive(sa, {'1', '0', '1'});
+  drive(sb, {'1', '0', '1'});
+  sim::FlowEqReport r = sim::checkFlowEquivalence(sa, sb);
+  EXPECT_EQ(r.skipped, 1u);
+  EXPECT_EQ(r.elements_compared, 0u);
+  EXPECT_EQ(r.mismatches, 0u);
+  EXPECT_FALSE(r.equivalent);  // guard, not a mismatch
+}
+
+TEST(FlowEq, LeadingXFromUninitializedStorageIsSkippedOnRequest) {
+  // A reset-less DFF captures X until real data arrives.  The sync side
+  // logs [X, 1, 0, 1]; the desync side, aligned by one fewer cycle, logs
+  // [1, 0, 1].  skip_leading_x (the default) aligns them; turning it off
+  // must surface the X-vs-1 head mismatch.
+  nl::Design a = parse(R"(
+    module s (d, clk, q);
+      input d, clk; output q;
+      DFF r (.D(d), .CP(clk), .Q(q));
+    endmodule
+  )");
+  nl::Design b = parse(R"(
+    module t (d, clk, q);
+      input d, clk; output q;
+      DFF r_Ls (.D(d), .CP(clk), .Q(q));
+    endmodule
+  )");
+  sim::Simulator sa(a.top(), gf()), sb(b.top(), gf());
+  drive(sa, {'x', '1', '0', '1'});  // first capture stores X
+  drive(sb, {'1', '0', '1'});
+
+  sim::FlowEqReport strict = sim::checkFlowEquivalence(sa, sb, [] {
+    sim::FlowEqOptions o;
+    o.skip_leading_x = false;
+    o.max_initial_skip = 0;
+    return o;
+  }());
+  EXPECT_FALSE(strict.equivalent);
+  EXPECT_GE(strict.mismatches, 1u);
+
+  sim::FlowEqReport lax = sim::checkFlowEquivalence(sa, sb);
+  EXPECT_TRUE(lax.equivalent) << (lax.details.empty() ? "?"
+                                                      : lax.details[0]);
+  EXPECT_EQ(lax.elements_compared, 1u);
+  EXPECT_EQ(lax.mismatches, 0u);
+}
+
+TEST(FlowEq, ZeroOutputDesignIsCheckedThroughCaptureLogsAlone) {
+  // A module with no primary output at all: the environment observes
+  // nothing, flow equivalence is decided purely on the stored sequences.
+  fuzz::GeneratorConfig cfg;
+  cfg.min_stages = 2;
+  cfg.max_stages = 2;
+  cfg.zero_output_percent = 100;
+  const std::string text = fuzz::generateVerilog(gf(), 11, cfg);
+  {
+    nl::Design probe = parse(text);
+    std::size_t outputs = 0;
+    for (const nl::Port& p : probe.top().ports()) {
+      if (p.dir == nl::PortDir::kOutput) ++outputs;
+    }
+    ASSERT_EQ(outputs, 0u) << text;
+  }
+  sim::FlowEqReport r = runFlowAndCompare(text, 12);
+  EXPECT_TRUE(r.equivalent) << (r.details.empty() ? "?" : r.details[0]);
+  EXPECT_GT(r.elements_compared, 0u);
+  EXPECT_GT(r.values_compared, 0u);
+}
+
+TEST(FlowEq, SingleRegisterSelfLoopSurvivesTheFlow) {
+  // The smallest sequential design: one FF inverting itself.  One region,
+  // whose only producer and consumer is itself — the degenerate case of
+  // the dependency graph, and the shortest possible handshake ring.
+  const char* toggle = R"(
+    module toggle (clk, rst_n, q);
+      input clk, rst_n;
+      output q;
+      wire nq;
+      DFFR t (.D(nq), .CP(clk), .CDN(rst_n), .Q(q));
+      IV i (.A(q), .Z(nq));
+    endmodule
+  )";
+  sim::FlowEqReport r = runFlowAndCompare(toggle, 20);
+  EXPECT_TRUE(r.equivalent) << (r.details.empty() ? "?" : r.details[0]);
+  EXPECT_EQ(r.elements_compared, 1u);
+  // The free-running handshake ring captures slower than the synchronous
+  // clock drives (its cycle is a full four-phase round trip), so only a
+  // prefix of the 20 synchronous captures has a desync counterpart.
+  EXPECT_GE(r.values_compared, 10u);
+}
+
+}  // namespace

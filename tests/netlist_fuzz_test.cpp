@@ -1,12 +1,18 @@
 // Randomized round-trip property tests: random gate-level circuits survive
 // Verilog write/read cycles structurally intact, and cleaning preserves
 // simulation behaviour.
+//
+// The random source and circuit generator are the fuzzing subsystem's
+// shared ones (src/fuzz): a seed printed by any harness reproduces the
+// identical circuit here.
 #include <gtest/gtest.h>
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "fuzz/generator.h"
+#include "fuzz/rng.h"
 #include "liberty/gatefile.h"
 #include "liberty/stdlib90.h"
 #include "netlist/cleaning.h"
@@ -16,6 +22,7 @@
 namespace nl = desync::netlist;
 namespace lib = desync::liberty;
 namespace sim = desync::sim;
+namespace fuzz = desync::fuzz;
 
 using sim::Val;
 
@@ -27,44 +34,8 @@ const lib::Gatefile& gf() {
   return g;
 }
 
-struct Rng {
-  std::uint64_t s;
-  std::uint64_t operator()() {
-    s = s * 6364136223846793005ull + 1442695040888963407ull;
-    return s >> 33;
-  }
-};
-
-/// Builds a random combinational circuit with `n_gates` gates over
-/// `n_inputs` inputs (buffers and inverters included so cleaning has work).
-void buildRandom(nl::Design& d, Rng& rnd, int n_inputs, int n_gates) {
-  const std::vector<std::string> gates = {"IV", "BF", "ND2", "NR2",  "AN2",
-                                          "OR2", "EO", "EN",  "MUX21"};
-  nl::Module& m = d.addModule("fuzz");
-  std::vector<nl::NetId> pool;
-  for (int i = 0; i < n_inputs; ++i) {
-    nl::NetId n = m.addNet("in" + std::to_string(i));
-    m.addPort("in" + std::to_string(i), nl::PortDir::kInput, n);
-    pool.push_back(n);
-  }
-  for (int g = 0; g < n_gates; ++g) {
-    const std::string& type = gates[rnd() % gates.size()];
-    const lib::LibCell& cell = gf().library().cell(type);
-    std::vector<nl::Module::PinInit> pins;
-    for (const std::string& in : cell.inputPins()) {
-      pins.push_back({in, nl::PortDir::kInput, pool[rnd() % pool.size()]});
-    }
-    nl::NetId out = m.addNet("n" + std::to_string(g));
-    pins.push_back({"Z", nl::PortDir::kOutput, out});
-    m.addCell("u" + std::to_string(g), type, pins);
-    pool.push_back(out);
-  }
-  // A few observable outputs.
-  for (int i = 0; i < 4; ++i) {
-    m.addPort("out" + std::to_string(i), nl::PortDir::kOutput,
-              pool[pool.size() - 1 - static_cast<std::size_t>(i)]);
-  }
-}
+constexpr fuzz::CombConfig kConfig{/*n_inputs=*/5, /*n_gates=*/60,
+                                   /*n_outputs=*/4};
 
 /// Evaluates the circuit's outputs for one input vector.
 std::string outputs(const nl::Module& m, const lib::Gatefile& g,
@@ -76,7 +47,7 @@ std::string outputs(const nl::Module& m, const lib::Gatefile& g,
   }
   s.runUntilStable(s.now() + sim::nsToPs(1000));
   std::string out;
-  for (int i = 0; i < 4; ++i) {
+  for (int i = 0; i < kConfig.n_outputs; ++i) {
     out.push_back(sim::toChar(s.value("out" + std::to_string(i))));
   }
   return out;
@@ -85,9 +56,9 @@ std::string outputs(const nl::Module& m, const lib::Gatefile& g,
 class Fuzz : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(Fuzz, VerilogRoundTripPreservesStructureAndBehaviour) {
-  Rng rnd{GetParam()};
+  fuzz::Rng rnd{GetParam()};
   nl::Design d1;
-  buildRandom(d1, rnd, 5, 60);
+  fuzz::buildRandomComb(d1, gf(), rnd, kConfig);
   EXPECT_TRUE(d1.top().checkInvariants().empty());
 
   std::string text = nl::writeVerilog(d1);
@@ -98,25 +69,28 @@ TEST_P(Fuzz, VerilogRoundTripPreservesStructureAndBehaviour) {
   EXPECT_TRUE(d2.top().checkInvariants().empty());
 
   // Behavioural equivalence on a handful of vectors.
-  Rng vec{GetParam() ^ 0xabcdef};
+  fuzz::Rng vec{GetParam() ^ 0xabcdef};
   for (int t = 0; t < 6; ++t) {
     std::uint32_t v = static_cast<std::uint32_t>(vec());
-    EXPECT_EQ(outputs(d1.top(), gf(), v, 5), outputs(d2.top(), gf(), v, 5))
+    EXPECT_EQ(outputs(d1.top(), gf(), v, kConfig.n_inputs),
+              outputs(d2.top(), gf(), v, kConfig.n_inputs))
         << "vector " << v;
   }
 }
 
 TEST_P(Fuzz, CleaningPreservesBehaviour) {
-  Rng rnd{GetParam() + 17};
+  fuzz::Rng rnd{GetParam() + 17};
   nl::Design d1;
-  buildRandom(d1, rnd, 5, 60);
+  fuzz::buildRandomComb(d1, gf(), rnd, kConfig);
   // Reference responses before cleaning.
   std::vector<std::string> before;
-  Rng vec{GetParam() ^ 0x5a5a};
+  fuzz::Rng vec{GetParam() ^ 0x5a5a};
   std::vector<std::uint32_t> vectors;
-  for (int t = 0; t < 6; ++t) vectors.push_back(static_cast<std::uint32_t>(vec()));
+  for (int t = 0; t < 6; ++t) {
+    vectors.push_back(static_cast<std::uint32_t>(vec()));
+  }
   for (std::uint32_t v : vectors) {
-    before.push_back(outputs(d1.top(), gf(), v, 5));
+    before.push_back(outputs(d1.top(), gf(), v, kConfig.n_inputs));
   }
 
   nl::CleaningRules rules;
@@ -126,11 +100,42 @@ TEST_P(Fuzz, CleaningPreservesBehaviour) {
   EXPECT_TRUE(d1.top().checkInvariants().empty());
 
   for (std::size_t i = 0; i < vectors.size(); ++i) {
-    EXPECT_EQ(outputs(d1.top(), gf(), vectors[i], 5), before[i])
+    EXPECT_EQ(outputs(d1.top(), gf(), vectors[i], kConfig.n_inputs),
+              before[i])
         << "vector " << vectors[i] << " after removing "
         << stats.buffers_removed << " buffers / "
         << stats.inverter_pairs_removed << " inverter pairs";
   }
+}
+
+TEST(Rng, BelowIsUnbiasedOverSmallRanges) {
+  // 9 does not divide 2^64, so naive modulo would skew low residues; the
+  // rejection draw must keep every bucket within a few percent of uniform.
+  fuzz::Rng rnd{42};
+  constexpr int kBuckets = 9;
+  constexpr int kDraws = 90000;
+  int count[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) {
+    ++count[rnd.below(kBuckets)];
+  }
+  for (int b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(count[b], kDraws / kBuckets, kDraws / kBuckets / 10)
+        << "bucket " << b;
+  }
+}
+
+TEST(Rng, RangeCoversBothEndsInclusive) {
+  fuzz::Rng rnd{7};
+  bool lo = false, hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rnd.range(3, 5);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 5);
+    lo = lo || v == 3;
+    hi = hi || v == 5;
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, Fuzz,

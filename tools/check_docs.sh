@@ -2,10 +2,10 @@
 # Docs/CLI consistency checks, run by the CI "docs" job (and available as
 # a ctest).  Pure grep/sed over the sources — no build needed:
 #
-#   1. every flag the drdesync parser accepts appears in the tool's
-#      usage() text AND in docs/cli.md;
-#   2. every `--flag` docs/cli.md documents is actually accepted by the
-#      parser (no stale docs);
+#   1. every flag a tool's parser accepts (drdesync, drdesync-fuzz)
+#      appears in that tool's usage() text AND in docs/cli.md;
+#   2. every `--flag` docs/cli.md documents is actually accepted by at
+#      least one tool's parser (no stale docs);
 #   3. every relative markdown link in README.md and docs/*.md resolves
 #      to an existing file.
 #
@@ -13,49 +13,56 @@
 set -u
 
 repo=$(cd "$(dirname "$0")/.." && pwd)
-main="$repo/tools/drdesync_main.cpp"
 cli_doc="$repo/docs/cli.md"
 fail=0
+all_parser_flags=""
 
 # --- 1. parser flags -> usage() and docs/cli.md ---------------------------
 # Flags are recognized in an if-chain of the form:  arg == "--name"
-parser_flags=$(grep -o 'arg == "--[a-z-]*"' "$main" |
-  sed 's/arg == "//; s/"//' | sort -u | tr '\n' ' ')
-if [ -z "$parser_flags" ]; then
-  echo "FAIL: could not extract any flags from $main"
-  fail=1
-fi
-
-usage_text=$(sed -n '/^void usage()/,/^}/p' "$main")
-if [ -z "$usage_text" ]; then
-  echo "FAIL: could not locate usage() in $main"
-  fail=1
-fi
-
-for flag in $parser_flags; do
-  case "$usage_text" in
-    *"$flag"*) ;;
-    *)
-      echo "FAIL: flag $flag is accepted by the parser but missing from" \
-           "usage() in tools/drdesync_main.cpp"
-      fail=1
-      ;;
-  esac
-  if ! grep -q -- "\`$flag\`" "$cli_doc"; then
-    echo "FAIL: flag $flag is accepted by the parser but not documented" \
-         "in docs/cli.md"
+check_tool() {
+  main="$repo/tools/$1"
+  parser_flags=$(grep -o 'arg == "--[a-z-]*"' "$main" |
+    sed 's/arg == "//; s/"//' | sort -u | tr '\n' ' ')
+  if [ -z "$parser_flags" ]; then
+    echo "FAIL: could not extract any flags from $main"
     fail=1
   fi
-done
+  all_parser_flags="$all_parser_flags $parser_flags"
 
-# --- 2. docs/cli.md flags -> parser ---------------------------------------
+  usage_text=$(sed -n '/^void usage()/,/^}/p' "$main")
+  if [ -z "$usage_text" ]; then
+    echo "FAIL: could not locate usage() in $main"
+    fail=1
+  fi
+
+  for flag in $parser_flags; do
+    case "$usage_text" in
+      *"$flag"*) ;;
+      *)
+        echo "FAIL: flag $flag is accepted by the parser but missing from" \
+             "usage() in tools/$1"
+        fail=1
+        ;;
+    esac
+    if ! grep -q -- "\`$flag\`" "$cli_doc"; then
+      echo "FAIL: flag $flag is accepted by the tools/$1 parser but not" \
+           "documented in docs/cli.md"
+      fail=1
+    fi
+  done
+}
+
+check_tool drdesync_main.cpp
+check_tool drdesync_fuzz_main.cpp
+
+# --- 2. docs/cli.md flags -> some parser ----------------------------------
 doc_flags=$(grep -o '`--[a-z-]*`' "$cli_doc" | sed 's/`//g' | sort -u)
 for flag in $doc_flags; do
-  case " $parser_flags " in
+  case " $all_parser_flags " in
     *" $flag "*) ;;
     *)
-      echo "FAIL: docs/cli.md documents $flag but the parser does not" \
-           "accept it"
+      echo "FAIL: docs/cli.md documents $flag but no tool parser" \
+           "accepts it"
       fail=1
       ;;
   esac
@@ -80,7 +87,7 @@ for md in "$repo/README.md" "$repo"/docs/*.md; do
 done
 
 if [ "$fail" -eq 0 ]; then
-  echo "check_docs: OK ($(echo "$parser_flags" | wc -w | tr -d ' ') flags," \
-       "all links resolve)"
+  echo "check_docs: OK ($(echo "$all_parser_flags" | tr ' ' '\n' |
+    sort -u | grep -c .) distinct flags, all links resolve)"
 fi
 exit "$fail"
