@@ -39,13 +39,13 @@ struct Leg {
 template <typename Fn>
 Leg runLeg(int par_jobs, int repeats, Fn&& fn) {
   Leg leg;
-  core::setGlobalJobs(1);
+  core::setThreadJobs(1);
   leg.serial_min_ms =
       measureRepeated(repeats, [&] { leg.serial_result = fn(); }).min_ms;
-  core::setGlobalJobs(par_jobs);
+  core::setThreadJobs(par_jobs);
   leg.parallel_min_ms =
       measureRepeated(repeats, [&] { leg.parallel_result = fn(); }).min_ms;
-  core::setGlobalJobs(0);  // back to the env/hardware default
+  core::setThreadJobs(0);  // back to the env/hardware default
   return leg;
 }
 
@@ -56,7 +56,7 @@ int main() {
 
   // The parallel leg uses the configured worker count, but never less than
   // 4 so the pool is exercised even where hardware_concurrency() is 1.
-  const int par_jobs = std::max(core::globalJobs(), 4);
+  const int par_jobs = std::max(core::effectiveJobs(), 4);
   const int repeats = benchRepeats(2);
   row("  parallel jobs: %d; repeats per leg: %d", par_jobs, repeats);
 

@@ -198,7 +198,7 @@ inline void writeBenchJson(
   std::ofstream os("BENCH_" + name + ".json");
   os.precision(6);
   os << std::fixed;
-  os << "{\"name\": \"" << name << "\", \"jobs\": " << core::globalJobs()
+  os << "{\"name\": \"" << name << "\", \"jobs\": " << core::effectiveJobs()
      << ", \"repeats\": " << t.runs_ms.size() << ", \"min_ms\": " << t.min_ms
      << ", \"median_ms\": " << t.median_ms;
   for (const auto& [k, v] : extra) {

@@ -14,7 +14,8 @@ DesyncResult desynchronize(netlist::Design& design, netlist::Module& module,
                            const liberty::Gatefile& gatefile,
                            const DesyncOptions& options) {
   DesyncResult result;
-  result.flow.setJobs(globalJobs());
+  result.flow.setJobs(effectiveJobs());
+  const PoolStats pool_before = threadPoolStats();
   FlowSession session(design, module, gatefile, options, result);
 
   // Reference periods of the synchronous circuit (before any mutation):
@@ -51,7 +52,7 @@ DesyncResult desynchronize(netlist::Design& design, netlist::Module& module,
     result.sync_min_period_ns = result.corner_periods[1].min_period_ns;
     pass.counter("corners",
                  static_cast<std::int64_t>(result.corner_periods.size()));
-    pass.counter("jobs", globalJobs());
+    pass.counter("jobs", effectiveJobs());
     pass.counter("cells", static_cast<std::int64_t>(module.numCells()));
     pass.counter("nets", static_cast<std::int64_t>(module.numNets()));
   });
@@ -176,6 +177,16 @@ DesyncResult desynchronize(netlist::Design& design, netlist::Module& module,
   });
 
   session.run();
+  // Contention delta across the run: non-zero when another top-level
+  // caller's parallel section serialized one of ours on the shared pool.
+  // Thread-scoped, so the delta is exactly this run's waits even with
+  // concurrent requests in flight.
+  const PoolStats pool_after = threadPoolStats();
+  if (pool_after.contended > pool_before.contended) {
+    result.flow.setPoolContention(
+        pool_after.contended - pool_before.contended,
+        (pool_after.wait_us - pool_before.wait_us) / 1000.0);
+  }
   return result;
 }
 

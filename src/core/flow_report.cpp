@@ -72,6 +72,10 @@ std::string FlowReport::toJson(int indent) const {
   if (jobs_ > 0) {
     os << pad1 << "\"jobs\": " << jobs_ << "," << nl;
   }
+  if (pool_contended_ > 0) {
+    os << pad1 << "\"pool\": {\"contended_sections\": " << pool_contended_
+       << ", \"wait_ms\": " << pool_wait_ms_ << "}," << nl;
+  }
   if (cache_.enabled) {
     os << pad1 << "\"cache\": {\"hits\": " << cache_.hits
        << ", \"misses\": " << cache_.misses

@@ -71,7 +71,7 @@ class FlowReport {
   [[nodiscard]] const std::vector<PassStat>& passes() const {
     return passes_;
   }
-  /// Worker count the flow ran with (core::globalJobs() at flow entry);
+  /// Worker count the flow ran with (core::effectiveJobs() at flow entry);
   /// 0 when never set.  Serialized as the top-level "jobs" field.
   void setJobs(int jobs) { jobs_ = jobs; }
   [[nodiscard]] int jobs() const { return jobs_; }
@@ -83,6 +83,17 @@ class FlowReport {
   /// FlowDB cache traffic; stats.enabled gates the "cache" JSON object.
   void setCacheStats(FlowCacheStats stats) { cache_ = std::move(stats); }
   [[nodiscard]] const FlowCacheStats& cacheStats() const { return cache_; }
+
+  /// Pool contention this flow experienced (core::poolStats() delta across
+  /// the run): how many of its parallel sections had to wait for another
+  /// top-level caller's section, and for how long.  Serialized as the
+  /// top-level "pool" object when any section was contended, so serialized
+  /// concurrent requests are visible in `--report` instead of silent.
+  void setPoolContention(std::uint64_t contended, double wait_ms) {
+    pool_contended_ = contended;
+    pool_wait_ms_ = wait_ms;
+  }
+  [[nodiscard]] std::uint64_t poolContended() const { return pool_contended_; }
 
   /// Appends a free-form diagnostic note (e.g. "cache entry invalid:
   /// ...").  Serialized as the top-level "notes" array when non-empty.
@@ -120,6 +131,8 @@ class FlowReport {
  private:
   std::vector<PassStat> passes_;
   int jobs_ = 0;
+  std::uint64_t pool_contended_ = 0;
+  double pool_wait_ms_ = 0.0;
   FlowCacheStats cache_;
   std::vector<std::string> notes_;
   std::optional<trace::Summary> trace_;

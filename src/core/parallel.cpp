@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <limits>
@@ -17,6 +18,16 @@ namespace desync::core {
 namespace {
 
 thread_local bool tls_in_parallel = false;
+
+/// This thread's jobs override (JobsScope / setThreadJobs); 0 = use the
+/// process environment default.  Thread-local on purpose: concurrent
+/// library callers (drdesyncd request handlers) each carry their own
+/// budget, so nobody can change another request's parallelism.
+thread_local int tls_jobs_override = 0;
+
+/// Per-issuing-thread section counters (threadPoolStats()); the pool also
+/// keeps process-wide atomics for poolStats().
+thread_local PoolStats tls_pool_stats;
 
 /// One parallelFor invocation: an index range consumed through an atomic
 /// counter by the pool workers and the calling thread together.
@@ -84,19 +95,40 @@ struct Job {
 
 /// The process-wide pool.  Threads are created lazily on first parallel
 /// use and grow (never shrink) when a later section requests more workers;
-/// idle workers block on a condition variable.
+/// idle workers block on a condition variable.  The instance is leaked on
+/// purpose: joining workers from a static destructor races the teardown of
+/// other translation units' statics (the trace registry among them), so
+/// the only join is the explicit shutdownParallel() the tools call before
+/// exit.  Un-joined workers at process exit sit parked in the wake wait
+/// and touch nothing.
 class Pool {
  public:
   static Pool& instance() {
-    static Pool pool;
-    return pool;
+    static Pool* pool = new Pool;  // leaked: see class comment
+    return *pool;
   }
 
   void run(std::size_t n, const std::function<void(std::size_t)>& fn,
            int jobs) {
-    // One section at a time: concurrent top-level callers queue up here
-    // (the flow itself is single-threaded; this guards library misuse).
-    std::lock_guard<std::mutex> run_lock(run_mutex_);
+    sections_.fetch_add(1, std::memory_order_relaxed);
+    ++tls_pool_stats.sections;
+    // One section at a time: a concurrent top-level caller (a second
+    // drdesyncd request, a second library thread) queues up here.  The
+    // wait is counted and traced so serialized requests show up in
+    // --report ("pool" object) and on the waiting caller's trace track
+    // instead of as silent latency.
+    std::unique_lock<std::mutex> run_lock(run_mutex_, std::try_to_lock);
+    if (!run_lock.owns_lock()) {
+      const double wait_begin = trace::timestampUs();
+      run_lock.lock();
+      const double wait_end = trace::timestampUs();
+      contended_.fetch_add(1, std::memory_order_relaxed);
+      wait_us_.fetch_add(static_cast<std::uint64_t>(wait_end - wait_begin),
+                         std::memory_order_relaxed);
+      ++tls_pool_stats.contended;
+      tls_pool_stats.wait_us += wait_end - wait_begin;
+      trace::completedSpan("pool_wait", "parallel", wait_begin, wait_end);
+    }
     trace::Span section("parallel_for", "parallel");
     auto job = std::make_shared<Job>();
     job->n = n;
@@ -120,20 +152,33 @@ class Pool {
     if (job->error) std::rethrow_exception(job->error);
   }
 
- private:
-  Pool() = default;
+  PoolStats stats() const {
+    PoolStats s;
+    s.sections = sections_.load(std::memory_order_relaxed);
+    s.contended = contended_.load(std::memory_order_relaxed);
+    s.wait_us = static_cast<double>(wait_us_.load(std::memory_order_relaxed));
+    return s;
+  }
 
-  ~Pool() {
+  /// Joins every worker.  Later sections find a stopped pool (ensureWorkers
+  /// refuses to spawn) and drain their range on the calling thread alone.
+  void shutdownNow() {
+    std::vector<std::thread> workers;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       shutdown_ = true;
+      workers.swap(workers_);
     }
     wake_cv_.notify_all();
-    for (std::thread& t : workers_) t.join();
+    for (std::thread& t : workers) t.join();
   }
+
+ private:
+  Pool() = default;
 
   void ensureWorkers(int count) {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) return;  // after shutdownParallel(): caller-only drain
     while (static_cast<int>(workers_.size()) < count) {
       const int index = static_cast<int>(workers_.size()) + 1;
       workers_.emplace_back([this, index] { workerLoop(index); });
@@ -175,39 +220,64 @@ class Pool {
   std::shared_ptr<Job> job_;
   std::uint64_t job_serial_ = 0;
   bool shutdown_ = false;
+
+  std::atomic<std::uint64_t> sections_{0};
+  std::atomic<std::uint64_t> contended_{0};
+  std::atomic<std::uint64_t> wait_us_{0};
 };
 
-/// Default job count from the environment / hardware (computed once).
-int environmentJobs() {
+/// Parses DESYNC_JOBS (or falls back to the hardware default).  Malformed
+/// or out-of-range values are rejected WITH a note on stderr — once, when
+/// first parsed — instead of silently ignored.
+int parseEnvironmentJobs() {
   if (const char* env = std::getenv("DESYNC_JOBS")) {
     char* end = nullptr;
     const long v = std::strtol(env, &end, 10);
     if (end != env && *end == '\0' && v >= 1 && v <= 1024) {
       return static_cast<int>(v);
     }
+    std::fprintf(stderr,
+                 "desync: ignoring DESYNC_JOBS='%s' (expected an integer in "
+                 "1..1024); using the hardware default\n",
+                 env);
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
-std::atomic<int> g_jobs_override{0};  // 0 = use environmentJobs()
+/// Cached DESYNC_JOBS parse; 0 = not parsed yet.  effectiveJobs() sits
+/// under hot loops, so the environment is read once per process (a benign
+/// first-use race re-parses to the same value).
+std::atomic<int> g_env_jobs{0};
+
+int environmentJobs() {
+  int v = g_env_jobs.load(std::memory_order_acquire);
+  if (v == 0) {
+    v = parseEnvironmentJobs();
+    g_env_jobs.store(v, std::memory_order_release);
+  }
+  return v;
+}
 
 }  // namespace
 
-int globalJobs() {
-  const int over = g_jobs_override.load(std::memory_order_relaxed);
-  return over > 0 ? over : environmentJobs();
+int effectiveJobs() {
+  return tls_jobs_override > 0 ? tls_jobs_override : environmentJobs();
 }
 
-void setGlobalJobs(int jobs) {
-  g_jobs_override.store(jobs > 0 ? jobs : 0, std::memory_order_relaxed);
+void setThreadJobs(int jobs) { tls_jobs_override = jobs > 0 ? jobs : 0; }
+
+JobsScope::JobsScope(int jobs) : saved_(tls_jobs_override) {
+  tls_jobs_override = jobs > 0 ? jobs : 0;
 }
+
+JobsScope::~JobsScope() { tls_jobs_override = saved_; }
 
 bool inParallelSection() { return tls_in_parallel; }
 
 void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
-  const int jobs = globalJobs();
+  const int jobs = effectiveJobs();
   if (jobs <= 1 || n == 1 || tls_in_parallel) {
     // Exact serial path: index order, caller's thread, pool untouched.
     for (std::size_t i = 0; i < n; ++i) fn(i);
@@ -215,5 +285,17 @@ void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn) {
   }
   Pool::instance().run(n, fn, jobs);
 }
+
+PoolStats poolStats() { return Pool::instance().stats(); }
+
+PoolStats threadPoolStats() { return tls_pool_stats; }
+
+void shutdownParallel() { Pool::instance().shutdownNow(); }
+
+namespace detail {
+void resetEnvironmentJobsForTest() {
+  g_env_jobs.store(0, std::memory_order_release);
+}
+}  // namespace detail
 
 }  // namespace desync::core

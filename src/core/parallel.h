@@ -17,10 +17,20 @@
 //   * nested parallelFor calls run inline on the calling worker (no
 //     deadlock, no oversubscription).
 //
-// Worker count resolution: setGlobalJobs() (the `--jobs` CLI flag) >
-// DESYNC_JOBS environment variable > std::thread::hardware_concurrency().
+// Worker-count resolution is PER CALLING THREAD, so concurrent library
+// callers (the drdesyncd request handlers, tests driving flows from
+// several threads) cannot change each other's parallelism:
+//   innermost JobsScope on this thread > setThreadJobs() (the `--jobs`
+//   CLI flag) > DESYNC_JOBS environment variable (parsed once per
+//   process) > std::thread::hardware_concurrency().
 // jobs == 1 is an exact serial fast path: fn runs on the caller's thread
 // and no pool thread is ever created or woken.
+//
+// The pool itself executes one section at a time: a second top-level
+// caller waits in Pool::run behind the first.  That wait is *visible* —
+// it records a `pool_wait` trace span on the waiting caller's track and
+// increments the contention counters returned by poolStats(), which the
+// flow surfaces per run as the report's "pool" object.
 //
 // With tracing active (trace/trace.h), each section records a
 // `parallel_for` span on the caller's track, a `parallel_run` span per
@@ -29,20 +39,39 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <type_traits>
 #include <vector>
 
 namespace desync::core {
 
-/// Effective worker count (>= 1) used by subsequent parallel sections.
-[[nodiscard]] int globalJobs();
+/// Effective worker count (>= 1) used by parallel sections issued from the
+/// calling thread: innermost JobsScope > setThreadJobs > DESYNC_JOBS >
+/// hardware_concurrency.
+[[nodiscard]] int effectiveJobs();
 
-/// Overrides the worker count (the `--jobs N` flag).  `jobs <= 0` resets
-/// to the environment/hardware default (DESYNC_JOBS, then
-/// hardware_concurrency).  Existing pool threads are kept; the pool grows
-/// lazily when a later section asks for more workers.
-void setGlobalJobs(int jobs);
+/// Sets the calling thread's base worker count (the `--jobs N` flag).
+/// `jobs <= 0` resets to the environment/hardware default (DESYNC_JOBS,
+/// then hardware_concurrency).  Scoped to the calling thread: concurrent
+/// library callers each carry their own budget.  Existing pool threads are
+/// kept; the pool grows lazily when a later section asks for more workers.
+void setThreadJobs(int jobs);
+
+/// RAII per-request jobs budget: overrides the calling thread's worker
+/// count for the scope's lifetime and restores the previous value on exit
+/// (nests).  The drdesyncd request handlers wrap each request in one of
+/// these, so one request's `--jobs` can never leak into another.
+class JobsScope {
+ public:
+  explicit JobsScope(int jobs);
+  ~JobsScope();
+  JobsScope(const JobsScope&) = delete;
+  JobsScope& operator=(const JobsScope&) = delete;
+
+ private:
+  int saved_;
+};
 
 /// True while the calling thread is executing inside a parallel section
 /// (worker or participating caller).  Nested sections run serially.
@@ -67,5 +96,36 @@ template <typename Fn>
   parallelFor(n, [&](std::size_t i) { out[i] = fn(i); });
   return out;
 }
+
+/// Process-lifetime pool section counters (monotonic).  `contended` counts
+/// the sections that found another top-level section already running and
+/// had to wait `wait_us` (total) for it — the signal that concurrent flow
+/// requests are being serialized on the shared pool.
+struct PoolStats {
+  std::uint64_t sections = 0;
+  std::uint64_t contended = 0;
+  double wait_us = 0.0;
+};
+[[nodiscard]] PoolStats poolStats();
+
+/// Same counters restricted to sections issued by the CALLING thread —
+/// the wait always happens on the issuing thread, so this attributes
+/// contention to exactly one request even when many run concurrently.
+/// The flow snapshots it around each run for the report's "pool" object.
+[[nodiscard]] PoolStats threadPoolStats();
+
+/// Joins and discards the pool's worker threads.  Call once before process
+/// exit (the tools and drdesyncd do) so workers are never torn down by a
+/// static destructor racing other translation units' statics; the tracer's
+/// registry intentionally outlives them either way.  Parallel sections
+/// issued after shutdown run serially on the caller — safe no-ops, never
+/// an error — so late library calls during teardown still complete.
+void shutdownParallel();
+
+namespace detail {
+/// Test hook: forget the cached DESYNC_JOBS parse so the next
+/// effectiveJobs() re-reads the environment.  Not for production use.
+void resetEnvironmentJobsForTest();
+}  // namespace detail
 
 }  // namespace desync::core

@@ -1,5 +1,6 @@
 #include "core/run_report.h"
 
+#include <cstdio>
 #include <sstream>
 
 #include "core/version.h"
@@ -14,8 +15,23 @@ std::string jsonEscape(std::string_view s) {
   std::string out;
   out.reserve(s.size());
   for (char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
+    // Control characters must be escaped too: error messages can carry
+    // newlines, and the server embeds this JSON in single-line replies.
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
   }
   return out;
 }
@@ -45,9 +61,11 @@ void openReport(std::ostringstream& os, const RunInfo& info) {
 
 }  // namespace
 
-std::string runReportJson(const RunInfo& info, const DesyncResult& result) {
-  std::ostringstream os;
-  openReport(os, info);
+/// The deterministic design facts shared by the full and canonical
+/// reports: everything here is a pure function of the input design and
+/// flow options, never of timing, jobs, or cache state.
+void appendDesignFacts(std::ostringstream& os, const RunInfo& info,
+                       const DesyncResult& result) {
   os << "  \"cells_in\": " << info.cells_in << ",\n";
   os << "  \"cells_out\": " << info.cells_out << ",\n";
   os << "  \"nets_out\": " << info.nets_out << ",\n";
@@ -69,8 +87,24 @@ std::string runReportJson(const RunInfo& info, const DesyncResult& result) {
        << ", \"cloud_ns\": " << rc.required_delay_ns
        << ", \"matched_ns\": " << rc.matched_delay_ns << "}";
   }
-  os << (result.control.regions.empty() ? "" : "\n  ") << "],\n";
+  os << (result.control.regions.empty() ? "" : "\n  ") << "]";
+}
+
+std::string runReportJson(const RunInfo& info, const DesyncResult& result) {
+  std::ostringstream os;
+  openReport(os, info);
+  appendDesignFacts(os, info, result);
+  os << ",\n";
   appendFlow(os, result.flow);
+  os << "\n}\n";
+  return os.str();
+}
+
+std::string canonicalRunReportJson(const RunInfo& info,
+                                   const DesyncResult& result) {
+  std::ostringstream os;
+  openReport(os, info);
+  appendDesignFacts(os, info, result);
   os << "\n}\n";
   return os.str();
 }

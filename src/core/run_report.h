@@ -34,6 +34,16 @@ struct RunInfo {
 [[nodiscard]] std::string runReportJson(const RunInfo& info,
                                         const DesyncResult& result);
 
+/// Deterministic projection of the run report: the design facts only
+/// (cells, nets, regions, replaced FFs, reference periods, delay
+/// elements) with every timing-, cache- and scheduling-dependent field
+/// (the "flow" object) omitted.  Byte-identical for byte-identical flow
+/// results — at any jobs budget, cold or warm cache, CLI or drdesyncd —
+/// which is exactly the comparison the server determinism tests and
+/// `drdesync-bench --verify` perform.
+[[nodiscard]] std::string canonicalRunReportJson(const RunInfo& info,
+                                                 const DesyncResult& result);
+
 /// Partial report of a failed run: "error" + "failed_pass" (with its
 /// elapsed "failed_pass_ms" and, when tracing, the "last_open_span") +
 /// the passes completed before the failure.

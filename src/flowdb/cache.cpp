@@ -1,5 +1,6 @@
 #include "flowdb/cache.h"
 
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <system_error>
@@ -17,7 +18,9 @@ namespace fs = std::filesystem;
 
 namespace {
 
-constexpr std::uint32_t kCacheFormatVersion = 1;
+// Version 2: entry payloads open with the 16-byte cache key they were
+// stored under, validated on load (see PassCache::load).
+constexpr std::uint32_t kCacheFormatVersion = 2;
 constexpr std::string_view kEntryMagic = "DSYNCENT";
 constexpr std::string_view kCheckpointMagic = "DSYNCCKP";
 constexpr std::string_view kCheckpointFile = "checkpoint.ckpt";
@@ -58,20 +61,14 @@ PassCache::PassCache(std::string dir) : dir_(std::move(dir)) {
 
 std::optional<std::string> PassCache::readValidated(const std::string& path,
                                                     std::string_view magic,
-                                                    bool count,
                                                     std::string* diag) {
   std::optional<std::string> raw = slurp(path);
   if (!raw.has_value()) {
-    if (count) ++stats_.misses;
     trace::instant("flowdb_miss", "flowdb");
     return std::nullopt;
   }
   try {
     std::string_view payload = openEnvelope(*raw, magic, kCacheFormatVersion);
-    if (count) {
-      ++stats_.hits;
-      stats_.bytes_read += payload.size();
-    }
     trace::instant("flowdb_hit", "flowdb");
     return std::string(payload);
   } catch (const FlowDbError& e) {
@@ -79,20 +76,24 @@ std::optional<std::string> PassCache::readValidated(const std::string& path,
       if (!diag->empty()) diag->append("; ");
       diag->append(path).append(": ").append(e.what());
     }
-    if (count) {
-      ++stats_.misses;
-      ++stats_.invalid;
-    }
     trace::instant("flowdb_invalid_entry", "flowdb");
     return std::nullopt;
   }
 }
 
 bool PassCache::writeAtomic(const std::string& path, std::string_view magic,
-                            std::string_view payload, bool count) {
+                            std::string_view payload) {
   const std::string sealed = sealEnvelope(magic, kCacheFormatVersion, payload);
-  const std::string tmp = dir_ + "/.tmp." + std::to_string(processId()) + "." +
-                          std::to_string(temp_counter_++);
+  // The counter is process-wide, not per-instance: concurrent sessions on
+  // the same directory (e.g. drdesyncd requests) each construct their own
+  // PassCache, and per-instance counters would collide on the same temp
+  // name — one writer's completed temp gets rewritten by another before
+  // the rename, publishing a validly-sealed foreign payload under this
+  // writer's path.
+  static std::atomic<std::uint64_t> temp_counter{0};
+  const std::string tmp =
+      dir_ + "/.tmp." + std::to_string(processId()) + "." +
+      std::to_string(temp_counter.fetch_add(1, std::memory_order_relaxed));
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) return false;
@@ -111,26 +112,67 @@ bool PassCache::writeAtomic(const std::string& path, std::string_view magic,
     fs::remove(tmp, ec);
     return false;
   }
-  if (count) stats_.bytes_written += payload.size();
   return true;
 }
 
 std::optional<std::string> PassCache::load(const CacheKey& key,
                                            std::string* diag) {
-  return readValidated(dir_ + "/" + key.hex() + ".entry", kEntryMagic,
-                       /*count=*/true, diag);
+  const std::string path = dir_ + "/" + key.hex() + ".entry";
+  std::optional<std::string> raw = slurp(path);
+  if (!raw.has_value()) {
+    ++stats_.misses;
+    trace::instant("flowdb_miss", "flowdb");
+    return std::nullopt;
+  }
+  try {
+    std::string_view wrapped =
+        openEnvelope(*raw, kEntryMagic, kCacheFormatVersion);
+    // Entries open with the key they were stored under; a mismatch means
+    // the file holds another key's payload (a copied file, or a write
+    // confusion) — the envelope checksum cannot catch that, because the
+    // foreign payload is validly sealed.  Restoring it would silently
+    // corrupt the flow, so treat it as an invalid entry.
+    ByteReader head(wrapped);
+    CacheKey stored;
+    stored.hi = head.u64();
+    stored.lo = head.u64();
+    if (stored != key) {
+      throw FlowDbError("entry key mismatch: payload was stored under " +
+                        stored.hex());
+    }
+    std::string payload(wrapped.substr(16));
+    ++stats_.hits;
+    stats_.bytes_read += payload.size();
+    trace::instant("flowdb_hit", "flowdb");
+    return payload;
+  } catch (const FlowDbError& e) {
+    if (diag != nullptr) {
+      if (!diag->empty()) diag->append("; ");
+      diag->append(path).append(": ").append(e.what());
+    }
+    ++stats_.misses;
+    ++stats_.invalid;
+    trace::instant("flowdb_invalid_entry", "flowdb");
+    return std::nullopt;
+  }
 }
 
 bool PassCache::store(const CacheKey& key, std::string_view payload) {
-  return writeAtomic(dir_ + "/" + key.hex() + ".entry", kEntryMagic, payload,
-                     /*count=*/true);
+  ByteWriter w;
+  w.u64(key.hi);
+  w.u64(key.lo);
+  w.bytesRaw(payload);
+  const bool ok = writeAtomic(dir_ + "/" + key.hex() + ".entry", kEntryMagic,
+                              w.bytes());
+  if (ok) stats_.bytes_written += payload.size();
+  return ok;
 }
 
 std::optional<PassCache::Checkpoint> PassCache::loadCheckpoint(
     std::string* diag) {
   std::optional<std::string> payload =
       readValidated(dir_ + "/" + std::string(kCheckpointFile), kCheckpointMagic,
-                    /*count=*/false, diag);
+                    diag);
   if (!payload.has_value()) return std::nullopt;
   try {
     ByteReader r(*payload);
@@ -161,7 +203,7 @@ bool PassCache::storeCheckpoint(std::uint32_t pass_index,
   w.u64(key.lo);
   w.str(entry);
   return writeAtomic(dir_ + "/" + std::string(kCheckpointFile),
-                     kCheckpointMagic, w.bytes(), /*count=*/false);
+                     kCheckpointMagic, w.bytes());
 }
 
 }  // namespace desync::flowdb

@@ -17,9 +17,15 @@
 // corresponds to, letting a restarted run jump straight to the last valid
 // state instead of probing the cache pass by pass.
 //
-// Several concurrent runs may share one cache directory: stores of the
-// same key race benignly (both write identical content; rename is atomic
-// and last-writer-wins), and stats are per-PassCache-instance.
+// Several concurrent runs — threads in one process (drdesyncd requests)
+// or separate processes — may share one cache directory: temp names are
+// unique per (process, process-wide counter), stores of the same key race
+// benignly (both write identical content; rename is atomic and
+// last-writer-wins), and stats are per-PassCache-instance.  As defense in
+// depth, every entry payload opens with the key it was stored under and
+// load() rejects a mismatch as an invalid entry: a validly-sealed payload
+// sitting under the wrong file name (a copied file, or a temp-file
+// confusion) can therefore never be restored into the wrong flow.
 #pragma once
 
 #include <cstdint>
@@ -50,9 +56,10 @@ class PassCache {
   [[nodiscard]] const std::string& dir() const { return dir_; }
 
   /// Loads the entry for `key`.  Returns the payload, or std::nullopt when
-  /// the entry is absent or fails validation; in the invalid case a
-  /// diagnostic is appended to *diag (when given) and the entry counts as
-  /// a miss.
+  /// the entry is absent or fails validation (envelope magic/version/
+  /// checksum, or the payload's embedded key not matching `key`); in the
+  /// invalid case a diagnostic is appended to *diag (when given) and the
+  /// entry counts as a miss.
   std::optional<std::string> load(const CacheKey& key,
                                   std::string* diag = nullptr);
 
@@ -79,13 +86,12 @@ class PassCache {
  private:
   std::optional<std::string> readValidated(const std::string& path,
                                            std::string_view magic,
-                                           bool count, std::string* diag);
+                                           std::string* diag);
   bool writeAtomic(const std::string& path, std::string_view magic,
-                   std::string_view payload, bool count);
+                   std::string_view payload);
 
   std::string dir_;
   CacheStats stats_;
-  std::uint64_t temp_counter_ = 0;
 };
 
 }  // namespace desync::flowdb

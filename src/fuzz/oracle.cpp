@@ -273,13 +273,13 @@ OracleVerdict runOracle(const std::string& verilog,
     std::error_code ec;
     fs::remove_all(dir, ec);
     try {
-      core::setGlobalJobs(options.cold_jobs);
+      core::setThreadJobs(options.cold_jobs);
       FlowRun cold =
           runConversion(verilog, gatefile, options.fault, dir.string());
-      core::setGlobalJobs(options.warm_jobs);
+      core::setThreadJobs(options.warm_jobs);
       FlowRun warm =
           runConversion(verilog, gatefile, options.fault, dir.string());
-      core::setGlobalJobs(options.restore_jobs);
+      core::setThreadJobs(options.restore_jobs);
       const std::size_t n_passes = flow.result.flow.passes().size();
       if (cold.verilog != flow.verilog || cold.sdc != flow.sdc) {
         fail("flowdb", "cold cached run differs from the uncached run");
@@ -294,7 +294,7 @@ OracleVerdict runOracle(const std::string& verilog,
                  " of " + std::to_string(n_passes) + " passes");
       }
     } catch (const std::exception& e) {
-      core::setGlobalJobs(options.restore_jobs);
+      core::setThreadJobs(options.restore_jobs);
       fail("flowdb", e.what());
     }
     fs::remove_all(dir, ec);

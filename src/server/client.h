@@ -1,0 +1,36 @@
+// Minimal blocking client for the drdesyncd Unix-domain socket.
+//
+// One Client is one connection.  sendLine()/recvLine() frame whole JSON
+// lines; replies may come back out of order relative to requests (match
+// them by `id`).  Not thread-safe: use one Client per thread, which is
+// exactly what drdesync-bench's in-flight workers do.
+#pragma once
+
+#include <string>
+
+namespace desync::server {
+
+class Client {
+ public:
+  /// Connects to the daemon's socket.  Throws std::runtime_error when the
+  /// socket is absent or refuses the connection.
+  explicit Client(const std::string& socket_path);
+  ~Client();
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&&) = delete;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Writes one request line (the newline is appended here).
+  void sendLine(const std::string& line);
+
+  /// Reads the next reply line; throws on EOF or a read error.
+  [[nodiscard]] std::string recvLine();
+
+ private:
+  int fd_ = -1;
+  std::string buf_;  ///< bytes read past the last returned line
+};
+
+}  // namespace desync::server

@@ -207,6 +207,19 @@ Span::~Span() {
   record(Event::Kind::kEnd, "", "", ts, 0.0);
 }
 
+TrackScope::TrackScope(std::string name) {
+  if (!enabled()) return;  // no-op scope: no track allocated
+  active_ = true;
+  saved_ = tls_buf;
+  tls_buf = nullptr;            // next threadBuf() registers a fresh track
+  setThreadName(std::move(name));
+}
+
+TrackScope::~TrackScope() {
+  if (!active_) return;
+  tls_buf = static_cast<ThreadBuf*>(saved_);
+}
+
 void completedSpan(std::string_view name, const char* cat, double begin_us,
                    double end_us) {
   if (!enabled()) return;

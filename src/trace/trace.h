@@ -22,7 +22,10 @@
 // (and of the next-chunk pointer), so recording takes no lock and finish()
 // (the only consumer, called when no parallel section is active) attaches
 // with acquire loads.  Buffers of pool worker threads survive the threads
-// themselves; the registry owns them for the life of the process.
+// themselves; the registry owns them for the life of the process and is
+// intentionally leaked, so trace calls arbitrarily late in process
+// teardown (a pool worker parked past main, a static destructor) are safe
+// no-ops — they never touch destroyed state.
 #pragma once
 
 #include <atomic>
@@ -91,6 +94,27 @@ class Span {
 
  private:
   bool active_;
+};
+
+/// RAII per-request track: switches the calling thread onto a fresh,
+/// separately-registered track named `name` for the scope's lifetime, then
+/// back to the thread's previous track.  drdesyncd wraps each request in
+/// one of these so every request owns a named track in the combined trace
+/// even when handler threads are reused; the request's events are drained
+/// by the next finish() like any other track's.  Constructed while tracing
+/// is disabled it is a no-op (no track is allocated).  Spans must not
+/// straddle the scope boundary: open spans belong to the track they began
+/// on.
+class TrackScope {
+ public:
+  explicit TrackScope(std::string name);
+  ~TrackScope();
+  TrackScope(const TrackScope&) = delete;
+  TrackScope& operator=(const TrackScope&) = delete;
+
+ private:
+  void* saved_ = nullptr;
+  bool active_ = false;
 };
 
 /// Records an already-completed span from explicit timestamps (both from

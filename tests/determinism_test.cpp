@@ -71,11 +71,11 @@ Fixture& fixture() {
 /// Runs `fn` with --jobs 1 and with kParallelJobs, restoring the default.
 template <typename Fn>
 auto runBoth(Fn&& fn) {
-  core::setGlobalJobs(1);
+  core::setThreadJobs(1);
   auto serial = fn();
-  core::setGlobalJobs(kParallelJobs);
+  core::setThreadJobs(kParallelJobs);
   auto parallel = fn();
-  core::setGlobalJobs(0);
+  core::setThreadJobs(0);
   return std::make_pair(std::move(serial), std::move(parallel));
 }
 
@@ -176,13 +176,13 @@ TEST(Determinism, TracingDoesNotChangeFlowOutput) {
         core::desynchronize(design, module, gf(), opt);
     return std::make_pair(nl::writeVerilog(design), result.sdc.toText());
   };
-  core::setGlobalJobs(kParallelJobs);
+  core::setThreadJobs(kParallelJobs);
   auto plain = runFlow();
   desync::trace::start(std::string(::testing::TempDir()) +
                        "determinism_trace.json");
   auto traced = runFlow();
   desync::trace::finish();
-  core::setGlobalJobs(0);
+  core::setThreadJobs(0);
   EXPECT_EQ(plain.first, traced.first);
   EXPECT_EQ(plain.second, traced.second);
   EXPECT_FALSE(plain.first.empty());

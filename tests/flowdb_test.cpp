@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/desync.h"
@@ -292,11 +293,11 @@ TEST(FlowCache, RestoredStateIsIdenticalAcrossJobsSettings) {
 
   // Cold at --jobs 1, warm at --jobs 8, warm again at auto: --jobs is not
   // part of any cache key and must not change a single output byte.
-  core::setGlobalJobs(1);
+  core::setThreadJobs(1);
   const FlowOutput cold = runCpuFlow(config, cpuOptions(dir.string()));
-  core::setGlobalJobs(8);
+  core::setThreadJobs(8);
   const FlowOutput warm8 = runCpuFlow(config, cpuOptions(dir.string()));
-  core::setGlobalJobs(0);
+  core::setThreadJobs(0);
   const FlowOutput warm_auto = runCpuFlow(config, cpuOptions(dir.string()));
 
   EXPECT_EQ(warm8.result.flow.cacheStats().hits, 7u);
@@ -470,6 +471,72 @@ TEST(PassCache, StoreLoadRoundTripAndMissAccounting) {
   for (const auto& e : std::filesystem::directory_iterator(dir)) {
     EXPECT_NE(e.path().filename().string().find(key.hex()),
               std::string::npos);
+  }
+}
+
+TEST(PassCache, ForeignPayloadUnderTheWrongNameIsRejected) {
+  const auto dir = scratchDir("keybind");
+  flowdb::PassCache cache(dir.string());
+  const flowdb::CacheKey key_a{1, 2};
+  const flowdb::CacheKey key_b{3, 4};
+  ASSERT_TRUE(cache.store(key_a, "payload-for-a"));
+
+  // A validly-sealed entry sitting under another key's file name — what a
+  // copied file or a temp-file write confusion between concurrent
+  // sessions would produce.  The envelope checksum passes, so only the
+  // embedded key can catch it: the load must miss, not restore A's
+  // payload into B's flow.
+  std::filesystem::copy_file(dir / (key_a.hex() + ".entry"),
+                             dir / (key_b.hex() + ".entry"));
+  std::string diag;
+  EXPECT_FALSE(cache.load(key_b, &diag).has_value());
+  EXPECT_NE(diag.find("key mismatch"), std::string::npos) << diag;
+  EXPECT_NE(diag.find(key_a.hex()), std::string::npos) << diag;
+  EXPECT_EQ(cache.stats().invalid, 1u);
+
+  // The honest entry is unaffected.
+  const auto loaded = cache.load(key_a);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, "payload-for-a");
+}
+
+TEST(PassCache, ConcurrentInstancesOnOneDirectoryKeepEntriesDistinct) {
+  const auto dir = scratchDir("concurrent");
+  // Regression: temp names used to be unique only per PassCache instance
+  // (".tmp.<pid>.<n>" with a per-instance counter), so concurrent
+  // sessions on one directory collided on the same temp file and could
+  // publish one writer's payload under another writer's key.  Hammer the
+  // directory from several instances at once and require every key to
+  // read back exactly its own payload.
+  constexpr int kThreads = 4;
+  constexpr int kKeysPerThread = 64;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&dir, t] {
+      flowdb::PassCache cache(dir.string());
+      for (int k = 0; k < kKeysPerThread; ++k) {
+        const flowdb::CacheKey key{static_cast<std::uint64_t>(t),
+                                   static_cast<std::uint64_t>(k)};
+        const std::string payload =
+            "payload-" + std::to_string(t) + "-" + std::to_string(k);
+        ASSERT_TRUE(cache.store(key, payload));
+        const auto loaded = cache.load(key);
+        ASSERT_TRUE(loaded.has_value());
+        ASSERT_EQ(*loaded, payload);
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  flowdb::PassCache reader(dir.string());
+  for (int t = 0; t < kThreads; ++t) {
+    for (int k = 0; k < kKeysPerThread; ++k) {
+      const flowdb::CacheKey key{static_cast<std::uint64_t>(t),
+                                 static_cast<std::uint64_t>(k)};
+      const auto loaded = reader.load(key);
+      ASSERT_TRUE(loaded.has_value());
+      EXPECT_EQ(*loaded,
+                "payload-" + std::to_string(t) + "-" + std::to_string(k));
+    }
   }
 }
 

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <stdexcept>
 #include <string>
@@ -22,8 +23,8 @@ namespace {
 /// Restores the --jobs override (and thus the env/hardware default) on
 /// scope exit so tests cannot leak their worker-count setting.
 struct JobsGuard {
-  explicit JobsGuard(int jobs) { core::setGlobalJobs(jobs); }
-  ~JobsGuard() { core::setGlobalJobs(0); }
+  explicit JobsGuard(int jobs) { core::setThreadJobs(jobs); }
+  ~JobsGuard() { core::setThreadJobs(0); }
 };
 
 }  // namespace
@@ -131,22 +132,127 @@ TEST(ParallelMap, CollectsResultsIndexAligned) {
 }
 
 TEST(ParallelJobs, OverrideWinsAndZeroResetsToDefault) {
-  core::setGlobalJobs(3);
-  EXPECT_EQ(core::globalJobs(), 3);
-  core::setGlobalJobs(0);
-  EXPECT_GE(core::globalJobs(), 1);  // env or hardware default
+  core::setThreadJobs(3);
+  EXPECT_EQ(core::effectiveJobs(), 3);
+  core::setThreadJobs(0);
+  EXPECT_GE(core::effectiveJobs(), 1);  // env or hardware default
 }
 
 TEST(ParallelJobs, EnvironmentVariableProvidesTheDefault) {
-  core::setGlobalJobs(0);
+  core::setThreadJobs(0);
   ASSERT_EQ(setenv("DESYNC_JOBS", "5", 1), 0);
-  EXPECT_EQ(core::globalJobs(), 5);
+  core::detail::resetEnvironmentJobsForTest();
+  EXPECT_EQ(core::effectiveJobs(), 5);
+  // The parse is cached once per process: a later environment change is
+  // invisible until the cache is reset.
+  ASSERT_EQ(setenv("DESYNC_JOBS", "7", 1), 0);
+  EXPECT_EQ(core::effectiveJobs(), 5);
+  core::detail::resetEnvironmentJobsForTest();
+  EXPECT_EQ(core::effectiveJobs(), 7);
   // An explicit override still wins over the environment.
-  core::setGlobalJobs(2);
-  EXPECT_EQ(core::globalJobs(), 2);
-  core::setGlobalJobs(0);
-  // Garbage values fall back to the hardware default.
+  core::setThreadJobs(2);
+  EXPECT_EQ(core::effectiveJobs(), 2);
+  core::setThreadJobs(0);
+  // Garbage and out-of-range values are rejected (with a stderr note) in
+  // favour of the hardware default instead of being silently truncated.
   ASSERT_EQ(setenv("DESYNC_JOBS", "not-a-number", 1), 0);
-  EXPECT_GE(core::globalJobs(), 1);
+  core::detail::resetEnvironmentJobsForTest();
+  EXPECT_GE(core::effectiveJobs(), 1);
+  ASSERT_EQ(setenv("DESYNC_JOBS", "4096", 1), 0);
+  core::detail::resetEnvironmentJobsForTest();
+  EXPECT_GE(core::effectiveJobs(), 1);
+  EXPECT_NE(core::effectiveJobs(), 4096);
   ASSERT_EQ(unsetenv("DESYNC_JOBS"), 0);
+  core::detail::resetEnvironmentJobsForTest();
+}
+
+TEST(ParallelJobs, JobsScopeNestsAndRestores) {
+  core::setThreadJobs(3);
+  {
+    core::JobsScope outer(5);
+    EXPECT_EQ(core::effectiveJobs(), 5);
+    {
+      core::JobsScope inner(2);
+      EXPECT_EQ(core::effectiveJobs(), 2);
+    }
+    EXPECT_EQ(core::effectiveJobs(), 5);
+  }
+  EXPECT_EQ(core::effectiveJobs(), 3);
+  core::setThreadJobs(0);
+}
+
+TEST(ParallelJobs, ThreadBudgetsAreIndependent) {
+  core::setThreadJobs(2);
+  int other_jobs = 0;
+  std::thread other([&] {
+    core::setThreadJobs(7);
+    other_jobs = core::effectiveJobs();
+  });
+  other.join();
+  EXPECT_EQ(other_jobs, 7);
+  EXPECT_EQ(core::effectiveJobs(), 2) << "another thread's budget leaked";
+  core::setThreadJobs(0);
+}
+
+TEST(PoolStats, SectionsAreCounted) {
+  JobsGuard guard(2);
+  const core::PoolStats process_before = core::poolStats();
+  const core::PoolStats thread_before = core::threadPoolStats();
+  core::parallelFor(8, [](std::size_t) {});
+  const core::PoolStats process_after = core::poolStats();
+  const core::PoolStats thread_after = core::threadPoolStats();
+  EXPECT_EQ(process_after.sections, process_before.sections + 1);
+  EXPECT_EQ(thread_after.sections, thread_before.sections + 1);
+}
+
+TEST(PoolStats, ContendedSectionIsCountedOnTheIssuingThread) {
+  JobsGuard guard(2);
+  core::parallelFor(2, [](std::size_t) {});  // spin the workers up
+  // A second top-level caller entering a section while one is running must
+  // be counted as contended on ITS thread.  The interleaving cannot be
+  // forced, so retry until the collision happens (nearly always the first
+  // attempt: the other thread enters the pool while this one sleeps in it).
+  bool saw_contention = false;
+  for (int attempt = 0; attempt < 50 && !saw_contention; ++attempt) {
+    std::atomic<bool> inside{false};
+    core::PoolStats other_before, other_after;
+    std::thread other([&] {
+      core::setThreadJobs(2);
+      other_before = core::threadPoolStats();
+      while (!inside.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      core::parallelFor(2, [](std::size_t) {});
+      other_after = core::threadPoolStats();
+    });
+    core::parallelFor(2, [&](std::size_t) {
+      inside.store(true, std::memory_order_release);
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    });
+    other.join();
+    if (other_after.contended > other_before.contended) {
+      saw_contention = true;
+      EXPECT_GE(other_after.wait_us, other_before.wait_us);
+    }
+  }
+  EXPECT_TRUE(saw_contention) << "no collision observed in 50 attempts";
+  const core::PoolStats process = core::poolStats();
+  EXPECT_GE(process.contended, 1u);
+}
+
+// Runs last in source order but in its own process under ctest discovery,
+// so the joined pool cannot affect the other tests either way.
+TEST(ParallelShutdown, SectionsDrainSeriallyAfterShutdown) {
+  JobsGuard guard(4);
+  core::parallelFor(8, [](std::size_t) {});  // spin the workers up
+  core::shutdownParallel();
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  core::parallelFor(16, [&](std::size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);  // safe: caller-only drain
+  });
+  ASSERT_EQ(order.size(), 16u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+  core::shutdownParallel();  // idempotent
 }

@@ -14,6 +14,8 @@
 // The traced --jobs 4 run executes FIRST in this binary: the process-wide
 // pool grows but never shrinks, so running it first pins the worker count
 // (and therefore the trace's worker-track count) to exactly jobs - 1.
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
 #include <cctype>
@@ -255,9 +257,9 @@ FlowOutput runFlow(int jobs, const std::string& cache_dir) {
   opt.control.reset_port = "rst_n";
   opt.control.reset_active_low = true;
   opt.flowdb.cache_dir = cache_dir;
-  core::setGlobalJobs(jobs);
+  core::setThreadJobs(jobs);
   core::DesyncResult result = core::desynchronize(design, module, gf(), opt);
-  core::setGlobalJobs(0);
+  core::setThreadJobs(0);
   return FlowOutput{nl::writeVerilog(design), result.sdc.toText()};
 }
 
@@ -271,8 +273,13 @@ struct Fixture {
 Fixture& fixture() {
   static Fixture* f = [] {
     auto* fx = new Fixture;
+    // Per-process dir: ctest discovery runs each TEST as its own process,
+    // concurrently under -j, and each process rebuilds this fixture — a
+    // shared path would be remove_all'd under a sibling's feet.
     const std::filesystem::path dir =
-        std::filesystem::temp_directory_path() / "desync_trace_test";
+        std::filesystem::temp_directory_path() /
+        ("desync_trace_test_" +
+         std::to_string(static_cast<long>(::getpid())));
     std::filesystem::remove_all(dir);
     std::filesystem::create_directories(dir);
 

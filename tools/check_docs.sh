@@ -2,8 +2,9 @@
 # Docs/CLI consistency checks, run by the CI "docs" job (and available as
 # a ctest).  Pure grep/sed over the sources — no build needed:
 #
-#   1. every flag a tool's parser accepts (drdesync, drdesync-fuzz)
-#      appears in that tool's usage() text AND in docs/cli.md;
+#   1. every flag a tool's parser accepts (drdesync, drdesync-fuzz,
+#      drdesyncd, drdesync-bench) appears in that tool's usage() text
+#      AND in docs/cli.md;
 #   2. every `--flag` docs/cli.md documents is actually accepted by at
 #      least one tool's parser (no stale docs);
 #   3. every relative markdown link in README.md and docs/*.md resolves
@@ -54,6 +55,8 @@ check_tool() {
 
 check_tool drdesync_main.cpp
 check_tool drdesync_fuzz_main.cpp
+check_tool drdesyncd_main.cpp
+check_tool drdesync_bench_main.cpp
 
 # --- 2. docs/cli.md flags -> some parser ----------------------------------
 doc_flags=$(grep -o '`--[a-z-]*`' "$cli_doc" | sed 's/`//g' | sort -u)

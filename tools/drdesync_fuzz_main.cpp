@@ -104,6 +104,11 @@ std::string describe(const fuzz::OracleVerdict& v) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Join pool workers on every exit path so they are never torn down by
+  // static destructors racing other translation units (core/parallel.h).
+  struct PoolJoin {
+    ~PoolJoin() { core::shutdownParallel(); }
+  } pool_join;
   std::uint64_t seed = 1;
   int runs = 1;
   std::string lib_name = "builtin:hs";
@@ -149,7 +154,7 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--jobs must be in 0..1024 (got %d)\n", jobs);
         return 2;
       }
-      core::setGlobalJobs(jobs);
+      core::setThreadJobs(jobs);
       oracle.restore_jobs = jobs;  // FlowDB check restores this count
     } else if (arg == "--shrink") {
       do_shrink = true;

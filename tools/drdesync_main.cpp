@@ -180,7 +180,7 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--jobs must be in 0..1024 (got %d)\n", jobs);
         return 2;
       }
-      core::setGlobalJobs(jobs);  // 0 resets to the env/hardware default
+      core::setThreadJobs(jobs);  // 0 resets to the env/hardware default
     } else if (arg == "--no-bus-heuristic") {
       opt.grouping.bus_heuristic = false;
     } else if (arg == "--no-clean") {
@@ -268,6 +268,7 @@ int main(int argc, char** argv) {
       info.nets_out = module.numNets();
       std::fputs(core::runReportJson(info, result).c_str(), stdout);
     }
+    core::shutdownParallel();  // join workers before static destructors
     return 0;
   } catch (const core::FlowError& e) {
     // A pass failed mid-flow: still write the trace collected so far (a
@@ -281,6 +282,7 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr, "drdesync: error in pass %s: %s\n", e.pass().c_str(),
                  e.what());
+    core::shutdownParallel();
     return 1;
   } catch (const std::exception& e) {
     trace::finish();
@@ -289,6 +291,7 @@ int main(int argc, char** argv) {
                  stdout);
     }
     std::fprintf(stderr, "drdesync: error: %s\n", e.what());
+    core::shutdownParallel();
     return 1;
   }
 }
