@@ -1,0 +1,154 @@
+// Synchronous-side simulation throughput: event-driven engine vs the
+// compiled 64-lane bit-parallel engine (sim/bitsim) on the two CPU case
+// studies (DLX and the ARM-class design).
+//
+// The workload is the flow-equivalence golden side: 64 independent
+// synchronous runs of N clock cycles each.  The event engine runs 64
+// separate simulators; bitsim compiles one plan and runs all 64 as lanes
+// of a single pass.  "Vectors" are lane-cycles (64 x N for both engines),
+// so vectors/sec is directly comparable.
+//
+// The bench FAILS (exit 1) when the engines' capture tapes differ — the
+// speedup is only meaningful while the results are byte-identical — or
+// when the measured speedup drops below the 10x acceptance floor on
+// either design.  Timings go to BENCH_bitsim.json; CI publishes the
+// speedup line to the step summary.
+#include <string>
+
+#include "harness.h"
+#include "sim/bitsim/bitsim.h"
+#include "sim/stimulus.h"
+
+using namespace bench;
+
+namespace bs = desync::sim::bitsim;
+
+namespace {
+
+constexpr int kCycles = 100;
+
+std::string digest(const std::vector<sim::CaptureLog>& logs) {
+  std::string d;
+  for (const sim::CaptureLog& log : logs) {
+    d += log.element;
+    d += '=';
+    for (sim::Val v : log.values) d += sim::toChar(v);
+    d += '\n';
+  }
+  return d;
+}
+
+struct EngineResult {
+  double event_ms = 0.0;
+  double bitsim_ms = 0.0;
+  double compile_ms = 0.0;
+  std::size_t cells = 0;
+  std::uint32_t levels = 0;
+  bool identical = false;
+  [[nodiscard]] double speedup() const {
+    return bitsim_ms > 0 ? event_ms / bitsim_ms : 0;
+  }
+  [[nodiscard]] double eventVps() const {
+    return event_ms > 0 ? 64.0 * kCycles / (event_ms / 1000.0) : 0;
+  }
+  [[nodiscard]] double bitsimVps() const {
+    return bitsim_ms > 0 ? 64.0 * kCycles / (bitsim_ms / 1000.0) : 0;
+  }
+};
+
+EngineResult runDesign(const designs::CpuConfig& config, int repeats) {
+  nl::Design d;
+  nl::Module& m = designs::buildCpu(d, gatefileHs(), config);
+  const lib::BoundModule bound(m, gatefileHs());
+
+  EngineResult r;
+  m.forEachCell([&](nl::CellId) { ++r.cells; });
+
+  sim::SyncStimulus st;
+  st.half_period_ns = 5.0;
+  st.cycles = kCycles;
+
+  // Event engine: 64 independent runs (the FE golden side before bitsim).
+  std::string event_digest;
+  r.event_ms = measureRepeated(repeats, [&] {
+    for (int lane = 0; lane < 64; ++lane) {
+      sim::Simulator s(bound);
+      sim::runSyncStimulus(s, st);
+      if (lane == 0) event_digest = digest(s.captures());
+    }
+  }).min_ms;
+
+  // Bit-parallel engine: one compile, 64 lanes per pass.
+  const bs::BitPlan plan = bs::compilePlan(bound);
+  r.compile_ms = plan.compile_ms;
+  r.levels = plan.n_levels;
+  std::string bitsim_digest;
+  r.bitsim_ms = measureRepeated(repeats, [&] {
+    bs::BitSim s(plan);
+    sim::runSyncStimulus(s, st);
+    bitsim_digest = digest(s.captures(63));
+  }).min_ms;
+
+  r.identical = !event_digest.empty() && event_digest == bitsim_digest;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  header("Bit-parallel sync simulation throughput (event vs bitsim)");
+  const int repeats = benchRepeats(2);
+  row("  64 lanes x %d cycles per measurement; repeats: %d", kCycles,
+      repeats);
+
+  const EngineResult dlx = runDesign(designs::dlxConfig(), repeats);
+  const EngineResult arm = runDesign(designs::armClassConfig(), repeats);
+
+  row("  %-10s %7s %7s %12s %12s %10s %9s %6s", "design", "cells", "levels",
+      "event (ms)", "bitsim (ms)", "vec/s", "speedup", "same?");
+  const struct {
+    const char* name;
+    const EngineResult* r;
+  } rows[] = {{"dlx", &dlx}, {"arm_class", &arm}};
+  bool ok = true;
+  for (const auto& e : rows) {
+    row("  %-10s %7zu %7u %12.2f %12.2f %10.0f %8.1fx %6s", e.name,
+        e.r->cells, e.r->levels, e.r->event_ms, e.r->bitsim_ms,
+        e.r->bitsimVps(), e.r->speedup(), e.r->identical ? "yes" : "NO");
+    if (!e.r->identical) {
+      row("  MISMATCH: %s capture tapes differ between engines", e.name);
+      ok = false;
+    }
+    if (e.r->speedup() < 10.0) {
+      row("  BELOW FLOOR: %s speedup %.1fx < 10x acceptance", e.name,
+          e.r->speedup());
+      ok = false;
+    }
+  }
+
+  RepeatedTiming t;
+  t.runs_ms = {dlx.bitsim_ms, arm.bitsim_ms};
+  t.min_ms = std::min(dlx.bitsim_ms, arm.bitsim_ms);
+  t.median_ms = arm.bitsim_ms;
+  writeBenchJson(
+      "bitsim", t,
+      {{"cycles", static_cast<double>(kCycles)},
+       {"lanes", 64.0},
+       {"dlx_event_ms", dlx.event_ms},
+       {"dlx_bitsim_ms", dlx.bitsim_ms},
+       {"dlx_compile_ms", dlx.compile_ms},
+       {"dlx_event_vectors_per_sec", dlx.eventVps()},
+       {"dlx_bitsim_vectors_per_sec", dlx.bitsimVps()},
+       {"dlx_speedup", dlx.speedup()},
+       {"arm_event_ms", arm.event_ms},
+       {"arm_bitsim_ms", arm.bitsim_ms},
+       {"arm_compile_ms", arm.compile_ms},
+       {"arm_event_vectors_per_sec", arm.eventVps()},
+       {"arm_bitsim_vectors_per_sec", arm.bitsimVps()},
+       {"arm_speedup", arm.speedup()}});
+  if (ok) {
+    row("\n  bitsim speedup: dlx %.1fx, arm_class %.1fx (floor 10x)",
+        dlx.speedup(), arm.speedup());
+  }
+  return ok ? 0 : 1;
+}

@@ -1,14 +1,82 @@
 #include "core/desync.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "core/flow_cache.h"
 #include "core/parallel.h"
+#include "netlist/flatten.h"
+#include "sim/bitsim/bitsim.h"
 #include "sta/sta.h"
 #include "trace/trace.h"
 #include "variability/variability.h"
 
 namespace desync::core {
+
+namespace {
+
+/// Post-flow flow-equivalence self-check (`--fe-check`): golden batches
+/// from the pristine synchronous snapshot, desynchronized side free-running
+/// on the event engine, stored-value sequences compared per batch.
+void runFeCheck(const netlist::Module& sync_top, const netlist::Module& module,
+                const liberty::Gatefile& gatefile,
+                const DesyncOptions& options, DesyncResult& result) {
+  ScopedPass pass(result.flow, "fe_check");
+  const sim::bitsim::BitsimStats before = sim::bitsim::bitsimStats();
+
+  sim::SyncStimulus st;
+  st.clock_port = options.clock_port;
+  st.reset_port = options.control.reset_port;
+  st.reset_active_low = options.control.reset_active_low;
+  st.half_period_ns = std::max(result.sync_min_period_ns, 0.1);
+  st.cycles = options.fe.base_cycles;
+
+  const liberty::BoundModule sync_bound(sync_top, gatefile);
+  const std::vector<std::vector<sim::CaptureLog>> sync_batches =
+      sim::goldenSyncBatches(sync_bound, st, options.fe.batches,
+                             options.fe.engine);
+
+  const liberty::BoundModule desync_bound(module, gatefile);
+  auto run_desync = [&](std::size_t b) {
+    auto s = std::make_unique<sim::Simulator>(desync_bound);
+    const sim::Val active = st.reset_active_low ? sim::Val::k0 : sim::Val::k1;
+    const sim::Val inactive = st.reset_active_low ? sim::Val::k1 : sim::Val::k0;
+    s->setInput(st.clock_port, sim::Val::k0);
+    if (!st.reset_port.empty()) s->setInput(st.reset_port, active);
+    s->run(s->now() + sim::nsToPs(2 * st.reset_ns));
+    if (!st.reset_port.empty()) s->setInput(st.reset_port, inactive);
+    s->run(s->now() + sim::nsToPs(sim::feBatch(st, b).window_ns));
+    return s;
+  };
+  result.fe.report = sim::checkFlowEquivalenceBatches(sync_batches, run_desync);
+  result.fe.ran = true;
+
+  const sim::FlowEqBatchReport& fe = result.fe.report;
+  pass.counter("batches", static_cast<std::int64_t>(fe.batches_run));
+  pass.counter("elements", static_cast<std::int64_t>(fe.elements_compared));
+  pass.counter("values", static_cast<std::int64_t>(fe.values_compared));
+  pass.counter("mismatches", static_cast<std::int64_t>(fe.mismatches));
+  pass.counter("equivalent", fe.equivalent ? 1 : 0);
+
+  const sim::bitsim::BitsimStats after = sim::bitsim::bitsimStats();
+  FlowReport::BitsimSection bs;
+  bs.compiles = after.compiles - before.compiles;
+  bs.compile_ms =
+      static_cast<double>(after.compile_us - before.compile_us) / 1000.0;
+  bs.levels = static_cast<std::int64_t>(after.levels);
+  bs.lanes = static_cast<int>(sim::kLanes);
+  bs.cycles = after.cycles - before.cycles;
+  bs.lane_vectors = after.lane_vectors - before.lane_vectors;
+  bs.eval_ms = static_cast<double>(after.eval_us - before.eval_us) / 1000.0;
+  if (after.eval_us > before.eval_us) {
+    bs.vectors_per_sec = static_cast<double>(bs.lane_vectors) /
+                         (static_cast<double>(after.eval_us - before.eval_us) /
+                          1e6);
+  }
+  if (bs.compiles > 0) result.flow.setBitsim(bs);
+}
+
+}  // namespace
 
 DesyncResult desynchronize(netlist::Design& design, netlist::Module& module,
                            const liberty::Gatefile& gatefile,
@@ -16,6 +84,15 @@ DesyncResult desynchronize(netlist::Design& design, netlist::Module& module,
   DesyncResult result;
   result.flow.setJobs(effectiveJobs());
   const PoolStats pool_before = threadPoolStats();
+
+  // Pristine synchronous snapshot for the post-flow flow-equivalence check
+  // (the flow mutates `module` in place); taken only when the check is on.
+  netlist::Design sync_snapshot;
+  const netlist::Module* sync_top = nullptr;
+  if (options.fe.batches > 0) {
+    sync_top = &netlist::cloneModule(sync_snapshot, module);
+  }
+
   FlowSession session(design, module, gatefile, options, result);
 
   // Reference periods of the synchronous circuit (before any mutation):
@@ -177,6 +254,9 @@ DesyncResult desynchronize(netlist::Design& design, netlist::Module& module,
   });
 
   session.run();
+  if (sync_top != nullptr) {
+    runFeCheck(*sync_top, module, gatefile, options, result);
+  }
   // Contention delta across the run: non-zero when another top-level
   // caller's parallel section serialized one of ours on the shared pool.
   // Thread-scoped, so the delta is exactly this run's waits even with

@@ -22,9 +22,27 @@
 #include "core/ff_substitution.h"
 #include "core/flow_report.h"
 #include "core/regions.h"
+#include "sim/flow_equivalence.h"
+#include "sim/stimulus.h"
 #include "sta/sdc.h"
 
 namespace desync::core {
+
+/// Post-flow flow-equivalence self-check knobs (`--fe-check`,
+/// `--fe-engine`): after the seven passes, the converted module is
+/// simulated against a pristine snapshot of the synchronous input over
+/// independent stimulus batches (sim/stimulus.h's feBatch derivation) and
+/// the stored-value sequences are compared (thesis §2.1).
+struct FeCheckOptions {
+  /// Number of stimulus batches; 0 disables the check entirely (no
+  /// snapshot is taken, zero overhead).
+  std::size_t batches = 0;
+  /// Batch-0 synchronous cycle count (batch b adds 2*b cycles).
+  int base_cycles = 10;
+  /// Golden-side engine: the bit-parallel simulator packs 64 batches per
+  /// pass; verdicts are byte-identical to the event engine.
+  sim::SyncEngine engine = sim::SyncEngine::kBitsim;
+};
 
 /// FlowDB persistence knobs (`--cache-dir`, `--resume`).
 struct FlowDbOptions {
@@ -48,6 +66,8 @@ struct DesyncOptions {
   std::vector<std::vector<std::string>> manual_seq_groups;
   /// Pass caching and checkpoint/resume.
   FlowDbOptions flowdb;
+  /// Post-flow flow-equivalence self-check (disabled by default).
+  FeCheckOptions fe;
 };
 
 struct DesyncResult {
@@ -74,6 +94,13 @@ struct DesyncResult {
     double min_period_ns = 0.0;
   };
   std::vector<CornerPeriod> corner_periods;
+  /// Post-flow flow-equivalence self-check outcome; `ran` is false when
+  /// FeCheckOptions::batches was 0.
+  struct FeCheck {
+    bool ran = false;
+    sim::FlowEqBatchReport report;
+  };
+  FeCheck fe;
   /// Per-pass wall times and work counters (`drdesync --report`).
   FlowReport flow;
 };

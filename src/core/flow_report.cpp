@@ -76,6 +76,16 @@ std::string FlowReport::toJson(int indent) const {
     os << pad1 << "\"pool\": {\"contended_sections\": " << pool_contended_
        << ", \"wait_ms\": " << pool_wait_ms_ << "}," << nl;
   }
+  if (bitsim_.compiles > 0) {
+    os << pad1 << "\"bitsim\": {\"compiles\": " << bitsim_.compiles
+       << ", \"compile_ms\": " << bitsim_.compile_ms
+       << ", \"levels\": " << bitsim_.levels << ", \"lanes\": "
+       << bitsim_.lanes << ", \"cycles\": " << bitsim_.cycles
+       << ", \"lane_vectors\": " << bitsim_.lane_vectors
+       << ", \"eval_ms\": " << bitsim_.eval_ms
+       << ", \"vectors_per_sec\": " << bitsim_.vectors_per_sec << "},"
+       << nl;
+  }
   if (cache_.enabled) {
     os << pad1 << "\"cache\": {\"hits\": " << cache_.hits
        << ", \"misses\": " << cache_.misses

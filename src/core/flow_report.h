@@ -84,6 +84,23 @@ class FlowReport {
   void setCacheStats(FlowCacheStats stats) { cache_ = std::move(stats); }
   [[nodiscard]] const FlowCacheStats& cacheStats() const { return cache_; }
 
+  /// Bit-parallel simulator statistics of this run's flow-equivalence
+  /// check (sim/bitsim counter deltas across the check).  Serialized as
+  /// the top-level "bitsim" object when at least one plan was compiled,
+  /// i.e. only when the check actually took the bit-parallel path.
+  struct BitsimSection {
+    std::uint64_t compiles = 0;   ///< plans compiled
+    double compile_ms = 0.0;      ///< total plan-compile time
+    std::int64_t levels = 0;      ///< deepest compiled plan (comb levels)
+    int lanes = 0;                ///< vector lanes per pass (64)
+    std::uint64_t cycles = 0;     ///< clock cycles evaluated
+    std::uint64_t lane_vectors = 0;  ///< cycles * lanes
+    double eval_ms = 0.0;         ///< total evaluation time
+    double vectors_per_sec = 0.0;  ///< lane_vectors / eval seconds
+  };
+  void setBitsim(BitsimSection bitsim) { bitsim_ = bitsim; }
+  [[nodiscard]] const BitsimSection& bitsim() const { return bitsim_; }
+
   /// Pool contention this flow experienced (core::poolStats() delta across
   /// the run): how many of its parallel sections had to wait for another
   /// top-level caller's section, and for how long.  Serialized as the
@@ -121,8 +138,9 @@ class FlowReport {
   ///    "notes": ["..."]}
   /// Counter keys become sibling fields of name/wall_ms within each pass
   /// object; work_ms/speedup appear only for passes with a parallel
-  /// section; "cache"/"notes"/"trace" appear only when cache stats are
-  /// enabled / notes exist / a trace summary was attached.  The "trace"
+  /// section; "cache"/"notes"/"trace"/"bitsim" appear only when cache
+  /// stats are enabled / notes exist / a trace summary was attached / the
+  /// flow-equivalence check compiled a bit-parallel plan.  The "trace"
   /// object carries the trace file path, event totals, worker-track count
   /// and utilization, and per-pass self times (docs/report-schema.md).
   /// `indent` < 0 emits a single line.
@@ -131,6 +149,7 @@ class FlowReport {
  private:
   std::vector<PassStat> passes_;
   int jobs_ = 0;
+  BitsimSection bitsim_;
   std::uint64_t pool_contended_ = 0;
   double pool_wait_ms_ = 0.0;
   FlowCacheStats cache_;

@@ -95,6 +95,17 @@ std::string runReportJson(const RunInfo& info, const DesyncResult& result) {
   openReport(os, info);
   appendDesignFacts(os, info, result);
   os << ",\n";
+  if (result.fe.ran) {
+    // Engine-independent by construction: both engines produce identical
+    // capture sequences (tests/bitsim_test.cpp), so this object never
+    // depends on --fe-engine.
+    const sim::FlowEqBatchReport& fe = result.fe.report;
+    os << "  \"fe\": {\"equivalent\": " << (fe.equivalent ? "true" : "false")
+       << ", \"batches\": " << fe.batches_run
+       << ", \"elements_compared\": " << fe.elements_compared
+       << ", \"values_compared\": " << fe.values_compared
+       << ", \"mismatches\": " << fe.mismatches << "},\n";
+  }
   appendFlow(os, result.flow);
   os << "\n}\n";
   return os.str();

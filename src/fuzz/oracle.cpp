@@ -12,8 +12,10 @@
 #include "core/desync.h"
 #include "core/parallel.h"
 #include "netlist/verilog.h"
+#include "liberty/bound.h"
 #include "sim/flow_equivalence.h"
 #include "sim/simulator.h"
+#include "sim/stimulus.h"
 #include "sta/sta.h"
 
 namespace desync::fuzz {
@@ -64,22 +66,6 @@ std::size_t countSuffix(const nl::Module& m, std::string_view suffix) {
     }
   });
   return n;
-}
-
-/// Drives the synchronous circuit for `cycles` clock periods of 2x the
-/// minimum period, exactly like the repo's reference flow tests.
-void runSyncSim(sim::Simulator& s, int cycles, double half_ns) {
-  s.setInput("clk", sim::Val::k0);
-  s.setInput("rst_n", sim::Val::k0);
-  s.run(sim::nsToPs(10));
-  s.setInput("rst_n", sim::Val::k1);
-  s.run(s.now() + sim::nsToPs(half_ns));
-  for (int i = 0; i < cycles; ++i) {
-    s.setInput("clk", sim::Val::k1);
-    s.run(s.now() + sim::nsToPs(half_ns));
-    s.setInput("clk", sim::Val::k0);
-    s.run(s.now() + sim::nsToPs(half_ns));
-  }
 }
 
 struct FlowRun {
@@ -161,8 +147,12 @@ OracleVerdict runOracle(const std::string& verilog,
   // the shrinker could "preserve" an FE failure by deleting every register.
   const double half_ns = std::max(flow.result.sync_min_period_ns, 0.1);
   if (v.ffs_replaced > 0) try {
-    sim::Simulator sync_sim(golden.top(), gatefile);
-    runSyncSim(sync_sim, options.cycles, half_ns);
+    const liberty::BoundModule bound(golden.top(), gatefile);
+    sim::SyncStimulus st;
+    st.half_period_ns = half_ns;
+    st.cycles = options.cycles;
+    const std::vector<sim::CaptureLog> sync_caps =
+        sim::goldenSyncRun(bound, st, options.fe_engine);
 
     sim::Simulator desync_sim(*flow.module, gatefile);
     desync_sim.setInput("clk", sim::Val::k0);
@@ -172,7 +162,7 @@ OracleVerdict runOracle(const std::string& verilog,
     desync_sim.run(desync_sim.now() +
                    sim::nsToPs(options.cycles * 4.0 * half_ns));
 
-    sim::FlowEqReport fe = sim::checkFlowEquivalence(sync_sim, desync_sim);
+    sim::FlowEqReport fe = sim::checkFlowEquivalence(sync_caps, desync_sim);
     v.values_compared = fe.values_compared;
     if (!fe.equivalent) {
       return fail("flow-equivalence",

@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "liberty/gatefile.h"
+#include "sim/stimulus.h"
 
 namespace desync::fuzz {
 
@@ -76,6 +77,10 @@ struct OracleOptions {
   /// Disables the (filesystem-touching) FlowDB check; the shrinker turns
   /// this off when the failure it preserves is an earlier check.
   bool check_flowdb = true;
+  /// Engine for the golden synchronous side of check 4 (`--fe-engine`).
+  /// Verdicts are byte-identical either way; kBitsim is faster and falls
+  /// back to the event engine on designs outside the cycle model.
+  sim::SyncEngine fe_engine = sim::SyncEngine::kBitsim;
 };
 
 struct OracleVerdict {

@@ -1,0 +1,195 @@
+// Compiled 64-way bit-parallel cycle simulator (the "bitsim" engine).
+//
+// The synchronous side of flow-equivalence checking is delay-independent
+// (thesis §2.1: only the *sequence* of stored values matters), so it needs
+// cycle semantics only.  This engine compiles a `liberty::BoundModule` once
+// into a flat, levelized evaluation plan — structure-of-arrays op records
+// over stable u32 net handles — and then evaluates 64 independent
+// simulation lanes per pass: each net carries a dual-rail u64 pair (value
+// word + known mask for 0/1/X semantics) and every gate is one table-driven
+// `laneEvalTable` call (sim/value.h).  Lanes are used as 64 FE vector
+// batches, 64 fuzz evaluations, or 64 stuck-at faults (per-lane forced
+// nets) per pass.
+//
+// The engine is intentionally *not* a replacement for the event-driven
+// `sim::Simulator`: the desynchronized/timed side keeps inertial-delay
+// event simulation.  Capture sequences produced here are byte-identical to
+// the event-driven reference (enforced by bitsim_test's cross-engine golden
+// sweep); designs the plan compiler cannot express (transparent latches,
+// combinational cycles, gated-clock trees deeper than one ICG) raise
+// BitSimError and callers silently fall back to the event engine, so
+// verdicts never depend on the engine choice.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "liberty/bound.h"
+#include "sim/simulator.h"
+#include "sim/value.h"
+
+namespace desync::sim::bitsim {
+
+class BitSimError : public SimError {
+ public:
+  using SimError::SimError;
+};
+
+constexpr std::uint32_t kNoNet = 0xffffffffu;
+
+/// One sequential element of the plan (posedge FF or integrated clock
+/// gate), with every pin resolved to a net handle at compile time.
+struct BitSeq {
+  std::string name;  ///< cell name (capture-log element name)
+  std::uint32_t data = kNoNet;  ///< D (FF) or E (clock gate)
+  std::uint32_t scan_in = kNoNet;
+  std::uint32_t scan_en = kNoNet;
+  std::uint32_t sync = kNoNet;
+  std::uint32_t clear = kNoNet;
+  std::uint32_t preset = kNoNet;
+  std::uint32_t q = kNoNet;  ///< Q (FF) or gated clock Z (clock gate)
+  std::uint32_t qn = kNoNet;
+  bool sync_low = false, sync_set = false;
+  bool clear_low = false, preset_low = false;
+  bool is_icg = false;  ///< integrated clock gate (records E, gates FFs)
+  /// Index of the ICG whose Z net clocks this FF; -1 = root clock.
+  std::int32_t gate = -1;
+};
+
+struct PlanOptions {
+  /// Root clock input port; every FF clock must resolve to this net or to
+  /// the Z output of an ICG that is itself clocked by this net.
+  std::string clock_port = "clk";
+};
+
+/// Flat, levelized evaluation plan.  Immutable after compile; any number
+/// of BitSim evaluators may share one plan concurrently (read-only).
+struct BitPlan {
+  std::uint32_t n_nets = 0;
+  std::uint32_t clock_net = kNoNet;
+  std::uint32_t n_levels = 0;
+
+  // Combinational ops in level order (SoA).  Op i computes
+  //   net[op_out[i]] = table_eval(op_table[i],
+  //                               op_inputs[op_in_off[i] .. +op_nin[i]])
+  std::vector<std::uint32_t> op_out;
+  std::vector<std::uint8_t> op_nin;
+  std::vector<std::uint32_t> op_in_off;
+  std::vector<std::uint64_t> op_table;
+  std::vector<std::uint32_t> op_inputs;
+  /// level_first[l] .. level_first[l+1] = the ops of level l.
+  std::vector<std::uint32_t> level_first;
+
+  /// In module cell order, so capture logs line up with the event engine.
+  std::vector<BitSeq> seqs;
+
+  std::vector<std::uint32_t> const0_nets;
+  std::vector<std::uint32_t> const1_nets;
+  std::unordered_map<std::string, std::uint32_t> net_index;
+  double compile_ms = 0.0;
+
+  /// Net handle by net or port name; throws BitSimError when unknown.
+  [[nodiscard]] std::uint32_t netOf(std::string_view name) const;
+};
+
+/// Compiles the bound module into a plan.  Throws BitSimError on anything
+/// the cycle model cannot express (unbound cells, transparent latches,
+/// inverted-clock FFs, combinational cycles, clocks that do not resolve to
+/// the root clock or a root-clocked ICG).
+[[nodiscard]] BitPlan compilePlan(const liberty::BoundModule& bound,
+                                  const PlanOptions& options = {});
+
+/// 64-lane evaluator over one plan.  One arena allocation holds every
+/// net's dual-rail pair plus the per-lane force words.
+class BitSim {
+ public:
+  explicit BitSim(const BitPlan& plan, bool record_captures = true);
+
+  /// Drives a port/net to `v` in every lane (inputs persist until reset).
+  void set(std::string_view port, Val v);
+  /// Drives a single lane of a port/net.
+  void setLane(std::string_view port, unsigned lane, Val v);
+  /// Per-lane stuck-at force (the fault-campaign hook): lane `lane` of the
+  /// net is pinned to `v` (k0/k1 only) against every driver and input.
+  void forceNet(std::string_view net, unsigned lane, Val v);
+
+  /// Propagates to the combinational + asynchronous-control fixpoint with
+  /// the clock held low (every observable point of the cycle model).
+  void settle();
+  /// One full clock cycle: settle, rising-edge capture (next-states are
+  /// computed from the settled pre-edge values, then committed at once),
+  /// settle again.  Only lanes in `active_mask` append capture records —
+  /// per-lane stimulus lengths (FE batches) truncate lanes via the mask.
+  void cycle(std::uint64_t active_mask = ~std::uint64_t{0});
+
+  [[nodiscard]] Val value(std::string_view net_or_port, unsigned lane) const;
+  [[nodiscard]] LaneWord word(std::string_view net_or_port) const;
+
+  /// Extracts one lane's capture tape in event-engine format (capture-log
+  /// order and stored-value sequences are byte-identical to
+  /// `Simulator::captures()`; times are capture ordinals, not ps — flow
+  /// equivalence compares values only).
+  [[nodiscard]] std::vector<CaptureLog> captures(unsigned lane) const;
+
+  [[nodiscard]] const BitPlan& plan() const { return *plan_; }
+  [[nodiscard]] std::uint64_t cyclesRun() const { return cycles_; }
+
+ private:
+  struct Tape {
+    std::vector<std::uint64_t> val;
+    std::vector<std::uint64_t> known;
+    std::vector<std::uint64_t> mask;  ///< lanes that recorded this entry
+  };
+  struct Pending {
+    LaneWord next;
+    std::uint64_t cap = 0;
+    std::uint64_t to_x = 0;
+  };
+
+  [[nodiscard]] LaneWord read(std::uint32_t net) const {
+    return LaneWord{val_[net], known_[net]};
+  }
+  void writeNet(std::uint32_t net, LaneWord w);
+  [[nodiscard]] LaneWord nextStateWord(const BitSeq& s) const;
+  [[nodiscard]] std::uint32_t netOrThrow(std::string_view name) const;
+
+  const BitPlan* plan_;
+  bool record_;
+  /// One arena: [val | known | force_val | force_mask], n_nets words each.
+  std::unique_ptr<std::uint64_t[]> arena_;
+  std::uint64_t* val_;
+  std::uint64_t* known_;
+  std::uint64_t* fval_;
+  std::uint64_t* fmask_;
+  std::vector<LaneWord> state_;     ///< per BitSeq
+  std::vector<Pending> pending_;    ///< scratch for cycle()
+  std::vector<Tape> tapes_;         ///< per BitSeq
+  std::uint64_t cycles_ = 0;
+  /// Nets changed since the last settle(); lets cycle() skip its leading
+  /// settle when nothing moved since the previous trailing one.
+  bool dirty_ = true;
+};
+
+/// Process-wide engine statistics (relaxed atomics; safe under the server's
+/// concurrent flows).  Deltas around a run feed the `--report` "bitsim"
+/// object and the throughput bench.
+struct BitsimStats {
+  std::uint64_t compiles = 0;
+  std::uint64_t compile_us = 0;
+  std::uint64_t levels = 0;        ///< deepest plan compiled so far
+  std::uint64_t cycles = 0;        ///< clock edges evaluated
+  std::uint64_t lane_vectors = 0;  ///< cycles x 64 lanes
+  std::uint64_t eval_us = 0;       ///< wall time inside cycle()
+};
+[[nodiscard]] BitsimStats bitsimStats();
+
+namespace detail {
+void addCompileStats(std::uint64_t us, std::uint32_t levels);
+void addCycleStats(std::uint64_t cycles, std::uint64_t us);
+}  // namespace detail
+
+}  // namespace desync::sim::bitsim

@@ -1,0 +1,285 @@
+// 64-lane dual-rail evaluator over a compiled BitPlan.
+//
+// Semantics contract: capture sequences must be byte-identical to the
+// event-driven `sim::Simulator` run with settled phases (every half-period
+// longer than the critical path).  The event engine samples flip-flop
+// inputs at the rising clock edge with everything combinational settled and
+// clk=0 still on the nets (the new clock value propagates *after* the FFs
+// react), asynchronous controls are applied continuously, and an ICG's
+// stored enable gates its FFs (the CGL's Z arc is faster than any FF
+// clock->q, so the gated edge wins the race exactly like the structural
+// gating below).  bitsim_test's cross-engine golden sweep enforces this
+// contract on the whole generator design space.
+#include <chrono>
+
+#include "sim/bitsim/bitsim.h"
+
+namespace desync::sim::bitsim {
+
+BitSim::BitSim(const BitPlan& plan, bool record_captures)
+    : plan_(&plan), record_(record_captures) {
+  const std::size_t n = plan.n_nets;
+  arena_ = std::make_unique<std::uint64_t[]>(4 * n);
+  val_ = arena_.get();
+  known_ = arena_.get() + n;
+  fval_ = arena_.get() + 2 * n;
+  fmask_ = arena_.get() + 3 * n;
+  for (std::size_t i = 0; i < 4 * n; ++i) arena_[i] = 0;
+  state_.assign(plan.seqs.size(), LaneWord{});  // all lanes X
+  pending_.assign(plan.seqs.size(), Pending{});
+  tapes_.assign(plan.seqs.size(), Tape{});
+  settle();
+}
+
+void BitSim::writeNet(std::uint32_t net, LaneWord w) {
+  const std::uint64_t fm = fmask_[net];
+  val_[net] = (w.val & ~fm) | (fval_[net] & fm);
+  known_[net] = w.known | fm;
+}
+
+std::uint32_t BitSim::netOrThrow(std::string_view name) const {
+  return plan_->netOf(name);
+}
+
+void BitSim::set(std::string_view port, Val v) {
+  writeNet(netOrThrow(port), laneBroadcast(v));
+  dirty_ = true;
+}
+
+void BitSim::setLane(std::string_view port, unsigned lane, Val v) {
+  const std::uint32_t n = netOrThrow(port);
+  writeNet(n, laneSet(read(n), lane, v));
+  dirty_ = true;
+}
+
+void BitSim::forceNet(std::string_view net, unsigned lane, Val v) {
+  if (v == Val::kX) {
+    throw BitSimError("bitsim: cannot force X onto " + std::string(net));
+  }
+  const std::uint32_t n = netOrThrow(net);
+  const std::uint64_t bit = std::uint64_t{1} << lane;
+  fmask_[n] |= bit;
+  if (v == Val::k1) {
+    fval_[n] |= bit;
+  } else {
+    fval_[n] &= ~bit;
+  }
+  writeNet(n, read(n));
+  dirty_ = true;
+}
+
+Val BitSim::value(std::string_view net_or_port, unsigned lane) const {
+  return laneGet(read(netOrThrow(net_or_port)), lane);
+}
+
+LaneWord BitSim::word(std::string_view net_or_port) const {
+  return read(netOrThrow(net_or_port));
+}
+
+void BitSim::settle() {
+  if (!dirty_) return;  // nothing changed since the last fixpoint
+  const BitPlan& p = *plan_;
+  for (std::uint32_t n : p.const0_nets) writeNet(n, laneBroadcast(Val::k0));
+  for (std::uint32_t n : p.const1_nets) writeNet(n, laneBroadcast(Val::k1));
+  // Every observable point of the cycle model has the clock low (the event
+  // engine's captures happen before the new clock level reaches any net).
+  if (p.clock_net != kNoNet) writeNet(p.clock_net, laneBroadcast(Val::k0));
+
+  // Fixpoint over {sequential outputs -> levelized comb -> asynchronous
+  // controls}.  Async forces can ripple through FF chains (a cleared FF's
+  // Q reaches another FF's CDN), so iterate; the chain length bounds the
+  // iteration count and anything past it is oscillation.
+  const std::size_t max_iters = p.seqs.size() + 4;
+  for (std::size_t iter = 0;; ++iter) {
+    if (iter >= max_iters) {
+      throw BitSimError("bitsim: asynchronous controls did not settle");
+    }
+    // Sequential outputs from the stored state.  A clock gate's Z is
+    // E AND CP, i.e. constant 0 while the clock is low.
+    for (std::size_t i = 0; i < p.seqs.size(); ++i) {
+      const BitSeq& s = p.seqs[i];
+      if (s.is_icg) {
+        if (s.q != kNoNet) writeNet(s.q, laneBroadcast(Val::k0));
+        continue;
+      }
+      if (s.q != kNoNet) writeNet(s.q, state_[i]);
+      if (s.qn != kNoNet) writeNet(s.qn, laneInvert(state_[i]));
+    }
+    // One levelized sweep evaluates every op exactly once in dependency
+    // order (the plan is acyclic).
+    const std::size_t n_ops = p.op_out.size();
+    for (std::size_t o = 0; o < n_ops; ++o) {
+      LaneWord in[6];
+      const std::uint32_t off = p.op_in_off[o];
+      const std::uint8_t nin = p.op_nin[o];
+      for (std::uint8_t k = 0; k < nin; ++k) {
+        in[k] = read(p.op_inputs[off + k]);
+      }
+      writeNet(p.op_out[o], laneEvalTable(p.op_table[o], in, nin));
+    }
+    // Asynchronous overrides + transparent ICG enable resample.
+    bool changed = false;
+    for (std::size_t i = 0; i < p.seqs.size(); ++i) {
+      const BitSeq& s = p.seqs[i];
+      if (s.is_icg) {
+        // Enable latch transparent while the clock is low; its state does
+        // not reach any net until the edge, so no re-iteration needed.
+        state_[i] = s.data == kNoNet ? LaneWord{} : read(s.data);
+        continue;
+      }
+      if (s.clear == kNoNet && s.preset == kNoNet) continue;
+      const LaneWord clr = s.clear == kNoNet
+                               ? laneBroadcast(Val::k0)
+                               : laneActiveLevel(read(s.clear), s.clear_low);
+      const LaneWord pre = s.preset == kNoNet
+                               ? laneBroadcast(Val::k0)
+                               : laneActiveLevel(read(s.preset), s.preset_low);
+      // Mirrors the event engine's branch order exactly: an active clear
+      // or preset dominates (clear wins over a merely-possible preset and
+      // vice versa; both active -> X), otherwise any X control forces X.
+      const std::uint64_t branch1 = clr.val | pre.val;
+      const std::uint64_t forced0 = clr.val & ~pre.val;
+      const std::uint64_t forced1 = pre.val & ~clr.val;
+      const std::uint64_t branch_x =
+          ~branch1 & (~clr.known | ~pre.known);
+      const std::uint64_t off_mask = ~(branch1 | branch_x);
+      LaneWord ns;
+      ns.val = (state_[i].val & off_mask) | forced1;
+      ns.known = (state_[i].known & off_mask) | forced0 | forced1;
+      if (!(ns == state_[i])) {
+        state_[i] = ns;
+        changed = true;
+      }
+    }
+    if (!changed) {
+      dirty_ = false;
+      return;
+    }
+  }
+}
+
+LaneWord BitSim::nextStateWord(const BitSeq& s) const {
+  LaneWord d = s.data == kNoNet ? LaneWord{} : read(s.data);
+  if (s.scan_en != kNoNet) {
+    const LaneWord se = read(s.scan_en);
+    const LaneWord si = s.scan_in == kNoNet ? LaneWord{} : read(s.scan_in);
+    const std::uint64_t s1 = se.val;
+    const std::uint64_t s0 = se.known & ~se.val;
+    const std::uint64_t sx = ~se.known;
+    const LaneWord m = laneMerge(si, d);  // se=X keeps only agreeing lanes
+    d.val = (s1 & si.val) | (s0 & d.val) | (sx & m.val);
+    d.known = (s1 & si.known) | (s0 & d.known) | (sx & m.known);
+  }
+  if (s.sync != kNoNet) {
+    const LaneWord a = laneActiveLevel(read(s.sync), s.sync_low);
+    const LaneWord f = laneBroadcast(s.sync_set ? Val::k1 : Val::k0);
+    const std::uint64_t a1 = a.val;
+    const std::uint64_t a0 = a.known & ~a.val;
+    const std::uint64_t ax = ~a.known;
+    const LaneWord m = laneMerge(d, f);  // control=X keeps d only if == f
+    d.val = (a1 & f.val) | (a0 & d.val) | (ax & m.val);
+    d.known = (a1 & f.known) | (a0 & d.known) | (ax & m.known);
+  }
+  return d;
+}
+
+void BitSim::cycle(std::uint64_t active_mask) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const BitPlan& p = *plan_;
+  if (dirty_) settle();
+
+  // Phase 1: every next-state and capture mask from the settled pre-edge
+  // values (no commit yet — FF->FF paths must see old Q values, exactly as
+  // the event engine's clock->q delay guarantees).
+  for (std::size_t i = 0; i < p.seqs.size(); ++i) {
+    const BitSeq& s = p.seqs[i];
+    Pending& pd = pending_[i];
+    if (s.is_icg) {
+      // The event engine records the stored enable at every rising edge.
+      pd.next = state_[i];
+      pd.cap = active_mask;
+      pd.to_x = 0;
+      continue;
+    }
+    // Lanes owned by an active/unknown asynchronous control never capture
+    // (the settle loop already forced their state).
+    std::uint64_t async1 = 0, async_x = 0;
+    if (s.clear != kNoNet || s.preset != kNoNet) {
+      const LaneWord clr = s.clear == kNoNet
+                               ? laneBroadcast(Val::k0)
+                               : laneActiveLevel(read(s.clear), s.clear_low);
+      const LaneWord pre = s.preset == kNoNet
+                               ? laneBroadcast(Val::k0)
+                               : laneActiveLevel(read(s.preset), s.preset_low);
+      async1 = clr.val | pre.val;
+      async_x = ~async1 & (~clr.known | ~pre.known);
+    }
+    // Structural clock gating: the ICG's stored enable decides which lanes
+    // see an edge.  A per-lane force on the gated-clock net kills the edge
+    // in that lane outright (a stuck gclk never rises), which the
+    // structural model must replicate explicitly.
+    std::uint64_t gate1 = ~std::uint64_t{0}, gate_x = 0;
+    if (s.gate >= 0) {
+      const std::size_t gi = static_cast<std::size_t>(s.gate);
+      const LaneWord e = state_[gi];
+      gate1 = e.val;
+      gate_x = ~e.known;
+      const std::uint32_t z = p.seqs[gi].q;
+      if (z != kNoNet) {
+        gate1 &= ~fmask_[z];
+        gate_x &= ~fmask_[z];
+      }
+    }
+    const std::uint64_t live = ~async1 & ~async_x;
+    pd.cap = live & gate1;
+    pd.to_x = live & gate_x;
+    pd.next = nextStateWord(s);
+  }
+
+  // Phase 2: commit + record.
+  for (std::size_t i = 0; i < p.seqs.size(); ++i) {
+    const BitSeq& s = p.seqs[i];
+    Pending& pd = pending_[i];
+    if (!s.is_icg) {
+      const std::uint64_t keep = ~(pd.cap | pd.to_x);
+      state_[i].val = (state_[i].val & keep) | (pd.next.val & pd.cap);
+      state_[i].known = (state_[i].known & keep) | (pd.next.known & pd.cap);
+    }
+    if (record_) {
+      const std::uint64_t rec = pd.cap & active_mask;
+      Tape& t = tapes_[i];
+      t.val.push_back(pd.next.val & rec);
+      t.known.push_back(pd.next.known & rec);
+      t.mask.push_back(rec);
+    }
+  }
+
+  dirty_ = true;  // committed states changed the q nets
+  settle();
+  ++cycles_;
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  detail::addCycleStats(1, static_cast<std::uint64_t>(us));
+}
+
+std::vector<CaptureLog> BitSim::captures(unsigned lane) const {
+  const std::uint64_t bit = std::uint64_t{1} << lane;
+  std::vector<CaptureLog> out;
+  out.reserve(plan_->seqs.size());
+  for (std::size_t i = 0; i < plan_->seqs.size(); ++i) {
+    CaptureLog log;
+    log.element = plan_->seqs[i].name;
+    const Tape& t = tapes_[i];
+    for (std::size_t k = 0; k < t.mask.size(); ++k) {
+      if (!(t.mask[k] & bit)) continue;
+      log.values.push_back(
+          laneGet(LaneWord{t.val[k], t.known[k]}, lane));
+      log.times.push_back(static_cast<Time>(k));
+    }
+    out.push_back(std::move(log));
+  }
+  return out;
+}
+
+}  // namespace desync::sim::bitsim

@@ -1,0 +1,270 @@
+// Plan compiler: BoundModule -> flat levelized SoA evaluation plan.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+
+#include "sim/bitsim/bitsim.h"
+#include "trace/trace.h"
+
+namespace desync::sim::bitsim {
+
+namespace {
+
+std::atomic<std::uint64_t> g_compiles{0};
+std::atomic<std::uint64_t> g_compile_us{0};
+std::atomic<std::uint64_t> g_levels{0};
+std::atomic<std::uint64_t> g_cycles{0};
+std::atomic<std::uint64_t> g_eval_us{0};
+
+/// Unsorted op record used during levelization.
+struct RawOp {
+  std::uint32_t out = kNoNet;
+  std::uint8_t n_in = 0;
+  std::uint64_t table = 0;
+  std::uint32_t in[6] = {};
+};
+
+}  // namespace
+
+BitsimStats bitsimStats() {
+  BitsimStats s;
+  s.compiles = g_compiles.load(std::memory_order_relaxed);
+  s.compile_us = g_compile_us.load(std::memory_order_relaxed);
+  s.levels = g_levels.load(std::memory_order_relaxed);
+  s.cycles = g_cycles.load(std::memory_order_relaxed);
+  s.lane_vectors = s.cycles * kLanes;
+  s.eval_us = g_eval_us.load(std::memory_order_relaxed);
+  return s;
+}
+
+namespace detail {
+
+void addCompileStats(std::uint64_t us, std::uint32_t levels) {
+  g_compiles.fetch_add(1, std::memory_order_relaxed);
+  g_compile_us.fetch_add(us, std::memory_order_relaxed);
+  std::uint64_t prev = g_levels.load(std::memory_order_relaxed);
+  while (prev < levels &&
+         !g_levels.compare_exchange_weak(prev, levels,
+                                         std::memory_order_relaxed)) {
+  }
+}
+
+void addCycleStats(std::uint64_t cycles, std::uint64_t us) {
+  g_cycles.fetch_add(cycles, std::memory_order_relaxed);
+  g_eval_us.fetch_add(us, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+std::uint32_t BitPlan::netOf(std::string_view name) const {
+  auto it = net_index.find(std::string(name));
+  if (it == net_index.end()) {
+    throw BitSimError("bitsim: unknown net: " + std::string(name));
+  }
+  return it->second;
+}
+
+BitPlan compilePlan(const liberty::BoundModule& bound,
+                    const PlanOptions& options) {
+  trace::Span span("bitsim_compile", "sim");
+  const auto t0 = std::chrono::steady_clock::now();
+  const netlist::Module& module = bound.module();
+
+  BitPlan plan;
+  plan.n_nets = module.netCapacity();
+
+  // Name lookup: nets by name, ports by name (same map the event engine
+  // builds, so `set`/`value` accept the same spellings).
+  module.forEachNet([&](netlist::NetId id) {
+    plan.net_index.emplace(std::string(module.netName(id)), id.value);
+  });
+  for (const netlist::Port& p : module.ports()) {
+    if (p.net.valid()) {
+      plan.net_index.emplace(std::string(module.design().names().str(p.name)),
+                             p.net.value);
+    }
+  }
+  if (auto it = plan.net_index.find(options.clock_port);
+      it != plan.net_index.end()) {
+    plan.clock_net = it->second;
+  }
+
+  // Cells -> raw ops + sequential records (module cell order, so capture
+  // logs line up with the event engine's).
+  std::vector<RawOp> ops;
+  module.forEachCell([&](netlist::CellId cid) {
+    const liberty::BoundType* bt = bound.typeOf(cid);
+    if (bt == nullptr) {
+      throw BitSimError("bitsim: unknown cell type (flatten first?): " +
+                        std::string(module.cellType(cid)));
+    }
+    auto toSlot = [](netlist::NetId n) { return n.valid() ? n.value : kNoNet; };
+
+    if (bt->kind == liberty::CellKind::kCombinational) {
+      for (const liberty::BoundOutput& o : bt->outputs) {
+        RawOp g;
+        g.out = toSlot(bound.pinNet(cid, o.pin));
+        if (g.out == kNoNet) continue;
+        g.n_in = static_cast<std::uint8_t>(o.inputs.size());
+        for (std::size_t i = 0; i < o.inputs.size(); ++i) {
+          g.in[i] = toSlot(bound.pinNet(cid, o.inputs[i]));
+          if (g.in[i] == kNoNet) {
+            throw BitSimError("bitsim: unconnected input on " +
+                              std::string(module.cellName(cid)));
+          }
+        }
+        g.table = o.table;
+        ops.push_back(g);
+      }
+      return;
+    }
+    if (bt->kind == liberty::CellKind::kLatch) {
+      throw BitSimError("bitsim: transparent latch " +
+                        std::string(module.cellName(cid)) +
+                        " needs the event engine");
+    }
+    const liberty::SeqClass* sc = bt->seq;
+    if (sc == nullptr) {
+      throw BitSimError("bitsim: unclassified sequential cell " +
+                        std::string(module.cellType(cid)));
+    }
+    // A clock gate's enable latch is transparent-low by construction
+    // ("CP'"), which is the ICG shape the cycle model implements — only
+    // genuine negedge FFs are outside it.
+    if (sc->clock_inverted && bt->kind != liberty::CellKind::kClockGate) {
+      throw BitSimError("bitsim: negedge sequential cell " +
+                        std::string(module.cellName(cid)));
+    }
+    const liberty::BoundSeqPins& bp = bt->seq_pins;
+    auto roleNet = [&](std::int16_t lib_pin) {
+      return toSlot(bound.rolePinNet(cid, lib_pin));
+    };
+    BitSeq s;
+    s.name = std::string(module.cellName(cid));
+    s.is_icg = bt->kind == liberty::CellKind::kClockGate;
+    s.data = roleNet(bp.data);
+    s.scan_in = roleNet(bp.scan_in);
+    s.scan_en = roleNet(bp.scan_en);
+    if (bp.sync >= 0) {
+      s.sync = roleNet(bp.sync);
+      s.sync_low = sc->sync_active_low;
+      s.sync_set = sc->sync_is_set;
+    }
+    if (bp.clear >= 0) {
+      s.clear = roleNet(bp.clear);
+      s.clear_low = sc->async_clear_active_low;
+    }
+    if (bp.preset >= 0) {
+      s.preset = roleNet(bp.preset);
+      s.preset_low = sc->async_preset_active_low;
+    }
+    s.q = roleNet(bp.q);
+    s.qn = roleNet(bp.qn);
+    // Stash the clock net in `gate` temporarily; resolved below once every
+    // ICG output net is known.
+    const std::uint32_t clock = roleNet(bp.clock);
+    s.gate = clock == kNoNet ? -1 : static_cast<std::int32_t>(clock);
+    plan.seqs.push_back(std::move(s));
+  });
+
+  // Clock-tree resolution: structural, one ICG level deep (the library's
+  // CGL is clocked by the root clock and gates FFs directly).
+  std::unordered_map<std::uint32_t, std::int32_t> icg_of_z;
+  for (std::size_t i = 0; i < plan.seqs.size(); ++i) {
+    const BitSeq& s = plan.seqs[i];
+    if (s.is_icg && s.q != kNoNet) {
+      icg_of_z.emplace(s.q, static_cast<std::int32_t>(i));
+    }
+  }
+  for (BitSeq& s : plan.seqs) {
+    const std::int32_t raw = s.gate;
+    const std::uint32_t clock =
+        raw < 0 ? kNoNet : static_cast<std::uint32_t>(raw);
+    if (clock == kNoNet || clock != plan.clock_net) {
+      if (!s.is_icg) {
+        if (auto it = icg_of_z.find(clock); it != icg_of_z.end()) {
+          s.gate = it->second;
+          continue;
+        }
+      }
+      throw BitSimError("bitsim: clock of " + s.name +
+                        " does not resolve to '" + options.clock_port +
+                        "' or a root-clocked clock gate");
+    }
+    s.gate = -1;
+  }
+
+  // Levelization (Kahn over ops; deterministic: ascending op index within
+  // each level).  Leftover ops mean a combinational cycle.
+  std::vector<std::int32_t> producer(plan.n_nets, -1);
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    producer[ops[i].out] = static_cast<std::int32_t>(i);
+  }
+  std::vector<std::vector<std::uint32_t>> consumers(ops.size());
+  std::vector<std::uint32_t> remaining(ops.size(), 0);
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    for (std::uint8_t k = 0; k < ops[i].n_in; ++k) {
+      const std::int32_t p = producer[ops[i].in[k]];
+      if (p >= 0) {
+        consumers[static_cast<std::size_t>(p)].push_back(
+            static_cast<std::uint32_t>(i));
+        ++remaining[i];
+      }
+    }
+  }
+  std::vector<std::uint32_t> wave;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (remaining[i] == 0) wave.push_back(static_cast<std::uint32_t>(i));
+  }
+  std::size_t placed = 0;
+  plan.level_first.push_back(0);
+  while (!wave.empty()) {
+    std::vector<std::uint32_t> next;
+    for (std::uint32_t oi : wave) {
+      const RawOp& g = ops[oi];
+      plan.op_out.push_back(g.out);
+      plan.op_nin.push_back(g.n_in);
+      plan.op_in_off.push_back(static_cast<std::uint32_t>(
+          plan.op_inputs.size()));
+      plan.op_table.push_back(g.table);
+      for (std::uint8_t k = 0; k < g.n_in; ++k) {
+        plan.op_inputs.push_back(g.in[k]);
+      }
+      ++placed;
+      for (std::uint32_t c : consumers[oi]) {
+        if (--remaining[c] == 0) next.push_back(c);
+      }
+    }
+    plan.level_first.push_back(static_cast<std::uint32_t>(plan.op_out.size()));
+    std::sort(next.begin(), next.end());
+    wave = std::move(next);
+  }
+  plan.n_levels = static_cast<std::uint32_t>(plan.level_first.size() - 1);
+  if (placed != ops.size()) {
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      if (remaining[i] != 0) {
+        throw BitSimError(
+            "bitsim: combinational cycle through net " +
+            std::string(module.netName(netlist::NetId{ops[i].out})));
+      }
+    }
+  }
+
+  module.forEachNet([&](netlist::NetId id) {
+    const netlist::Net& n = module.net(id);
+    if (n.driver.kind == netlist::TermKind::kConst0) {
+      plan.const0_nets.push_back(id.value);
+    } else if (n.driver.kind == netlist::TermKind::kConst1) {
+      plan.const1_nets.push_back(id.value);
+    }
+  });
+
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  plan.compile_ms = static_cast<double>(us) / 1000.0;
+  detail::addCompileStats(static_cast<std::uint64_t>(us), plan.n_levels);
+  return plan;
+}
+
+}  // namespace desync::sim::bitsim

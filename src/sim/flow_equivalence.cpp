@@ -10,12 +10,18 @@ namespace desync::sim {
 FlowEqReport checkFlowEquivalence(const Simulator& sync_sim,
                                   const Simulator& desync_sim,
                                   const FlowEqOptions& options) {
+  return checkFlowEquivalence(sync_sim.captures(), desync_sim, options);
+}
+
+FlowEqReport checkFlowEquivalence(const std::vector<CaptureLog>& sync_logs,
+                                  const Simulator& desync_sim,
+                                  const FlowEqOptions& options) {
   FlowEqReport report;
   auto mapName = options.map_name
                      ? options.map_name
                      : [](const std::string& n) { return n + "_Ls"; };
 
-  for (const CaptureLog& sync_log : sync_sim.captures()) {
+  for (const CaptureLog& sync_log : sync_logs) {
     const CaptureLog* desync_log = desync_sim.captureOf(mapName(sync_log.element));
     if (desync_log == nullptr) {
       ++report.skipped;
@@ -127,6 +133,17 @@ FlowEqBatchReport checkFlowEquivalenceBatches(const Simulator& golden_sync,
     const std::unique_ptr<Simulator> desync_sim = run_desync(b);
     return checkFlowEquivalence(golden_sync, *desync_sim, options);
   }));
+}
+
+FlowEqBatchReport checkFlowEquivalenceBatches(
+    const std::vector<std::vector<CaptureLog>>& sync_batches,
+    const SimFactory& run_desync, const FlowEqOptions& options) {
+  return mergeBatches(
+      core::parallelMap(sync_batches.size(), [&](std::size_t b) {
+        trace::Span span("fe_batch", "sim");
+        const std::unique_ptr<Simulator> desync_sim = run_desync(b);
+        return checkFlowEquivalence(sync_batches[b], *desync_sim, options);
+      }));
 }
 
 }  // namespace desync::sim

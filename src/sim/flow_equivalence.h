@@ -49,6 +49,14 @@ FlowEqReport checkFlowEquivalence(const Simulator& sync_sim,
                                   const Simulator& desync_sim,
                                   const FlowEqOptions& options = {});
 
+/// Engine-independent variant: the synchronous side is a list of capture
+/// logs, whichever engine produced them (the event-driven Simulator or the
+/// bit-parallel sim/bitsim engine — see sim/stimulus.h's golden helpers).
+/// The (Simulator, Simulator) overload delegates here.
+FlowEqReport checkFlowEquivalence(const std::vector<CaptureLog>& sync_logs,
+                                  const Simulator& desync_sim,
+                                  const FlowEqOptions& options = {});
+
 // --- batched checking over partitioned input-vector sets -----------------
 //
 // Large flow-equivalence campaigns split the stimulus into independent
@@ -88,6 +96,16 @@ FlowEqBatchReport checkFlowEquivalenceBatches(
 /// sweeps).  `golden_sync` is read concurrently and must outlive the call.
 FlowEqBatchReport checkFlowEquivalenceBatches(
     const Simulator& golden_sync, std::size_t n_batches,
+    const SimFactory& run_desync, const FlowEqOptions& options = {});
+
+/// Variant over precomputed per-batch golden capture logs (one entry per
+/// batch; sim/stimulus.h's goldenSyncBatches produces them with either
+/// engine, the bit-parallel one 64 batches per pass).  Only the
+/// desynchronized/timed side still event-simulates, concurrently on the
+/// parallel layer.  `sync_batches` is read concurrently and must outlive
+/// the call.
+FlowEqBatchReport checkFlowEquivalenceBatches(
+    const std::vector<std::vector<CaptureLog>>& sync_batches,
     const SimFactory& run_desync, const FlowEqOptions& options = {});
 
 }  // namespace desync::sim

@@ -235,54 +235,15 @@ Simulator::~Simulator() = default;
 
 // ------------------------------------------------------------- evaluation
 
-namespace {
-
-/// X-aware truth-table evaluation.
-Val evalTable(std::uint64_t table, const std::array<Val, 6>& in,
-              std::uint8_t n) {
-  std::uint32_t base = 0;
-  std::uint32_t x_positions[6];
-  std::uint8_t n_x = 0;
-  for (std::uint8_t i = 0; i < n; ++i) {
-    if (in[i] == Val::k1) {
-      base |= 1u << i;
-    } else if (in[i] == Val::kX) {
-      x_positions[n_x++] = i;
-    }
-  }
-  if (n_x == 0) {
-    return fromBool((table >> base) & 1u);
-  }
-  bool saw0 = false, saw1 = false;
-  for (std::uint32_t m = 0; m < (1u << n_x); ++m) {
-    std::uint32_t row = base;
-    for (std::uint8_t k = 0; k < n_x; ++k) {
-      if ((m >> k) & 1u) row |= 1u << x_positions[k];
-    }
-    if ((table >> row) & 1u) {
-      saw1 = true;
-    } else {
-      saw0 = true;
-    }
-    if (saw0 && saw1) return Val::kX;
-  }
-  return saw1 ? Val::k1 : Val::k0;
-}
-
-/// Level test with polarity: is the (possibly inverted) control active?
-Val activeLevel(Val v, bool active_low) {
-  if (v == Val::kX) return Val::kX;
-  const bool active = active_low ? v == Val::k0 : v == Val::k1;
-  return fromBool(active);
-}
-
-}  // namespace
+// Truth-table and control-level semantics come from the shared table-driven
+// ops in sim/value.h (evalTable3 / activeLevel / merge3), which the
+// bit-parallel engine evaluates 64 lanes at a time.
 
 void Simulator::evalComb(std::uint32_t gate_idx) {
   const CombGate& g = combs_[gate_idx];
   std::array<Val, 6> in{};
   for (std::uint8_t i = 0; i < g.n_in; ++i) in[i] = net_val_[g.in[i]];
-  Val target = evalTable(g.table, in, g.n_in);
+  Val target = evalTable3(g.table, in.data(), g.n_in);
   const bool rising = target == Val::k1 ||
                       (target == Val::kX && net_val_[g.out] == Val::k0);
   scheduleNet(g.out, target, rising ? g.rise : g.fall);
@@ -336,7 +297,7 @@ void Simulator::evalSeq(std::uint32_t seq_idx, std::uint32_t changed_net,
       if (se == Val::k1) {
         d = si;
       } else if (se == Val::kX) {
-        d = (si == d) ? d : Val::kX;
+        d = merge3(si, d);
       }
     }
     if (s.sync != kNoNet) {
@@ -345,7 +306,7 @@ void Simulator::evalSeq(std::uint32_t seq_idx, std::uint32_t changed_net,
       if (active == Val::k1) {
         d = forced;
       } else if (active == Val::kX) {
-        d = (d == forced) ? d : Val::kX;
+        d = merge3(d, forced);
       }
     }
     return d;
@@ -492,6 +453,10 @@ void Simulator::processOne() {
     now_ = it->first;
     auto [net, val] = it->second;
     input_queue_.erase(it);
+    // A stuck-at force pins the net against the testbench too, exactly as
+    // scheduleNet pins it against gate drivers (fault campaigns force input
+    // ports such as scan_in).
+    if (!forced_.empty() && forced_[net]) return;
     // An input change overrides any pending gate event on the net.
     pending_serial_[net]++;
     pending_time_[net] = -1;

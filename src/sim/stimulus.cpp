@@ -1,0 +1,147 @@
+#include "sim/stimulus.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/parallel.h"
+#include "sim/bitsim/bitsim.h"
+#include "trace/trace.h"
+
+namespace desync::sim {
+
+SyncEngine parseSyncEngine(const std::string& name) {
+  if (name == "event") return SyncEngine::kEvent;
+  if (name == "bitsim") return SyncEngine::kBitsim;
+  throw std::invalid_argument("unknown sync engine: " + name +
+                              " (expected event or bitsim)");
+}
+
+const char* syncEngineName(SyncEngine engine) {
+  return engine == SyncEngine::kEvent ? "event" : "bitsim";
+}
+
+FeBatchPlan feBatch(const SyncStimulus& base, std::size_t batch) {
+  FeBatchPlan plan;
+  plan.cycles = base.cycles + 2 * static_cast<int>(batch);
+  // The desynchronized side free-runs; six extra periods absorb the
+  // controller start-up so it produces at least as many captures.
+  plan.window_ns = 2.0 * base.half_period_ns * (plan.cycles + 6);
+  return plan;
+}
+
+void runSyncStimulus(Simulator& s, const SyncStimulus& st) {
+  const Val active = st.reset_active_low ? Val::k0 : Val::k1;
+  const Val inactive = st.reset_active_low ? Val::k1 : Val::k0;
+  s.setInput(st.clock_port, Val::k0);
+  if (!st.reset_port.empty()) s.setInput(st.reset_port, active);
+  s.run(s.now() + nsToPs(st.reset_ns));
+  if (!st.reset_port.empty()) s.setInput(st.reset_port, inactive);
+  s.run(s.now() + nsToPs(st.half_period_ns));
+  for (int i = 0; i < st.cycles; ++i) {
+    s.setInput(st.clock_port, Val::k1);
+    s.run(s.now() + nsToPs(st.half_period_ns));
+    s.setInput(st.clock_port, Val::k0);
+    s.run(s.now() + nsToPs(st.half_period_ns));
+  }
+}
+
+void runSyncStimulus(bitsim::BitSim& s, const SyncStimulus& st,
+                     const std::vector<int>& lane_cycles) {
+  const Val active = st.reset_active_low ? Val::k0 : Val::k1;
+  const Val inactive = st.reset_active_low ? Val::k1 : Val::k0;
+  // The cycle model holds the clock low at every settle point, so the
+  // reset phase is two settles: asserted, then released.  Capture-wise
+  // this matches the event protocol exactly — no FF records before the
+  // first rising edge, and asynchronous controls are applied continuously
+  // by settle() just as the event engine applies them over the reset span.
+  if (!st.reset_port.empty()) {
+    s.set(st.reset_port, active);
+    s.settle();
+    s.set(st.reset_port, inactive);
+  }
+  s.settle();
+  int max_cycles = st.cycles;
+  if (!lane_cycles.empty()) {
+    max_cycles = 0;
+    for (int c : lane_cycles) max_cycles = std::max(max_cycles, c);
+  }
+  for (int c = 0; c < max_cycles; ++c) {
+    std::uint64_t mask = ~std::uint64_t{0};
+    if (!lane_cycles.empty()) {
+      mask = 0;
+      for (std::size_t l = 0; l < lane_cycles.size() && l < kLanes; ++l) {
+        if (c < lane_cycles[l]) mask |= std::uint64_t{1} << l;
+      }
+    }
+    s.cycle(mask);
+  }
+}
+
+namespace {
+
+std::vector<std::vector<CaptureLog>> goldenSyncBatchesEvent(
+    const liberty::BoundModule& bound, const SyncStimulus& base,
+    std::size_t n_batches) {
+  return core::parallelMap(n_batches, [&](std::size_t b) {
+    trace::Span span("fe_golden", "sim");
+    Simulator sync_sim(bound);
+    SyncStimulus st = base;
+    st.cycles = feBatch(base, b).cycles;
+    runSyncStimulus(sync_sim, st);
+    return sync_sim.captures();
+  });
+}
+
+}  // namespace
+
+std::vector<std::vector<CaptureLog>> goldenSyncBatches(
+    const liberty::BoundModule& bound, const SyncStimulus& base,
+    std::size_t n_batches, SyncEngine engine) {
+  if (engine == SyncEngine::kBitsim) {
+    try {
+      bitsim::PlanOptions po;
+      po.clock_port = base.clock_port;
+      const bitsim::BitPlan plan = bitsim::compilePlan(bound, po);
+      std::vector<std::vector<CaptureLog>> out(n_batches);
+      for (std::size_t g0 = 0; g0 < n_batches; g0 += kLanes) {
+        trace::Span span("bitsim_run", "sim");
+        const std::size_t cnt = std::min<std::size_t>(kLanes, n_batches - g0);
+        bitsim::BitSim s(plan);
+        std::vector<int> lane_cycles(cnt);
+        for (std::size_t j = 0; j < cnt; ++j) {
+          lane_cycles[j] = feBatch(base, g0 + j).cycles;
+        }
+        runSyncStimulus(s, base, lane_cycles);
+        for (std::size_t j = 0; j < cnt; ++j) {
+          out[g0 + j] = s.captures(static_cast<unsigned>(j));
+        }
+      }
+      return out;
+    } catch (const bitsim::BitSimError&) {
+      // Design outside the cycle model: the event engine is the answer.
+    }
+  }
+  return goldenSyncBatchesEvent(bound, base, n_batches);
+}
+
+std::vector<CaptureLog> goldenSyncRun(const liberty::BoundModule& bound,
+                                      const SyncStimulus& base,
+                                      SyncEngine engine) {
+  if (engine == SyncEngine::kBitsim) {
+    try {
+      bitsim::PlanOptions po;
+      po.clock_port = base.clock_port;
+      const bitsim::BitPlan plan = bitsim::compilePlan(bound, po);
+      trace::Span span("bitsim_run", "sim");
+      bitsim::BitSim s(plan);
+      runSyncStimulus(s, base, {});
+      return s.captures(0);
+    } catch (const bitsim::BitSimError&) {
+    }
+  }
+  Simulator sync_sim(bound);
+  runSyncStimulus(sync_sim, base);
+  return sync_sim.captures();
+}
+
+}  // namespace desync::sim

@@ -1,0 +1,87 @@
+// Shared synchronous-stimulus derivation and golden-run helpers.
+//
+// Flow-equivalence checking needs the same clocked protocol in four places
+// (the flow's --fe-check batches, the fuzz oracle, determinism_test and the
+// benches): hold the clock low, assert reset, release it, then run N full
+// clock cycles.  This header is the single definition of that protocol and
+// of the per-batch derivation (batch index -> cycle count -> desync-side
+// free-run window), so every caller derives byte-identical stimulus.
+//
+// The golden (synchronous, delay-free) side can be produced by either
+// engine: `kEvent` runs one event-driven Simulator per batch, `kBitsim`
+// packs 64 batches into one bit-parallel pass (sim/bitsim).  Both produce
+// byte-identical capture sequences; bitsim falls back to the event engine
+// silently when the plan compiler rejects the design, so verdicts never
+// depend on the engine selection.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "liberty/bound.h"
+#include "sim/simulator.h"
+
+namespace desync::sim {
+
+namespace bitsim {
+class BitSim;
+}
+
+/// Synchronous-side engine selection (`--fe-engine`).
+enum class SyncEngine {
+  kEvent,   ///< event-driven reference (sim::Simulator)
+  kBitsim,  ///< compiled 64-lane cycle engine (sim::bitsim), the default
+};
+
+/// Parses "event" / "bitsim"; throws std::invalid_argument otherwise.
+[[nodiscard]] SyncEngine parseSyncEngine(const std::string& name);
+[[nodiscard]] const char* syncEngineName(SyncEngine engine);
+
+/// One synchronous run: clk low, reset asserted for `reset_ns`, released,
+/// one half-period of settling, then `cycles` full clock cycles of
+/// 2 * half_period_ns each.
+struct SyncStimulus {
+  std::string clock_port = "clk";
+  /// Reset input; empty = the design has no reset protocol.
+  std::string reset_port = "rst_n";
+  bool reset_active_low = true;
+  double reset_ns = 10.0;
+  double half_period_ns = 1.0;
+  int cycles = 16;
+};
+
+/// FE batch derivation (shared by core/desync.cpp's --fe-check, the fuzz
+/// oracle and determinism_test): batch b runs the base protocol with two
+/// extra cycles per index, and the desynchronized counterpart free-runs
+/// long enough to produce at least as many captures.
+struct FeBatchPlan {
+  int cycles = 0;
+  double window_ns = 0.0;  ///< desync free-run span after reset release
+};
+[[nodiscard]] FeBatchPlan feBatch(const SyncStimulus& base, std::size_t batch);
+
+/// Drives the event-driven simulator through the protocol.
+void runSyncStimulus(Simulator& s, const SyncStimulus& st);
+
+/// Same protocol on the bit-parallel engine; lane l runs
+/// `lane_cycles[l]` cycles (lanes beyond lane_cycles.size() record
+/// nothing).  With an empty vector every lane runs `st.cycles`.
+void runSyncStimulus(bitsim::BitSim& s, const SyncStimulus& st,
+                     const std::vector<int>& lane_cycles = {});
+
+/// Golden synchronous capture logs for `n_batches` FE batches (batch b =
+/// feBatch(base, b)), produced by the selected engine.  kEvent runs the
+/// batches concurrently on the parallel layer; kBitsim packs 64 batches
+/// per pass.  Results are byte-identical between engines and at any
+/// --jobs.  BitSimError falls back to kEvent silently.
+[[nodiscard]] std::vector<std::vector<CaptureLog>> goldenSyncBatches(
+    const liberty::BoundModule& bound, const SyncStimulus& base,
+    std::size_t n_batches, SyncEngine engine);
+
+/// Single golden synchronous run (the fuzz oracle's FE check): the batch-0
+/// protocol with exactly `base.cycles` cycles.
+[[nodiscard]] std::vector<CaptureLog> goldenSyncRun(
+    const liberty::BoundModule& bound, const SyncStimulus& base,
+    SyncEngine engine);
+
+}  // namespace desync::sim

@@ -1,4 +1,11 @@
 // Three-valued simulation logic (0 / 1 / X).
+//
+// Both simulation engines evaluate the same semantics from this header:
+// the event-driven `sim::Simulator` on scalar `Val`s, and the compiled
+// bit-parallel `sim::bitsim` engine on 64-lane dual-rail words.  Keeping
+// the scalar and lane implementations side by side (and exhaustively
+// cross-checked in bitsim_test) is what lets the engines guarantee
+// byte-identical verdicts.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +21,144 @@ enum class Val : std::uint8_t { k0 = 0, k1 = 1, kX = 2 };
 }
 [[nodiscard]] constexpr Val invert(Val v) {
   return v == Val::kX ? Val::kX : fromBool(v == Val::k0);
+}
+
+// --- shared table-driven scalar ops --------------------------------------
+
+/// X-aware truth-table evaluation: the output is known iff every completion
+/// of the X inputs lands on the same table entry (the standard 3-valued
+/// completion semantics).  `table` bit r is the output for input row r
+/// (input i contributes bit i of r); n <= 6.
+[[nodiscard]] constexpr Val evalTable3(std::uint64_t table, const Val* in,
+                                       unsigned n) {
+  std::uint32_t base = 0;
+  std::uint32_t x_positions[6] = {};
+  unsigned n_x = 0;
+  for (unsigned i = 0; i < n; ++i) {
+    if (in[i] == Val::k1) {
+      base |= 1u << i;
+    } else if (in[i] == Val::kX) {
+      x_positions[n_x++] = i;
+    }
+  }
+  if (n_x == 0) {
+    return fromBool((table >> base) & 1u);
+  }
+  bool saw0 = false, saw1 = false;
+  for (std::uint32_t m = 0; m < (1u << n_x); ++m) {
+    std::uint32_t row = base;
+    for (unsigned k = 0; k < n_x; ++k) {
+      if ((m >> k) & 1u) row |= 1u << x_positions[k];
+    }
+    if ((table >> row) & 1u) {
+      saw1 = true;
+    } else {
+      saw0 = true;
+    }
+    if (saw0 && saw1) return Val::kX;
+  }
+  return saw1 ? Val::k1 : Val::k0;
+}
+
+/// Level test with polarity: is the (possibly active-low) control active?
+[[nodiscard]] constexpr Val activeLevel(Val v, bool active_low) {
+  if (v == Val::kX) return Val::kX;
+  return fromBool(active_low ? v == Val::k0 : v == Val::k1);
+}
+
+/// "Equal keeps, conflict is unknown": the resolution used by the scan mux
+/// with se=X and the synchronous set/reset with control=X.  Note X==X keeps
+/// X (matching the scalar `(a == b) ? a : X` branches both engines share).
+[[nodiscard]] constexpr Val merge3(Val a, Val b) {
+  return a == b ? a : Val::kX;
+}
+
+// --- 64-lane dual-rail words ---------------------------------------------
+//
+// One LaneWord carries 64 independent simulation lanes of one net: bit l of
+// `val` is lane l's value and bit l of `known` says whether that lane is
+// 0/1 (X otherwise).  Canonical form: val & ~known == 0 — every op below
+// preserves it, so lane extraction and equality are plain word compares.
+
+constexpr unsigned kLanes = 64;
+
+struct LaneWord {
+  std::uint64_t val = 0;
+  std::uint64_t known = 0;
+
+  friend constexpr bool operator==(const LaneWord& a, const LaneWord& b) {
+    return a.val == b.val && a.known == b.known;
+  }
+};
+
+[[nodiscard]] constexpr LaneWord laneBroadcast(Val v) {
+  switch (v) {
+    case Val::k0: return LaneWord{0, ~std::uint64_t{0}};
+    case Val::k1: return LaneWord{~std::uint64_t{0}, ~std::uint64_t{0}};
+    default: return LaneWord{0, 0};
+  }
+}
+
+[[nodiscard]] constexpr Val laneGet(const LaneWord& w, unsigned lane) {
+  if (!((w.known >> lane) & 1u)) return Val::kX;
+  return fromBool((w.val >> lane) & 1u);
+}
+
+[[nodiscard]] constexpr LaneWord laneSet(LaneWord w, unsigned lane, Val v) {
+  const std::uint64_t bit = std::uint64_t{1} << lane;
+  w.val &= ~bit;
+  w.known &= ~bit;
+  if (v != Val::kX) {
+    w.known |= bit;
+    if (v == Val::k1) w.val |= bit;
+  }
+  return w;
+}
+
+[[nodiscard]] constexpr LaneWord laneInvert(const LaneWord& a) {
+  return LaneWord{~a.val & a.known, a.known};
+}
+
+/// Per-lane merge3: lanes where both sides are known and equal keep the
+/// value, all other lanes become X (X==X is X, which merge3 also keeps).
+[[nodiscard]] constexpr LaneWord laneMerge(const LaneWord& a,
+                                           const LaneWord& b) {
+  const std::uint64_t same = a.known & b.known & ~(a.val ^ b.val);
+  return LaneWord{a.val & same, same};
+}
+
+/// Per-lane activeLevel: known lanes map to "control is active?", unknown
+/// lanes stay X.
+[[nodiscard]] constexpr LaneWord laneActiveLevel(const LaneWord& a,
+                                                 bool active_low) {
+  return LaneWord{(active_low ? ~a.val : a.val) & a.known, a.known};
+}
+
+/// Per-lane evalTable3 by the row method: for every table row r, compute
+/// the mask of lanes whose inputs *could* take row r (an X input can take
+/// either value), and accumulate it into a can-be-1 or can-be-0 word.  A
+/// lane is known iff only one of the two is reachable.  Identical to 64
+/// scalar evalTable3 calls (bitsim_test proves it exhaustively).
+[[nodiscard]] constexpr LaneWord laneEvalTable(std::uint64_t table,
+                                               const LaneWord* in,
+                                               unsigned n) {
+  std::uint64_t can1 = 0, can0 = 0;
+  const std::uint32_t rows = 1u << n;
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    std::uint64_t m = ~std::uint64_t{0};
+    for (unsigned i = 0; i < n; ++i) {
+      // Lane can drive input i to the row's bit: value matches, or X.
+      m &= ((r >> i) & 1u) ? (in[i].val | ~in[i].known) : ~in[i].val;
+    }
+    if ((table >> r) & 1u) {
+      can1 |= m;
+    } else {
+      can0 |= m;
+    }
+  }
+  // Every lane reaches at least one row, so can0 | can1 == ~0 and the
+  // known mask is exactly the lanes reaching rows of a single polarity.
+  return LaneWord{can1 & ~can0, can0 ^ can1};
 }
 
 /// Simulation time in picoseconds.

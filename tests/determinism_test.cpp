@@ -19,6 +19,7 @@
 #include "netlist/verilog.h"
 #include "sim/flow_equivalence.h"
 #include "sim/simulator.h"
+#include "sim/stimulus.h"
 #include "sta/sta.h"
 #include "trace/trace.h"
 #include "variability/variability.h"
@@ -242,4 +243,44 @@ TEST(Determinism, FlowEquivalenceBatchesIdenticalAcrossJobs) {
               parallel.per_batch[b].mismatches);
   }
   EXPECT_GT(serial.values_compared, 0u);
+}
+
+TEST(Determinism, GoldenSyncBatchesIdenticalAcrossEnginesAndJobs) {
+  // The --fe-check golden side must be byte-identical whichever engine
+  // produced it (event runs batches on the parallel layer, bitsim packs 64
+  // batches per pass) and at any worker count.
+  Fixture& fx = fixture();
+  const lib::BoundModule bound(fx.syncModule(), gf());
+  sim::SyncStimulus base;
+  base.half_period_ns = fx.report.sync_min_period_ns;
+  base.cycles = 10;
+
+  auto digestAll = [](const std::vector<std::vector<sim::CaptureLog>>& bs) {
+    std::string d;
+    for (const auto& batch : bs) {
+      for (const sim::CaptureLog& log : batch) {
+        d += log.element;
+        d += '=';
+        for (sim::Val v : log.values) d += sim::toChar(v);
+        d += '\n';
+      }
+      d += ';';
+    }
+    return d;
+  };
+  auto run = [&] {
+    return std::make_pair(
+        digestAll(sim::goldenSyncBatches(bound, base, 6,
+                                         sim::SyncEngine::kEvent)),
+        digestAll(sim::goldenSyncBatches(bound, base, 6,
+                                         sim::SyncEngine::kBitsim)));
+  };
+  auto [serial, parallel] = runBoth(run);
+  EXPECT_FALSE(serial.first.empty());
+  EXPECT_EQ(serial.first, serial.second) << "engines disagree at --jobs 1";
+  EXPECT_EQ(parallel.first, parallel.second)
+      << "engines disagree at --jobs " << kParallelJobs;
+  EXPECT_EQ(serial.first, parallel.first) << "event digest depends on --jobs";
+  EXPECT_EQ(serial.second, parallel.second)
+      << "bitsim digest depends on --jobs";
 }

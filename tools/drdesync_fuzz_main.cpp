@@ -51,6 +51,9 @@ void usage() {
       "                     short-margin or self-test (default none)\n"
       "  --cycles N         synchronous clock cycles simulated (default 16)\n"
       "  --no-flowdb        skip the FlowDB cold/warm cache cross-check\n"
+      "  --fe-engine E      golden-side simulator for the flow-equivalence\n"
+      "                     check: 'bitsim' (bit-parallel, default) or\n"
+      "                     'event' (reference); verdicts are identical\n"
       "  --jobs N           worker threads for the main flow, 0 = auto\n"
       "\n"
       "failure handling:\n"
@@ -148,6 +151,13 @@ int main(int argc, char** argv) {
       oracle.cycles = parseIntFlag(arg, next());
     } else if (arg == "--no-flowdb") {
       oracle.check_flowdb = false;
+    } else if (arg == "--fe-engine") {
+      try {
+        oracle.fe_engine = sim::parseSyncEngine(next());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "drdesync-fuzz: %s\n", e.what());
+        return 2;
+      }
     } else if (arg == "--jobs") {
       const int jobs = parseIntFlag(arg, next());
       if (jobs < 0 || jobs > 1024) {

@@ -62,6 +62,12 @@ void usage() {
       "  --mux-taps N       delay-line calibration taps: 0, 2, 4 or 8\n"
       "  --no-bus-heuristic disable bus-name region merging\n"
       "  --no-clean         skip netlist cleaning before grouping\n"
+      "  --fe-check N       after the flow, simulate N stimulus batches\n"
+      "                     and check flow equivalence of the converted\n"
+      "                     netlist against the input (0 = off, default)\n"
+      "  --fe-engine E      golden-side simulator for --fe-check: 'bitsim'\n"
+      "                     (bit-parallel, 64 batches per pass, default)\n"
+      "                     or 'event' (reference); verdicts are identical\n"
       "\n"
       "execution:\n"
       "  --jobs N           worker threads, 0 = auto (default: DESYNC_JOBS\n"
@@ -181,6 +187,21 @@ int main(int argc, char** argv) {
         return 2;
       }
       core::setThreadJobs(jobs);  // 0 resets to the env/hardware default
+    } else if (arg == "--fe-check") {
+      const int batches = parseIntFlag(arg, next());
+      if (batches < 0 || batches > 4096) {
+        std::fprintf(stderr, "--fe-check must be in 0..4096 (got %d)\n",
+                     batches);
+        return 2;
+      }
+      opt.fe.batches = static_cast<std::size_t>(batches);
+    } else if (arg == "--fe-engine") {
+      try {
+        opt.fe.engine = sim::parseSyncEngine(next());
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+      }
     } else if (arg == "--no-bus-heuristic") {
       opt.grouping.bus_heuristic = false;
     } else if (arg == "--no-clean") {
@@ -268,8 +289,18 @@ int main(int argc, char** argv) {
       info.nets_out = module.numNets();
       std::fputs(core::runReportJson(info, result).c_str(), stdout);
     }
+    bool fe_failed = false;
+    if (result.fe.ran) {
+      const sim::FlowEqBatchReport& fe = result.fe.report;
+      fe_failed = !fe.equivalent;
+      std::fprintf(stderr,
+                   "drdesync: fe-check: %zu batches, %zu values compared, "
+                   "%zu mismatches: %s\n",
+                   fe.batches_run, fe.values_compared, fe.mismatches,
+                   fe.equivalent ? "flow-equivalent" : "NOT flow-equivalent");
+    }
     core::shutdownParallel();  // join workers before static destructors
-    return 0;
+    return fe_failed ? 1 : 0;
   } catch (const core::FlowError& e) {
     // A pass failed mid-flow: still write the trace collected so far (a
     // post-mortem of where the flow died), then the partial report with
