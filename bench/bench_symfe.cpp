@@ -1,0 +1,218 @@
+// Flow-equivalence route comparison: symbolic per-register proving
+// (sim/symfe, `--fe-mode prove`) vs the sampling vector route
+// (`--fe-check`) on the two CPU case studies (DLX four-stage pipeline,
+// ARM-class single-group scan design).
+//
+// The two routes answer the same question with different strength: the
+// vector route samples stored-value sequences over stimulus batches, the
+// prover covers the whole input space per register (plus the token-flow
+// protocol admissibility check) but is timing-blind.  The bench measures
+// the wall time of each route on an already-flowed pair and FAILS (exit 1)
+// when the prover leaves any register refuted or skipped, or when the
+// vector route disagrees — the PR's acceptance bar for the case studies.
+// Timings go to BENCH_symfe.json; CI publishes registers-proved and
+// solver-conflict counts to the step summary.
+#include <string>
+#include <vector>
+
+#include "dft/scan.h"
+#include "harness.h"
+#include "sim/stimulus.h"
+#include "sim/symfe/symfe.h"
+
+namespace dft = desync::dft;
+namespace symfe = desync::sim::symfe;
+using namespace bench;
+
+namespace {
+
+constexpr std::size_t kBatches = 8;
+
+struct Pair {
+  std::string name;
+  nl::Design sync_design;
+  nl::Design desync_design;
+  std::string top;
+  const lib::Gatefile* gf = nullptr;
+  core::DesyncResult res;
+};
+
+Pair makeDlx() {
+  Pair p;
+  p.name = "dlx";
+  p.top = "dlx";
+  p.gf = &gatefileHs();
+  designs::buildCpu(p.desync_design, *p.gf, designs::dlxConfig());
+  nl::cloneModule(p.sync_design, *p.desync_design.findModule("dlx"));
+  p.sync_design.setTop("dlx");
+  core::DesyncOptions opt;
+  opt.control.reset_port = "rst_n";
+  opt.control.reset_active_low = true;
+  opt.manual_seq_groups = dlxStageRegions();
+  p.res = core::desynchronize(p.desync_design,
+                              *p.desync_design.findModule("dlx"), *p.gf,
+                              opt);
+  return p;
+}
+
+Pair makeArmPair() {
+  Pair p;
+  p.name = "arm_class";
+  p.top = "armlike";
+  p.gf = &gatefileLl();
+  designs::buildCpu(p.desync_design, *p.gf, designs::armClassConfig());
+  dft::insertScan(*p.desync_design.findModule("armlike"), *p.gf);
+  nl::cloneModule(p.sync_design, *p.desync_design.findModule("armlike"));
+  p.sync_design.setTop("armlike");
+  core::DesyncOptions opt;
+  opt.control.reset_port = "rst_n";
+  opt.control.reset_active_low = true;
+  opt.manual_seq_groups = {{""}};  // single group, as in the paper (§5.3)
+  opt.grouping.false_path_nets = {"scan_en"};
+  p.res = core::desynchronize(p.desync_design,
+                              *p.desync_design.findModule("armlike"), *p.gf,
+                              opt);
+  return p;
+}
+
+struct RouteResult {
+  std::size_t registers = 0;
+  std::size_t proved = 0;
+  std::size_t refuted = 0;
+  std::size_t skipped = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t decisions = 0;
+  bool prove_ok = false;
+  bool vector_ok = false;
+  std::size_t values_compared = 0;
+  double vector_ms = 0.0;
+  double prove_ms = 0.0;
+};
+
+RouteResult runDesign(Pair& p, int repeats) {
+  RouteResult r;
+  const nl::Module& sync_top = p.sync_design.top();
+  const nl::Module& converted = *p.desync_design.findModule(p.top);
+  const lib::BoundModule sync_bound(sync_top, *p.gf);
+  const lib::BoundModule desync_bound(converted, *p.gf);
+
+  // Vector route: golden synchronous batches on the bit-parallel engine,
+  // desynchronized side event-simulated per batch — the fe_check pass's
+  // exact workload (core/desync.cpp).
+  sim::SyncStimulus st;
+  st.half_period_ns = std::max(p.res.sync_min_period_ns, 0.1);
+  st.cycles = 10;
+  auto run_desync = [&](std::size_t b) {
+    auto s = std::make_unique<sim::Simulator>(desync_bound);
+    s->setInput(st.clock_port, sim::Val::k0);
+    s->setInput(st.reset_port, sim::Val::k0);
+    s->run(s->now() + sim::nsToPs(2 * st.reset_ns));
+    s->setInput(st.reset_port, sim::Val::k1);
+    s->run(s->now() + sim::nsToPs(sim::feBatch(st, b).window_ns));
+    return s;
+  };
+  sim::FlowEqBatchReport vec;
+  r.vector_ms = measureRepeated(repeats, [&] {
+    const std::vector<std::vector<sim::CaptureLog>> sync_batches =
+        sim::goldenSyncBatches(sync_bound, st, kBatches,
+                               sim::SyncEngine::kBitsim);
+    vec = sim::checkFlowEquivalenceBatches(sync_batches, run_desync);
+  }).min_ms;
+  r.vector_ok = vec.equivalent;
+  r.values_compared = vec.values_compared;
+
+  // Prove route: per-register projection miters + protocol check.
+  symfe::SymfeOptions so;
+  symfe::ProtocolInput pi;
+  pi.n_groups = p.res.regions.n_groups;
+  for (const auto& cells : p.res.regions.seq_cells) {
+    pi.active.push_back(!cells.empty());
+  }
+  pi.preds = p.res.ddg.preds;
+  so.protocol = std::move(pi);
+  symfe::SymfeReport rep;
+  r.prove_ms = measureRepeated(repeats, [&] {
+    rep = symfe::proveFlowEquivalence(sync_bound, desync_bound, so);
+  }).min_ms;
+  r.registers = rep.registers.size();
+  r.proved = rep.proved;
+  r.refuted = rep.refuted;
+  r.skipped = rep.skipped;
+  r.conflicts = rep.conflicts;
+  r.decisions = rep.decisions;
+  r.prove_ok = rep.ok();
+  if (!r.prove_ok) {
+    for (const symfe::RegisterProof& reg : rep.registers) {
+      if (reg.verdict == symfe::RegVerdict::kProved) continue;
+      row("    %s %s: %s",
+          reg.verdict == symfe::RegVerdict::kRefuted ? "REFUTED" : "SKIPPED",
+          reg.name.c_str(), reg.reason.c_str());
+    }
+    if (!rep.protocol.admissible) {
+      row("    PROTOCOL: %s", rep.protocol.violation.c_str());
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  header("Symbolic FE proving vs vector-route checking (prove vs sim)");
+  const int repeats = benchRepeats(3);
+  row("  %zu vector batches vs full per-register proofs; repeats: %d",
+      kBatches, repeats);
+
+  Pair dlx_pair = makeDlx();
+  Pair arm_pair = makeArmPair();
+
+  RouteResult dlx = runDesign(dlx_pair, repeats);
+  RouteResult arm = runDesign(arm_pair, repeats);
+
+  row("  %-10s %9s %8s %9s %9s %12s %12s", "design", "registers", "proved",
+      "conflicts", "values", "vector (ms)", "prove (ms)");
+  const struct {
+    const char* name;
+    const RouteResult* r;
+  } rows[] = {{"dlx", &dlx}, {"arm_class", &arm}};
+  bool ok = true;
+  for (const auto& e : rows) {
+    row("  %-10s %9zu %8zu %9llu %9zu %12.2f %12.2f", e.name, e.r->registers,
+        e.r->proved, static_cast<unsigned long long>(e.r->conflicts),
+        e.r->values_compared, e.r->vector_ms, e.r->prove_ms);
+    if (!e.r->prove_ok) {
+      row("  FAIL: %s prove route left %zu refuted / %zu skipped", e.name,
+          e.r->refuted, e.r->skipped);
+      ok = false;
+    }
+    if (!e.r->vector_ok) {
+      row("  FAIL: %s vector route found mismatches", e.name);
+      ok = false;
+    }
+  }
+
+  RepeatedTiming t;
+  t.runs_ms = {dlx.prove_ms, arm.prove_ms};
+  t.min_ms = std::min(dlx.prove_ms, arm.prove_ms);
+  t.median_ms = arm.prove_ms;
+  writeBenchJson(
+      "symfe", t,
+      {{"batches", static_cast<double>(kBatches)},
+       {"dlx_registers", static_cast<double>(dlx.registers)},
+       {"dlx_proved", static_cast<double>(dlx.proved)},
+       {"dlx_conflicts", static_cast<double>(dlx.conflicts)},
+       {"dlx_decisions", static_cast<double>(dlx.decisions)},
+       {"dlx_vector_ms", dlx.vector_ms},
+       {"dlx_prove_ms", dlx.prove_ms},
+       {"arm_registers", static_cast<double>(arm.registers)},
+       {"arm_proved", static_cast<double>(arm.proved)},
+       {"arm_conflicts", static_cast<double>(arm.conflicts)},
+       {"arm_decisions", static_cast<double>(arm.decisions)},
+       {"arm_vector_ms", arm.vector_ms},
+       {"arm_prove_ms", arm.prove_ms}});
+  if (ok) {
+    row("\n  all registers proved: dlx %zu/%zu, arm_class %zu/%zu",
+        dlx.proved, dlx.registers, arm.proved, arm.registers);
+  }
+  return ok ? 0 : 1;
+}

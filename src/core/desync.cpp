@@ -13,6 +13,26 @@
 
 namespace desync::core {
 
+FeMode parseFeMode(const std::string& text) {
+  if (text == "sim") return FeMode::kSim;
+  if (text == "prove") return FeMode::kProve;
+  if (text == "both") return FeMode::kBoth;
+  throw std::invalid_argument("unknown --fe-mode \"" + text +
+                              "\" (expected sim, prove or both)");
+}
+
+const char* feModeName(FeMode mode) {
+  switch (mode) {
+    case FeMode::kSim:
+      return "sim";
+    case FeMode::kProve:
+      return "prove";
+    case FeMode::kBoth:
+      return "both";
+  }
+  return "unknown";
+}
+
 namespace {
 
 /// Post-flow flow-equivalence self-check (`--fe-check`): golden batches
@@ -50,6 +70,11 @@ void runFeCheck(const netlist::Module& sync_top, const netlist::Module& module,
   };
   result.fe.report = sim::checkFlowEquivalenceBatches(sync_batches, run_desync);
   result.fe.ran = true;
+  if (result.substitution.ffs_replaced == 0) {
+    result.flow.note(
+        "fe: vector check is vacuous (no flip-flops were replaced; no "
+        "capture sequences to compare)");
+  }
 
   const sim::FlowEqBatchReport& fe = result.fe.report;
   pass.counter("batches", static_cast<std::int64_t>(fe.batches_run));
@@ -76,6 +101,57 @@ void runFeCheck(const netlist::Module& sync_top, const netlist::Module& module,
   if (bs.compiles > 0) result.flow.setBitsim(bs);
 }
 
+/// Post-flow symbolic route (`--fe-mode prove|both`): per-register
+/// projection-equivalence miters over the pristine snapshot plus the
+/// token-flow protocol admissibility check (sim/symfe).
+void runFeProve(const netlist::Module& sync_top, const netlist::Module& module,
+                const liberty::Gatefile& gatefile,
+                const DesyncOptions& options, DesyncResult& result) {
+  ScopedPass pass(result.flow, "fe_prove");
+
+  const liberty::BoundModule sync_bound(sync_top, gatefile);
+  const liberty::BoundModule desync_bound(module, gatefile);
+
+  sim::symfe::SymfeOptions so;
+  so.clock_port = options.clock_port;
+  so.max_conflicts = options.fe.prove_max_conflicts;
+  so.controller = options.control.controller;
+  sim::symfe::ProtocolInput pi;
+  pi.n_groups = result.regions.n_groups;
+  for (const auto& cells : result.regions.seq_cells) {
+    pi.active.push_back(!cells.empty());
+  }
+  pi.preds = result.ddg.preds;
+  so.protocol = std::move(pi);
+
+  result.symfe.report = sim::symfe::proveFlowEquivalence(sync_bound,
+                                                         desync_bound, so);
+  result.symfe.ran = true;
+
+  const sim::symfe::SymfeReport& rep = result.symfe.report;
+  pass.counter("registers", static_cast<std::int64_t>(rep.registers.size()));
+  pass.counter("proved", static_cast<std::int64_t>(rep.proved));
+  pass.counter("refuted", static_cast<std::int64_t>(rep.refuted));
+  pass.counter("skipped", static_cast<std::int64_t>(rep.skipped));
+  pass.counter("conflicts", static_cast<std::int64_t>(rep.conflicts));
+  pass.counter("decisions", static_cast<std::int64_t>(rep.decisions));
+  pass.counter("protocol_admissible", rep.protocol.admissible ? 1 : 0);
+
+  FlowReport::SymfeSection ss;
+  ss.registers = static_cast<std::int64_t>(rep.registers.size());
+  ss.proved = static_cast<std::int64_t>(rep.proved);
+  ss.refuted = static_cast<std::int64_t>(rep.refuted);
+  ss.skipped = static_cast<std::int64_t>(rep.skipped);
+  ss.conflicts = static_cast<std::int64_t>(rep.conflicts);
+  ss.decisions = static_cast<std::int64_t>(rep.decisions);
+  ss.protocol_states =
+      static_cast<std::int64_t>(rep.protocol.states_explored);
+  ss.protocol_admissible = rep.protocol.admissible;
+  ss.comb_only = rep.comb_only;
+  ss.ms = rep.total_ms;
+  result.flow.setSymfe(ss);
+}
+
 }  // namespace
 
 DesyncResult desynchronize(netlist::Design& design, netlist::Module& module,
@@ -89,7 +165,10 @@ DesyncResult desynchronize(netlist::Design& design, netlist::Module& module,
   // (the flow mutates `module` in place); taken only when the check is on.
   netlist::Design sync_snapshot;
   const netlist::Module* sync_top = nullptr;
-  if (options.fe.batches > 0) {
+  const bool want_vector = options.fe.batches > 0 &&
+                           options.fe.mode != FeMode::kProve;
+  const bool want_prove = options.fe.mode != FeMode::kSim;
+  if (want_vector || want_prove) {
     sync_top = &netlist::cloneModule(sync_snapshot, module);
   }
 
@@ -254,8 +333,11 @@ DesyncResult desynchronize(netlist::Design& design, netlist::Module& module,
   });
 
   session.run();
-  if (sync_top != nullptr) {
+  if (want_vector) {
     runFeCheck(*sync_top, module, gatefile, options, result);
+  }
+  if (want_prove) {
+    runFeProve(*sync_top, module, gatefile, options, result);
   }
   // Contention delta across the run: non-zero when another top-level
   // caller's parallel section serialized one of ours on the shared pool.

@@ -24,9 +24,21 @@
 #include "core/regions.h"
 #include "sim/flow_equivalence.h"
 #include "sim/stimulus.h"
+#include "sim/symfe/symfe.h"
 #include "sta/sdc.h"
 
 namespace desync::core {
+
+/// Which flow-equivalence route(s) the post-flow self-check runs
+/// (`--fe-mode`): the sampling vector route (sim/flow_equivalence), the
+/// exhaustive per-register symbolic route (sim/symfe), or both as
+/// complementary checks (the prover is timing-blind; the vector route
+/// samples but sees real delays).
+enum class FeMode : std::uint8_t { kSim, kProve, kBoth };
+
+/// Parses "sim" / "prove" / "both"; throws std::invalid_argument otherwise.
+FeMode parseFeMode(const std::string& text);
+const char* feModeName(FeMode mode);
 
 /// Post-flow flow-equivalence self-check knobs (`--fe-check`,
 /// `--fe-engine`): after the seven passes, the converted module is
@@ -42,6 +54,12 @@ struct FeCheckOptions {
   /// Golden-side engine: the bit-parallel simulator packs 64 batches per
   /// pass; verdicts are byte-identical to the event engine.
   sim::SyncEngine engine = sim::SyncEngine::kBitsim;
+  /// Route selection: kSim runs the vector check gated on `batches`; kProve
+  /// runs the symbolic prover (fe_prove pass) regardless of `batches`;
+  /// kBoth runs whichever of the two are enabled plus the prover.
+  FeMode mode = FeMode::kSim;
+  /// Per-register conflict budget for the prover.
+  std::uint64_t prove_max_conflicts = 200000;
 };
 
 /// FlowDB persistence knobs (`--cache-dir`, `--resume`).
@@ -101,6 +119,13 @@ struct DesyncResult {
     sim::FlowEqBatchReport report;
   };
   FeCheck fe;
+  /// Symbolic per-register proof outcome (fe_prove pass); `ran` is false
+  /// unless FeCheckOptions::mode included the prover.
+  struct SymfeCheck {
+    bool ran = false;
+    sim::symfe::SymfeReport report;
+  };
+  SymfeCheck symfe;
   /// Per-pass wall times and work counters (`drdesync --report`).
   FlowReport flow;
 };

@@ -86,6 +86,19 @@ std::string FlowReport::toJson(int indent) const {
        << ", \"vectors_per_sec\": " << bitsim_.vectors_per_sec << "},"
        << nl;
   }
+  if (symfe_.ran) {
+    os << pad1 << "\"symfe\": {\"registers\": " << symfe_.registers
+       << ", \"proved\": " << symfe_.proved
+       << ", \"refuted\": " << symfe_.refuted
+       << ", \"skipped\": " << symfe_.skipped
+       << ", \"conflicts\": " << symfe_.conflicts
+       << ", \"decisions\": " << symfe_.decisions
+       << ", \"protocol_states\": " << symfe_.protocol_states
+       << ", \"protocol_admissible\": "
+       << (symfe_.protocol_admissible ? "true" : "false")
+       << ", \"comb_only\": " << (symfe_.comb_only ? "true" : "false")
+       << ", \"ms\": " << symfe_.ms << "}," << nl;
+  }
   if (cache_.enabled) {
     os << pad1 << "\"cache\": {\"hits\": " << cache_.hits
        << ", \"misses\": " << cache_.misses

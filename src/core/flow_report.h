@@ -101,6 +101,27 @@ class FlowReport {
   void setBitsim(BitsimSection bitsim) { bitsim_ = bitsim; }
   [[nodiscard]] const BitsimSection& bitsim() const { return bitsim_; }
 
+  /// Symbolic flow-equivalence prover statistics (fe_prove pass).
+  /// Serialized as the top-level "symfe" object when the pass ran.
+  struct SymfeSection {
+    bool ran = false;
+    std::int64_t registers = 0;
+    std::int64_t proved = 0;
+    std::int64_t refuted = 0;
+    std::int64_t skipped = 0;
+    std::int64_t conflicts = 0;   ///< total solver conflicts
+    std::int64_t decisions = 0;   ///< total solver decisions
+    std::int64_t protocol_states = 0;  ///< markings explored (fully dec.)
+    bool protocol_admissible = true;
+    bool comb_only = false;
+    double ms = 0.0;
+  };
+  void setSymfe(SymfeSection symfe) {
+    symfe_ = symfe;
+    symfe_.ran = true;
+  }
+  [[nodiscard]] const SymfeSection& symfe() const { return symfe_; }
+
   /// Pool contention this flow experienced (core::poolStats() delta across
   /// the run): how many of its parallel sections had to wait for another
   /// top-level caller's section, and for how long.  Serialized as the
@@ -150,6 +171,7 @@ class FlowReport {
   std::vector<PassStat> passes_;
   int jobs_ = 0;
   BitsimSection bitsim_;
+  SymfeSection symfe_;
   std::uint64_t pool_contended_ = 0;
   double pool_wait_ms_ = 0.0;
   FlowCacheStats cache_;

@@ -100,11 +100,33 @@ std::string runReportJson(const RunInfo& info, const DesyncResult& result) {
     // capture sequences (tests/bitsim_test.cpp), so this object never
     // depends on --fe-engine.
     const sim::FlowEqBatchReport& fe = result.fe.report;
+    // "vacuous" is the honesty bit: with no flip-flop replaced there are
+    // no capture sequences to compare, and "equivalent: true" alone would
+    // overstate what the vector route checked.
+    const bool vacuous = result.substitution.ffs_replaced == 0;
     os << "  \"fe\": {\"equivalent\": " << (fe.equivalent ? "true" : "false")
+       << ", \"vacuous\": " << (vacuous ? "true" : "false")
        << ", \"batches\": " << fe.batches_run
        << ", \"elements_compared\": " << fe.elements_compared
        << ", \"values_compared\": " << fe.values_compared
        << ", \"mismatches\": " << fe.mismatches << "},\n";
+  }
+  if (result.symfe.ran) {
+    const sim::symfe::SymfeReport& sf = result.symfe.report;
+    os << "  \"symfe\": {\"ok\": " << (sf.ok() ? "true" : "false")
+       << ", \"registers\": " << sf.registers.size()
+       << ", \"proved\": " << sf.proved << ", \"refuted\": " << sf.refuted
+       << ", \"skipped\": " << sf.skipped
+       << ", \"conflicts\": " << sf.conflicts
+       << ", \"decisions\": " << sf.decisions
+       << ", \"comb_only\": " << (sf.comb_only ? "true" : "false")
+       << ", \"protocol\": {\"checked\": "
+       << (sf.protocol.checked ? "true" : "false") << ", \"admissible\": "
+       << (sf.protocol.admissible ? "true" : "false") << ", \"controller\": \""
+       << jsonEscape(sf.protocol.controller)
+       << "\", \"channels\": " << sf.protocol.channels
+       << ", \"states_explored\": " << sf.protocol.states_explored
+       << "}, \"ms\": " << sf.total_ms << "},\n";
   }
   appendFlow(os, result.flow);
   os << "\n}\n";

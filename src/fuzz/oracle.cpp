@@ -16,6 +16,7 @@
 #include "sim/flow_equivalence.h"
 #include "sim/simulator.h"
 #include "sim/stimulus.h"
+#include "sim/symfe/symfe.h"
 #include "sta/sta.h"
 
 namespace desync::fuzz {
@@ -142,11 +143,22 @@ OracleVerdict runOracle(const std::string& verilog,
   }
 
   // 4. flow equivalence against the synchronous golden run -----------------
-  // Defined over storage elements (thesis §2.1): a design with no replaced
-  // FF has nothing to compare, so the check passes vacuously — otherwise
-  // the shrinker could "preserve" an FE failure by deleting every register.
+  // Two routes (`--fe-mode`): the sampling vector route simulates both
+  // sides and compares capture sequences; the symbolic route proves
+  // per-register projection equivalence with the SAT core.  The vector
+  // route is defined over storage elements (thesis §2.1): a design with no
+  // replaced FF has nothing to compare, so it is reported *vacuous* —
+  // never a silent pass (the shrinker could otherwise "preserve" an FE
+  // failure by deleting every register).  The prove route is never
+  // vacuous: comb-only designs get output-port miters instead.
+  const bool run_vector = options.fe_mode != core::FeMode::kProve;
+  const bool run_prove = options.fe_mode != core::FeMode::kSim;
   const double half_ns = std::max(flow.result.sync_min_period_ns, 0.1);
-  if (v.ffs_replaced > 0) try {
+  if (run_vector && v.ffs_replaced == 0) {
+    v.fe_vacuous = true;
+    v.note = "flow-equivalence vector check vacuous: no flip-flops replaced";
+  }
+  if (run_vector && v.ffs_replaced > 0) try {
     const liberty::BoundModule bound(golden.top(), gatefile);
     sim::SyncStimulus st;
     st.half_period_ns = half_ns;
@@ -174,6 +186,64 @@ OracleVerdict runOracle(const std::string& verilog,
     }
   } catch (const std::exception& e) {
     return fail("flow-equivalence", std::string("simulation: ") + e.what());
+  }
+
+  if (run_prove) try {
+    const liberty::BoundModule sync_bound(golden.top(), gatefile);
+    const liberty::BoundModule desync_bound(*flow.module, gatefile);
+    sim::symfe::SymfeOptions so;
+    so.controller = options.fault == FaultKind::kFullyDecoupled
+                        ? async::ControllerKind::kFullyDecoupled
+                        : async::ControllerKind::kSemiDecoupled;
+    sim::symfe::ProtocolInput pi;
+    pi.n_groups = flow.result.regions.n_groups;
+    for (const auto& cells : flow.result.regions.seq_cells) {
+      pi.active.push_back(!cells.empty());
+    }
+    pi.preds = flow.result.ddg.preds;
+    so.protocol = std::move(pi);
+    const sim::symfe::SymfeReport rep =
+        sim::symfe::proveFlowEquivalence(sync_bound, desync_bound, so);
+    v.registers_proved = rep.proved;
+    if (!rep.ok()) {
+      for (const sim::symfe::RegisterProof& p : rep.registers) {
+        if (p.verdict != sim::symfe::RegVerdict::kRefuted) continue;
+        std::string detail =
+            "prove: register " + p.name + " refuted: " + p.reason;
+        if (p.cex) {
+          // Every refutation must round-trip: the decoded vector replayed
+          // on both engines must reproduce exactly the solver's verdict —
+          // a divergence is an encoder/solver bug, reported as such.
+          const sim::symfe::ReplayResult rr =
+              sim::symfe::replayCounterexample(sync_bound, p.name, *p.cex,
+                                              so);
+          if (!rr.ran || !rr.matches_solver) {
+            detail += " [internal: counterexample replay disagrees with "
+                      "the solver model: " +
+                      (rr.detail.empty() ? "no detail" : rr.detail) + "]";
+          } else {
+            detail += " (counterexample replayed on both engines)";
+          }
+        }
+        return fail("flow-equivalence", detail);
+      }
+      for (const sim::symfe::RegisterProof& p : rep.registers) {
+        if (p.verdict != sim::symfe::RegVerdict::kSkipped) continue;
+        return fail("flow-equivalence",
+                    "prove: register " + p.name + " skipped: " + p.reason);
+      }
+      std::string detail = "prove: " + rep.protocol.controller +
+                           " protocol not admissible: " +
+                           rep.protocol.violation;
+      if (!rep.protocol.trace.empty()) {
+        detail += " [trace:";
+        for (const std::string& t : rep.protocol.trace) detail += " " + t;
+        detail += "]";
+      }
+      return fail("flow-equivalence", detail);
+    }
+  } catch (const std::exception& e) {
+    return fail("flow-equivalence", std::string("prove: ") + e.what());
   }
 
   // 5. converted-netlist invariants + latch bookkeeping --------------------

@@ -39,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "core/desync.h"
 #include "liberty/gatefile.h"
 #include "sim/stimulus.h"
 
@@ -81,17 +82,29 @@ struct OracleOptions {
   /// Verdicts are byte-identical either way; kBitsim is faster and falls
   /// back to the event engine on designs outside the cycle model.
   sim::SyncEngine fe_engine = sim::SyncEngine::kBitsim;
+  /// Flow-equivalence route for check 4 (`--fe-mode`): the sampling vector
+  /// route, the symbolic per-register prover, or both.  The prover is
+  /// never vacuous — designs without replaced FFs get combinational
+  /// output-port miters instead of a skip — but it is timing-blind, so the
+  /// short-margin fault is only caught by the vector route.
+  core::FeMode fe_mode = core::FeMode::kSim;
 };
 
 struct OracleVerdict {
   bool ok = true;
   std::string check;   ///< failing check name ("" when ok)
   std::string detail;  ///< first failure description
+  /// Diagnostic note on a passing run (e.g. vector FE check was vacuous).
+  std::string note;
+  /// True when the vector FE check had nothing to compare (no FF
+  /// replaced).  Reported instead of silently passing.
+  bool fe_vacuous = false;
   // Design facts, for logs and shrink metrics.
   std::size_t cells = 0;        ///< synchronous input cell count
   std::size_t ffs_replaced = 0;
   int regions = 0;
   std::size_t values_compared = 0;
+  std::size_t registers_proved = 0;  ///< prove route: miters proved UNSAT
 };
 
 /// Runs the full oracle on one synchronous netlist.  Deterministic: the

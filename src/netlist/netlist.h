@@ -288,6 +288,8 @@ class Module {
   std::size_t live_nets_ = 0;
   std::size_t live_cells_ = 0;
   NetId const_net_[2];  // lazily created constant 0 / 1 nets
+
+  friend class Design;  // re-points design_ when a Design is moved
 };
 
 /// A design: shared name table + a set of modules, one of which is top.
@@ -296,8 +298,26 @@ class Design {
   Design() = default;
   Design(const Design&) = delete;
   Design& operator=(const Design&) = delete;
-  Design(Design&&) = default;
-  Design& operator=(Design&&) = default;
+  // Moves must re-point every module's owner back-pointer: modules live at
+  // stable deque addresses, so only design_ goes stale on a move.
+  Design(Design&& other) noexcept
+      : names_(std::move(other.names_)),
+        modules_(std::move(other.modules_)),
+        module_by_name_(std::move(other.module_by_name_)),
+        top_(other.top_) {
+    for (auto& m : modules_) m.design_ = this;
+    other.top_ = nullptr;
+  }
+  Design& operator=(Design&& other) noexcept {
+    if (this == &other) return *this;
+    names_ = std::move(other.names_);
+    modules_ = std::move(other.modules_);
+    module_by_name_ = std::move(other.module_by_name_);
+    top_ = other.top_;
+    for (auto& m : modules_) m.design_ = this;
+    other.top_ = nullptr;
+    return *this;
+  }
 
   [[nodiscard]] NameTable& names() { return names_; }
   [[nodiscard]] const NameTable& names() const { return names_; }

@@ -1,0 +1,434 @@
+// CDCL core (see solver.h for the design constraints: small, deterministic,
+// miter-shaped instances).
+#include "sat/solver.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace desync::sat {
+
+namespace {
+
+/// Luby restart sequence: 1 1 2 1 1 2 4 ... scaled by the caller.
+double luby(double y, int x) {
+  int size = 1;
+  int seq = 0;
+  while (size < x + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != x) {
+    size = (size - 1) >> 1;
+    --seq;
+    x = x % size;
+  }
+  return std::pow(y, seq);
+}
+
+constexpr double kVarActivityLimit = 1e100;
+constexpr double kClaActivityLimit = 1e20;
+constexpr double kVarDecay = 0.95;
+constexpr double kClaDecay = 0.999;
+constexpr int kRestartBase = 100;
+
+}  // namespace
+
+Solver::Solver() = default;
+
+Var Solver::newVar() {
+  const Var v = static_cast<Var>(assign_.size());
+  assign_.push_back(kUndef);
+  polarity_.push_back(1);  // first branch assigns the variable false
+  activity_.push_back(0.0);
+  reason_.push_back(kCrefUndef);
+  level_.push_back(0);
+  seen_.push_back(0);
+  heap_index_.push_back(-1);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  heapInsert(v);
+  return v;
+}
+
+bool Solver::addClause(const std::vector<Lit>& lits) {
+  if (!ok_) return false;
+  backtrack(0);
+
+  // Canonicalize: sort, merge duplicates, drop tautologies and literals
+  // already false at level 0, detect clauses already satisfied at level 0.
+  std::vector<Lit> c = lits;
+  std::sort(c.begin(), c.end());
+  std::vector<Lit> out;
+  out.reserve(c.size());
+  Lit prev = kLitUndef;
+  for (Lit l : c) {
+    if (l == prev) continue;
+    if (prev != kLitUndef && varOf(l) == varOf(prev)) return true;  // l, ~l
+    const std::uint8_t val = valueLit(l);
+    if (val == kTrue) return true;  // satisfied at level 0
+    if (val == kFalse) {
+      prev = l;
+      continue;  // false at level 0: drop
+    }
+    out.push_back(l);
+    prev = l;
+  }
+
+  if (out.empty()) {
+    ok_ = false;
+    return false;
+  }
+  if (out.size() == 1) {
+    enqueue(out[0], kCrefUndef);
+    if (propagate() != kCrefUndef) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+  const Cref cr = static_cast<Cref>(clauses_.size());
+  Clause cl;
+  cl.lits = std::move(out);
+  clauses_.push_back(std::move(cl));
+  attachClause(cr);
+  return true;
+}
+
+void Solver::attachClause(Cref c) {
+  const Clause& cl = clauses_[c];
+  watches_[(~cl.lits[0]).x].push_back(Watcher{c, cl.lits[1]});
+  watches_[(~cl.lits[1]).x].push_back(Watcher{c, cl.lits[0]});
+}
+
+void Solver::enqueue(Lit l, Cref reason) {
+  const Var v = varOf(l);
+  assign_[v] = signOf(l) ? kFalse : kTrue;
+  polarity_[v] = signOf(l) ? 1 : 0;
+  level_[v] = static_cast<std::int32_t>(trail_lim_.size());
+  reason_[v] = reason;
+  trail_.push_back(l);
+}
+
+Solver::Cref Solver::propagate() {
+  Cref confl = kCrefUndef;
+  while (qhead_ < trail_.size()) {
+    const Lit p = trail_[qhead_++];  // p became true; visit clauses watching ~p
+    ++stats_.propagations;
+    std::vector<Watcher>& ws = watches_[p.x];
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < ws.size()) {
+      const Watcher w = ws[i];
+      if (valueLit(w.blocker) == kTrue) {
+        ws[j++] = ws[i++];
+        continue;
+      }
+      Clause& c = clauses_[w.cref];
+      if (c.deleted) {
+        ++i;  // drop the stale watcher
+        continue;
+      }
+      const Lit false_lit = ~p;
+      if (c.lits[0] == false_lit) std::swap(c.lits[0], c.lits[1]);
+      ++i;
+      const Lit first = c.lits[0];
+      const Watcher nw{w.cref, first};
+      if (first != w.blocker && valueLit(first) == kTrue) {
+        ws[j++] = nw;
+        continue;
+      }
+      bool moved = false;
+      for (std::size_t k = 2; k < c.lits.size(); ++k) {
+        if (valueLit(c.lits[k]) != kFalse) {
+          std::swap(c.lits[1], c.lits[k]);
+          watches_[(~c.lits[1]).x].push_back(nw);
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      // Clause is unit or conflicting under the current assignment.
+      ws[j++] = nw;
+      if (valueLit(first) == kFalse) {
+        confl = w.cref;
+        qhead_ = trail_.size();
+        while (i < ws.size()) ws[j++] = ws[i++];
+      } else {
+        enqueue(first, w.cref);
+      }
+    }
+    ws.resize(j);
+  }
+  return confl;
+}
+
+void Solver::analyze(Cref conflict, std::vector<Lit>& out_learnt,
+                     int& out_level) {
+  const int current_level = static_cast<int>(trail_lim_.size());
+  int path = 0;
+  Lit p = kLitUndef;
+  Cref confl = conflict;
+  out_learnt.clear();
+  out_learnt.push_back(kLitUndef);  // slot for the asserting literal
+  std::size_t index = trail_.size();
+
+  do {
+    Clause& c = clauses_[confl];
+    if (c.learnt) claBumpActivity(c);
+    for (std::size_t k = (p == kLitUndef ? 0 : 1); k < c.lits.size(); ++k) {
+      const Lit q = c.lits[k];
+      const Var v = varOf(q);
+      if (seen_[v] == 0 && level_[v] > 0) {
+        varBumpActivity(v);
+        seen_[v] = 1;
+        if (level_[v] >= current_level) {
+          ++path;
+        } else {
+          out_learnt.push_back(q);
+        }
+      }
+    }
+    while (seen_[varOf(trail_[index - 1])] == 0) --index;
+    --index;
+    p = trail_[index];
+    confl = reason_[varOf(p)];
+    seen_[varOf(p)] = 0;
+    --path;
+  } while (path > 0);
+  out_learnt[0] = ~p;
+
+  if (out_learnt.size() == 1) {
+    out_level = 0;
+  } else {
+    // Second-highest decision level becomes the backtrack level; put one of
+    // its literals into slot 1 so it is watched.
+    std::size_t max_i = 1;
+    for (std::size_t k = 2; k < out_learnt.size(); ++k) {
+      if (level_[varOf(out_learnt[k])] > level_[varOf(out_learnt[max_i])]) {
+        max_i = k;
+      }
+    }
+    std::swap(out_learnt[1], out_learnt[max_i]);
+    out_level = level_[varOf(out_learnt[1])];
+  }
+  for (Lit l : out_learnt) seen_[varOf(l)] = 0;
+}
+
+void Solver::backtrack(int level) {
+  if (static_cast<int>(trail_lim_.size()) <= level) return;
+  const std::int32_t bound = trail_lim_[level];
+  for (std::size_t k = trail_.size(); k > static_cast<std::size_t>(bound);
+       --k) {
+    const Var v = varOf(trail_[k - 1]);
+    assign_[v] = kUndef;
+    reason_[v] = kCrefUndef;
+    if (!heapContains(v)) heapInsert(v);
+  }
+  trail_.resize(static_cast<std::size_t>(bound));
+  trail_lim_.resize(static_cast<std::size_t>(level));
+  qhead_ = trail_.size();
+}
+
+Lit Solver::pickBranchLit() {
+  while (!heap_.empty()) {
+    const Var v = heapRemoveMax();
+    if (valueVar(v) == kUndef) return mkLit(v, polarity_[v] != 0);
+  }
+  return kLitUndef;
+}
+
+void Solver::varBumpActivity(Var v) {
+  activity_[v] += var_inc_;
+  if (activity_[v] > kVarActivityLimit) {
+    for (double& a : activity_) a *= 1.0 / kVarActivityLimit;
+    var_inc_ *= 1.0 / kVarActivityLimit;
+  }
+  if (heapContains(v)) heapSiftUp(heap_index_[v]);
+}
+
+void Solver::varDecayActivity() { var_inc_ *= 1.0 / kVarDecay; }
+
+void Solver::claBumpActivity(Clause& c) {
+  c.activity += cla_inc_;
+  if (c.activity > kClaActivityLimit) {
+    for (Cref cr : learnts_) {
+      clauses_[cr].activity *= 1.0 / kClaActivityLimit;
+    }
+    cla_inc_ *= 1.0 / kClaActivityLimit;
+  }
+}
+
+void Solver::claDecayActivity() { cla_inc_ *= 1.0 / kClaDecay; }
+
+void Solver::reduceDb() {
+  // Remove the lowest-activity half of the learnt clauses, keeping binary
+  // clauses and clauses that are the reason of a current assignment.
+  // Ties break on the clause reference, so the reduction is deterministic.
+  std::vector<Cref> order = learnts_;
+  std::sort(order.begin(), order.end(), [&](Cref a, Cref b) {
+    const Clause& ca = clauses_[a];
+    const Clause& cb = clauses_[b];
+    if (ca.activity != cb.activity) return ca.activity < cb.activity;
+    return a < b;
+  });
+  auto locked = [&](Cref cr) {
+    const Clause& c = clauses_[cr];
+    return reason_[varOf(c.lits[0])] == cr && valueLit(c.lits[0]) == kTrue;
+  };
+  std::size_t removed = 0;
+  const std::size_t target = order.size() / 2;
+  for (Cref cr : order) {
+    if (removed >= target) break;
+    Clause& c = clauses_[cr];
+    if (c.lits.size() <= 2 || locked(cr)) continue;
+    c.deleted = true;
+    c.lits.clear();
+    c.lits.shrink_to_fit();
+    ++removed;
+  }
+  learnts_.erase(std::remove_if(learnts_.begin(), learnts_.end(),
+                                [&](Cref cr) { return clauses_[cr].deleted; }),
+                 learnts_.end());
+}
+
+Verdict Solver::solve(const Limits& limits) {
+  if (!ok_) return Verdict::kUnsat;
+  backtrack(0);
+  if (propagate() != kCrefUndef) {
+    ok_ = false;
+    return Verdict::kUnsat;
+  }
+  if (max_learnts_ <= 0.0) {
+    max_learnts_ =
+        std::max(1000.0, static_cast<double>(clauses_.size()) / 3.0);
+  }
+
+  const std::uint64_t budget = limits.max_conflicts;
+  const std::uint64_t conflicts_start = stats_.conflicts;
+  int restart_iter = 0;
+  for (;;) {
+    const auto restart_budget = static_cast<std::uint64_t>(
+        luby(2.0, restart_iter) * kRestartBase);
+    std::uint64_t conflicts_here = 0;
+    for (;;) {
+      const Cref confl = propagate();
+      if (confl != kCrefUndef) {
+        ++stats_.conflicts;
+        ++conflicts_here;
+        if (trail_lim_.empty()) {
+          ok_ = false;
+          return Verdict::kUnsat;
+        }
+        std::vector<Lit> learnt;
+        int bt_level = 0;
+        analyze(confl, learnt, bt_level);
+        backtrack(bt_level);
+        if (learnt.size() == 1) {
+          enqueue(learnt[0], kCrefUndef);
+        } else {
+          const Cref cr = static_cast<Cref>(clauses_.size());
+          Clause cl;
+          cl.lits = std::move(learnt);
+          cl.learnt = true;
+          cl.activity = cla_inc_;
+          clauses_.push_back(std::move(cl));
+          learnts_.push_back(cr);
+          attachClause(cr);
+          ++stats_.learned;
+          enqueue(clauses_[cr].lits[0], cr);
+        }
+        varDecayActivity();
+        claDecayActivity();
+        if (budget != 0 && stats_.conflicts - conflicts_start >= budget) {
+          backtrack(0);
+          return Verdict::kUnknown;
+        }
+        continue;
+      }
+      if (conflicts_here >= restart_budget) {
+        ++stats_.restarts;
+        backtrack(0);
+        break;  // next Luby segment
+      }
+      if (static_cast<double>(learnts_.size()) >=
+          max_learnts_ + static_cast<double>(trail_.size())) {
+        reduceDb();
+        max_learnts_ *= 1.1;
+      }
+      const Lit next = pickBranchLit();
+      if (next == kLitUndef) {
+        model_.assign(assign_.size(), 0);
+        for (std::size_t v = 0; v < assign_.size(); ++v) {
+          model_[v] = assign_[v] == kTrue ? 1 : 0;
+        }
+        backtrack(0);
+        return Verdict::kSat;
+      }
+      ++stats_.decisions;
+      trail_lim_.push_back(static_cast<std::int32_t>(trail_.size()));
+      enqueue(next, kCrefUndef);
+    }
+    ++restart_iter;
+  }
+}
+
+bool Solver::modelValue(Var v) const {
+  if (v < 0 || static_cast<std::size_t>(v) >= model_.size()) return false;
+  return model_[v] != 0;
+}
+
+// --- indexed binary max-heap over (activity desc, var asc) ---------------
+
+bool Solver::heapLt(Var a, Var b) const {
+  if (activity_[a] != activity_[b]) return activity_[a] > activity_[b];
+  return a < b;
+}
+
+void Solver::heapInsert(Var v) {
+  heap_index_[v] = static_cast<std::int32_t>(heap_.size());
+  heap_.push_back(v);
+  heapSiftUp(heap_index_[v]);
+}
+
+Var Solver::heapRemoveMax() {
+  const Var top = heap_[0];
+  heap_[0] = heap_.back();
+  heap_index_[heap_[0]] = 0;
+  heap_.pop_back();
+  heap_index_[top] = -1;
+  if (!heap_.empty()) heapSiftDown(0);
+  return top;
+}
+
+void Solver::heapSiftUp(int i) {
+  const Var v = heap_[i];
+  while (i > 0) {
+    const int parent = (i - 1) >> 1;
+    if (!heapLt(v, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    heap_index_[heap_[i]] = i;
+    i = parent;
+  }
+  heap_[i] = v;
+  heap_index_[v] = i;
+}
+
+void Solver::heapSiftDown(int i) {
+  const Var v = heap_[i];
+  const int n = static_cast<int>(heap_.size());
+  for (;;) {
+    const int left = 2 * i + 1;
+    if (left >= n) break;
+    const int right = left + 1;
+    const int child =
+        (right < n && heapLt(heap_[right], heap_[left])) ? right : left;
+    if (!heapLt(heap_[child], v)) break;
+    heap_[i] = heap_[child];
+    heap_index_[heap_[i]] = i;
+    i = child;
+  }
+  heap_[i] = v;
+  heap_index_[v] = i;
+}
+
+}  // namespace desync::sat

@@ -1,0 +1,177 @@
+// Self-contained CDCL SAT solver (thesis §2.1 correctness backend).
+//
+// A deliberately small MiniSat-style core used by sim/symfe to prove
+// per-register projection-equivalence miters UNSAT: two-watched-literal
+// propagation with blockers, VSIDS-style activity with exponential decay,
+// first-UIP conflict analysis, phase saving, Luby restarts and learnt-clause
+// database reduction.  No external dependencies, no randomness, no
+// wall-clock-dependent heuristics: every tie is broken by the lowest
+// variable index, so a given CNF produces the identical search (and model)
+// on every run and at every --jobs setting.
+//
+// The instances it is built for are shallow-circuit miters: thousands of
+// variables, tens of thousands of clauses.  It is not tuned for industrial
+// benchmarks and keeps no preprocessing beyond level-0 clause
+// simplification.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace desync::sat {
+
+/// Variable index, 0-based.  Negative = undefined.
+using Var = std::int32_t;
+
+constexpr Var kVarUndef = -1;
+
+/// Literal: variable * 2 + sign (sign 1 = negated), MiniSat encoding.
+struct Lit {
+  std::int32_t x = -2;
+
+  friend bool operator==(Lit a, Lit b) { return a.x == b.x; }
+  friend bool operator!=(Lit a, Lit b) { return a.x != b.x; }
+  friend bool operator<(Lit a, Lit b) { return a.x < b.x; }
+};
+
+constexpr Lit kLitUndef{-2};
+
+constexpr Lit mkLit(Var v, bool sign = false) {
+  return Lit{v * 2 + (sign ? 1 : 0)};
+}
+constexpr Lit operator~(Lit l) { return Lit{l.x ^ 1}; }
+constexpr Var varOf(Lit l) { return l.x >> 1; }
+constexpr bool signOf(Lit l) { return (l.x & 1) != 0; }
+
+enum class Verdict : std::uint8_t {
+  kSat,      ///< satisfying assignment found (model available)
+  kUnsat,    ///< proved unsatisfiable
+  kUnknown,  ///< conflict budget exhausted before a verdict
+};
+
+/// Resource limits for one solve() call.  0 = unlimited.
+struct Limits {
+  std::uint64_t max_conflicts = 0;
+};
+
+/// Cumulative search statistics (monotone across solve() calls).
+struct Stats {
+  std::uint64_t conflicts = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t learned = 0;  ///< learnt clauses added
+};
+
+class Solver {
+ public:
+  Solver();
+
+  /// Allocates a fresh variable; returns its index.
+  Var newVar();
+  [[nodiscard]] int numVars() const { return static_cast<int>(assign_.size()); }
+
+  /// Adds a clause (empty vector = immediate contradiction).  The clause is
+  /// canonicalized: literals sorted, duplicates merged, tautologies dropped,
+  /// literals already false at level 0 removed.  Returns false when the
+  /// formula became trivially unsatisfiable (okay() turns false too).
+  bool addClause(const std::vector<Lit>& lits);
+  bool addClause(Lit a) { return addClause(std::vector<Lit>{a}); }
+  bool addClause(Lit a, Lit b) { return addClause(std::vector<Lit>{a, b}); }
+  bool addClause(Lit a, Lit b, Lit c) {
+    return addClause(std::vector<Lit>{a, b, c});
+  }
+
+  /// Runs the CDCL search.  Repeated calls are allowed (incremental in the
+  /// weak sense: clauses added between calls are honored; no assumptions).
+  Verdict solve(const Limits& limits = {});
+
+  /// Model access after solve() returned kSat.  Unconstrained variables
+  /// default to false (deterministically).
+  [[nodiscard]] bool modelValue(Var v) const;
+
+  /// False once a contradiction was derived at level 0.
+  [[nodiscard]] bool okay() const { return ok_; }
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  // Truth values: 0 = true, 1 = false, 2 = undefined (MiniSat lbool trick:
+  // value(lit) = assign[var] ^ sign, so 0/1 flip under negation and 2 is a
+  // fixed point under ^1 ... it is not, so undefined is tested explicitly).
+  static constexpr std::uint8_t kTrue = 0;
+  static constexpr std::uint8_t kFalse = 1;
+  static constexpr std::uint8_t kUndef = 2;
+
+  using Cref = std::int32_t;
+  static constexpr Cref kCrefUndef = -1;
+
+  struct Clause {
+    std::vector<Lit> lits;
+    double activity = 0.0;
+    bool learnt = false;
+    bool deleted = false;
+  };
+
+  struct Watcher {
+    Cref cref = kCrefUndef;
+    Lit blocker = kLitUndef;
+  };
+
+  [[nodiscard]] std::uint8_t valueVar(Var v) const { return assign_[v]; }
+  [[nodiscard]] std::uint8_t valueLit(Lit l) const {
+    const std::uint8_t a = assign_[varOf(l)];
+    return a == kUndef ? kUndef : static_cast<std::uint8_t>(a ^ (l.x & 1));
+  }
+
+  void attachClause(Cref c);
+  void enqueue(Lit l, Cref reason);
+  Cref propagate();
+  void analyze(Cref conflict, std::vector<Lit>& out_learnt, int& out_level);
+  void backtrack(int level);
+  [[nodiscard]] Lit pickBranchLit();
+  void varBumpActivity(Var v);
+  void varDecayActivity();
+  void claBumpActivity(Clause& c);
+  void claDecayActivity();
+  void reduceDb();
+
+  // Indexed binary max-heap over variable activity; equal activities are
+  // ordered by ascending variable index, which is what makes the whole
+  // search deterministic.
+  [[nodiscard]] bool heapLt(Var a, Var b) const;
+  void heapDecrease(Var v);
+  void heapInsert(Var v);
+  Var heapRemoveMax();
+  [[nodiscard]] bool heapContains(Var v) const {
+    return heap_index_[v] >= 0;
+  }
+  void heapSiftUp(int i);
+  void heapSiftDown(int i);
+
+  bool ok_ = true;
+  std::vector<Clause> clauses_;        // arena; crefs index into it
+  std::vector<Cref> learnts_;          // learnt crefs, insertion order
+  std::vector<std::vector<Watcher>> watches_;  // per literal index
+  std::vector<std::uint8_t> assign_;   // per var
+  std::vector<std::uint8_t> polarity_; // phase saving: last sign per var
+  std::vector<double> activity_;       // per var
+  std::vector<Cref> reason_;           // per var
+  std::vector<std::int32_t> level_;    // per var
+  std::vector<Lit> trail_;
+  std::vector<std::int32_t> trail_lim_;
+  std::size_t qhead_ = 0;
+
+  std::vector<Var> heap_;              // binary heap of vars
+  std::vector<std::int32_t> heap_index_;  // var -> heap position or -1
+
+  std::vector<std::uint8_t> seen_;     // analyze() scratch
+  std::vector<std::uint8_t> model_;    // saved assignment after kSat
+
+  double var_inc_ = 1.0;
+  double cla_inc_ = 1.0;
+  double max_learnts_ = 0.0;
+  Stats stats_;
+};
+
+}  // namespace desync::sat

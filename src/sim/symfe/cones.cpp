@@ -1,0 +1,130 @@
+// Cone walk (see cones.h for the substitution-glue rules).
+#include "sim/symfe/cones.h"
+
+#include <cctype>
+
+namespace desync::sim::symfe {
+
+namespace {
+
+// Deep enough for any real comb path (the levelizer sees tens of levels on
+// the ARM-class core); a guard, not a tuning knob.
+constexpr int kMaxDepth = 20000;
+
+bool endsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+bool isRawEnableNet(std::string_view name) {
+  if (name.size() < 4 || name[0] != 'G') return false;
+  std::size_t i = 1;
+  while (i < name.size() &&
+         std::isdigit(static_cast<unsigned char>(name[i]))) {
+    ++i;
+  }
+  if (i == 1 || i + 3 != name.size()) return false;
+  return name[i] == '_' && name[i + 1] == 'g' &&
+         (name[i + 2] == 'm' || name[i + 2] == 's');
+}
+
+sat::Lit ConeExtractor::walk(netlist::NetId net, int depth) {
+  if (depth > kMaxDepth) {
+    throw ConeError("symfe: combinational cone too deep at net " +
+                    std::string(module_.netName(net)));
+  }
+  if (const auto it = memo_.find(net.value); it != memo_.end()) {
+    return it->second;
+  }
+  if (!expanding_.insert(net.value).second) {
+    throw ConeError("symfe: combinational cycle through net " +
+                    std::string(module_.netName(net)));
+  }
+  const sat::Lit lit = compute(net, depth);
+  expanding_.erase(net.value);
+  memo_.emplace(net.value, lit);
+  return lit;
+}
+
+sat::Lit ConeExtractor::compute(netlist::NetId id, int depth) {
+  const netlist::Net& n = module_.net(id);
+  const std::string name(module_.netName(id));
+  if (desync_side_ && isRawEnableNet(name)) return enc_.constLit(true);
+
+  switch (n.driver.kind) {
+    case netlist::TermKind::kConst0:
+      return enc_.constLit(false);
+    case netlist::TermKind::kConst1:
+      return enc_.constLit(true);
+    case netlist::TermKind::kPort:
+      return enc_.leaf("in:" + name);
+    case netlist::TermKind::kNone:
+      return enc_.leaf("net:" + name);
+    case netlist::TermKind::kCellPin:
+      break;
+  }
+
+  const netlist::CellId cid = n.driver.cell();
+  const std::string cname(module_.cellName(cid));
+  const liberty::BoundType* bt = bound_.typeOf(cid);
+  if (bt == nullptr) {
+    throw ConeError("symfe: unbound cell type " +
+                    std::string(module_.cellType(cid)) + " driving net " +
+                    name);
+  }
+
+  switch (bt->kind) {
+    case liberty::CellKind::kCombinational: {
+      for (const liberty::BoundOutput& o : bt->outputs) {
+        if (bound_.pinNet(cid, o.pin) != id) continue;
+        std::vector<sat::Lit> ins;
+        ins.reserve(o.inputs.size());
+        for (const std::uint16_t p : o.inputs) {
+          const netlist::NetId in_net = bound_.pinNet(cid, p);
+          if (!in_net.valid()) {
+            throw ConeError("symfe: unconnected input on " + cname);
+          }
+          ins.push_back(walk(in_net, depth + 1));
+        }
+        return enc_.table(o.table, std::move(ins));
+      }
+      throw ConeError("symfe: no output function of " + cname +
+                      " drives net " + name);
+    }
+    case liberty::CellKind::kFlipFlop: {
+      const liberty::BoundSeqPins& bp = bt->seq_pins;
+      const sat::Lit l = enc_.leaf("reg:" + cname);
+      if (bound_.rolePinNet(cid, bp.q) == id) return l;
+      if (bp.qn >= 0 && bound_.rolePinNet(cid, bp.qn) == id) return ~l;
+      throw ConeError("symfe: unexpected flip-flop output pin on " + cname);
+    }
+    case liberty::CellKind::kLatch: {
+      if (!desync_side_) {
+        throw ConeError("symfe: transparent latch " + cname +
+                        " in a synchronous cone");
+      }
+      const liberty::BoundSeqPins& bp = bt->seq_pins;
+      if (endsWith(cname, "_Ls")) {
+        const sat::Lit l =
+            enc_.leaf("reg:" + cname.substr(0, cname.size() - 3));
+        if (bound_.rolePinNet(cid, bp.q) == id) return l;
+        if (bp.qn >= 0 && bound_.rolePinNet(cid, bp.qn) == id) return ~l;
+        throw ConeError("symfe: unexpected latch output pin on " + cname);
+      }
+      // Master / enable latches (_Lm, _cenLm, _cenLs) are transparent at
+      // the settled pre-capture instant: value = data cone.
+      const netlist::NetId d = bound_.rolePinNet(cid, bp.data);
+      if (!d.valid()) {
+        throw ConeError("symfe: latch " + cname + " has no data cone");
+      }
+      return walk(d, depth + 1);
+    }
+    case liberty::CellKind::kClockGate:
+      throw ConeError("symfe: clock gate " + cname + " in a data cone");
+  }
+  throw ConeError("symfe: unclassified cell " + cname);
+}
+
+}  // namespace desync::sim::symfe

@@ -1,0 +1,60 @@
+// Fan-in cone extraction: BoundModule nets -> encoder literals.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "liberty/bound.h"
+#include "netlist/netlist.h"
+#include "sim/symfe/encoder.h"
+
+namespace desync::sim::symfe {
+
+/// A cone could not be expressed combinationally (cycle, clock gate in a
+/// data path, latch on the synchronous side, ...).  The prover turns this
+/// into a kSkipped verdict for the register, never a silent pass.
+class ConeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// True for the raw region enable nets G<g>_gm / G<g>_gs the controllers
+/// drive.  On the desync side a cone walk cuts there: at the settled
+/// pre-capture instant the handshake has granted the phase, so the enable
+/// is true — and everything behind it (controllers, delay elements) is the
+/// protocol's concern, checked separately via token flow.
+bool isRawEnableNet(std::string_view name);
+
+/// Memoized recursive walk of combinational fan-in cones.
+///
+/// Shared leaf keys (through one Encoder) unify the two sides:
+///   "in:<net>"  primary input (port-driven net)
+///   "reg:<ff>"  old register state (sync FF Q / desync *_Ls latch Q)
+///   "net:<net>" undriven net (free variable)
+/// Desync-side rules: raw enable nets cut to constant true, *_Ls slave
+/// latches become state leaves, every other substitution latch (_Lm,
+/// _cenLm, _cenLs) is transparent at the pre-capture instant.
+class ConeExtractor {
+ public:
+  ConeExtractor(const liberty::BoundModule& bound, Encoder& enc,
+                bool desync_side)
+      : bound_(bound), module_(bound.module()), enc_(enc),
+        desync_side_(desync_side) {}
+
+  sat::Lit literalFor(netlist::NetId net) { return walk(net, 0); }
+
+ private:
+  sat::Lit walk(netlist::NetId net, int depth);
+  sat::Lit compute(netlist::NetId net, int depth);
+
+  const liberty::BoundModule& bound_;
+  const netlist::Module& module_;
+  Encoder& enc_;
+  bool desync_side_;
+  std::unordered_map<std::uint32_t, sat::Lit> memo_;
+  std::unordered_set<std::uint32_t> expanding_;
+};
+
+}  // namespace desync::sim::symfe

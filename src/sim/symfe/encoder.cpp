@@ -1,0 +1,188 @@
+// Canonicalizing Tseitin encoding (see encoder.h).
+#include "sim/symfe/encoder.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace desync::sim::symfe {
+
+namespace {
+
+std::uint64_t tableMask(unsigned n) {
+  return n >= 6 ? ~std::uint64_t{0} : (std::uint64_t{1} << (1u << n)) - 1;
+}
+
+bool tableBit(std::uint64_t t, unsigned row) { return ((t >> row) & 1) != 0; }
+
+/// Removes input i, keeping the rows where input i == b.
+std::uint64_t cofactor(std::uint64_t t, unsigned n, unsigned i, bool b) {
+  std::uint64_t out = 0;
+  for (unsigned r = 0; r < (1u << (n - 1)); ++r) {
+    const unsigned low = r & ((1u << i) - 1);
+    const unsigned high = (r >> i) << (i + 1);
+    const unsigned full = high | (b ? (1u << i) : 0u) | low;
+    if (tableBit(t, full)) out |= std::uint64_t{1} << r;
+  }
+  return out;
+}
+
+/// Substitutes input j := input i (or its complement) and removes input j.
+/// Requires i < j so reduced-row bit positions below j are unchanged.
+std::uint64_t mergeInput(std::uint64_t t, unsigned n, unsigned i, unsigned j,
+                         bool same) {
+  std::uint64_t out = 0;
+  for (unsigned r = 0; r < (1u << (n - 1)); ++r) {
+    const bool vi = ((r >> i) & 1) != 0;
+    const bool vj = same ? vi : !vi;
+    const unsigned low = r & ((1u << j) - 1);
+    const unsigned high = (r >> j) << (j + 1);
+    const unsigned full = high | (vj ? (1u << j) : 0u) | low;
+    if (tableBit(t, full)) out |= std::uint64_t{1} << r;
+  }
+  return out;
+}
+
+/// Flips the polarity of input i (swaps its cofactors).
+std::uint64_t flipInput(std::uint64_t t, unsigned n, unsigned i) {
+  std::uint64_t out = 0;
+  for (unsigned r = 0; r < (1u << n); ++r) {
+    if (tableBit(t, r ^ (1u << i))) out |= std::uint64_t{1} << r;
+  }
+  return out;
+}
+
+/// Reorders inputs: new input k reads old input perm[k].
+std::uint64_t permuteInputs(std::uint64_t t, unsigned n,
+                            const std::vector<unsigned>& perm) {
+  std::uint64_t out = 0;
+  for (unsigned r = 0; r < (1u << n); ++r) {
+    unsigned orig = 0;
+    for (unsigned k = 0; k < n; ++k) {
+      if ((r >> k) & 1) orig |= 1u << perm[k];
+    }
+    if (tableBit(t, orig)) out |= std::uint64_t{1} << r;
+  }
+  return out;
+}
+
+}  // namespace
+
+sat::Lit Encoder::constLit(bool value) {
+  if (true_lit_ == sat::kLitUndef) {
+    true_lit_ = sat::mkLit(solver_.newVar());
+    solver_.addClause(true_lit_);
+  }
+  return value ? true_lit_ : ~true_lit_;
+}
+
+bool Encoder::isConst(sat::Lit l, bool& value) const {
+  if (true_lit_ == sat::kLitUndef) return false;
+  if (l == true_lit_) {
+    value = true;
+    return true;
+  }
+  if (l == ~true_lit_) {
+    value = false;
+    return true;
+  }
+  return false;
+}
+
+sat::Lit Encoder::leaf(const std::string& key) {
+  if (const auto it = leaves_.find(key); it != leaves_.end()) {
+    return sat::mkLit(it->second);
+  }
+  const sat::Var v = solver_.newVar();
+  leaves_.emplace(key, v);
+  return sat::mkLit(v);
+}
+
+sat::Lit Encoder::table(std::uint64_t t, std::vector<sat::Lit> in) {
+  unsigned n = static_cast<unsigned>(in.size());
+  if (n > 6) {
+    throw std::logic_error("symfe: table node with more than 6 inputs");
+  }
+  t &= tableMask(n);
+
+  // (1) Cofactor constant inputs away.
+  for (unsigned i = 0; i < n; ++i) {
+    bool cv = false;
+    if (isConst(in[i], cv)) {
+      const std::uint64_t nt = cofactor(t, n, i, cv);
+      in.erase(in.begin() + i);
+      return table(nt, std::move(in));
+    }
+  }
+  // (2) Merge duplicate / complementary inputs.
+  for (unsigned i = 0; i < n; ++i) {
+    for (unsigned j = i + 1; j < n; ++j) {
+      if (sat::varOf(in[i]) == sat::varOf(in[j])) {
+        const std::uint64_t nt = mergeInput(t, n, i, j, in[i] == in[j]);
+        in.erase(in.begin() + j);
+        return table(nt, std::move(in));
+      }
+    }
+  }
+  // (3) Drop vacuous inputs (equal cofactors).
+  for (unsigned i = 0; i < n; ++i) {
+    if (cofactor(t, n, i, false) == cofactor(t, n, i, true)) {
+      const std::uint64_t nt = cofactor(t, n, i, false);
+      in.erase(in.begin() + i);
+      return table(nt, std::move(in));
+    }
+  }
+  // (4) Base cases.
+  if (n == 0) return constLit((t & 1) != 0);
+  if (n == 1) return t == 0b10 ? in[0] : ~in[0];
+  // (5) Input-phase normalization: all inputs positive.
+  for (unsigned i = 0; i < n; ++i) {
+    if (sat::signOf(in[i])) {
+      t = flipInput(t, n, i);
+      in[i] = ~in[i];
+    }
+  }
+  // (6) Sort inputs ascending by variable (canonical argument order).
+  std::vector<unsigned> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  std::sort(perm.begin(), perm.end(),
+            [&](unsigned a, unsigned b) { return in[a].x < in[b].x; });
+  bool sorted = true;
+  for (unsigned k = 0; k < n; ++k) sorted = sorted && perm[k] == k;
+  if (!sorted) {
+    t = permuteInputs(t, n, perm);
+    std::vector<sat::Lit> reordered(n);
+    for (unsigned k = 0; k < n; ++k) reordered[k] = in[perm[k]];
+    in = std::move(reordered);
+  }
+  // (7) Output-phase normalization: stored tables have row 0 -> 0, so a
+  // function and its complement share one variable.
+  const bool negate = (t & 1) != 0;
+  if (negate) t = ~t & tableMask(n);
+
+  NodeKey key;
+  key.table = t;
+  key.ins.reserve(n);
+  for (const sat::Lit l : in) key.ins.push_back(l.x);
+  if (const auto it = nodes_map_.find(key); it != nodes_map_.end()) {
+    return negate ? ~it->second : it->second;
+  }
+
+  const sat::Lit v = sat::mkLit(solver_.newVar());
+  // Full row encoding: (inputs == r) -> (v == t[r]) for every row.  At most
+  // 64 clauses of n+1 literals; complete in both directions.
+  std::vector<sat::Lit> clause;
+  for (unsigned r = 0; r < (1u << n); ++r) {
+    clause.clear();
+    for (unsigned i = 0; i < n; ++i) {
+      clause.push_back(((r >> i) & 1) ? ~in[i] : in[i]);
+    }
+    clause.push_back(tableBit(t, r) ? v : ~v);
+    solver_.addClause(clause);
+  }
+  ++nodes_;
+  nodes_map_.emplace(std::move(key), v);
+  return negate ? ~v : v;
+}
+
+}  // namespace desync::sim::symfe

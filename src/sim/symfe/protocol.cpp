@@ -1,0 +1,171 @@
+// Token-flow admissibility of the handshake protocol over the region DDG.
+//
+// The per-register miters cut every cone at the raw region enables, which
+// assumes the controllers grant phases in an order that never overwrites a
+// datum before its consumer latched it.  That assumption is a property of
+// the *protocol*, not of any cone, and is checked here on a small Petri
+// net: per active region r a capacity-1 master/slave ring (M_r alternates
+// with S_r), and per region-dependency edge p -> c a data place fed by S_p
+// and consumed by M_c, initially holding one token (slaves reset full).
+//
+// Simple and semi-decoupled controllers complete each channel's four-phase
+// handshake before reopening the producer, so every channel is capacity-1
+// by token conservation and admissibility holds structurally.  The
+// fully-decoupled controller (Furber & Day) overlaps the return-to-zero
+// with computation — modeled by *omitting* the channel's complement place —
+// and a producer slave can then refire before the consumer fired: a data
+// place reaching two tokens means wire + latch hold distinct data and the
+// older one is lost.  Exhaustive BFS over markings finds such an overrun or
+// proves there is none (violating markings are not expanded, so the
+// explored space is finite).
+#include <algorithm>
+#include <map>
+#include <queue>
+
+#include "sim/symfe/symfe.h"
+#include "stg/stg.h"
+
+namespace desync::sim::symfe {
+
+namespace {
+
+const char* controllerName(async::ControllerKind kind) {
+  switch (kind) {
+    case async::ControllerKind::kSimple:
+      return "simple";
+    case async::ControllerKind::kSemiDecoupled:
+      return "semi-decoupled";
+    case async::ControllerKind::kFullyDecoupled:
+      return "fully-decoupled";
+  }
+  return "unknown";
+}
+
+constexpr std::size_t kMaxStates = 1u << 20;
+
+}  // namespace
+
+ProtocolReport checkProtocol(const ProtocolInput& input,
+                             async::ControllerKind controller) {
+  ProtocolReport rep;
+  rep.checked = true;
+  rep.controller = controllerName(controller);
+
+  // Active regions and the cross-region channels between them.
+  std::vector<int> active_ids;
+  for (int g = 0; g < input.n_groups; ++g) {
+    if (g < static_cast<int>(input.active.size()) && input.active[g]) {
+      active_ids.push_back(g);
+    }
+  }
+  struct Chan {
+    int from = 0;
+    int to = 0;
+  };
+  std::vector<Chan> chans;
+  for (const int c : active_ids) {
+    if (c >= static_cast<int>(input.preds.size())) continue;
+    for (const int p : input.preds[c]) {
+      if (p < static_cast<int>(input.active.size()) && input.active[p]) {
+        chans.push_back(Chan{p, c});
+      }
+    }
+  }
+  rep.channels = static_cast<int>(chans.size());
+  if (active_ids.empty()) return rep;
+
+  if (controller != async::ControllerKind::kFullyDecoupled) {
+    // Four-phase completion per channel: the producer's next grant waits
+    // for the channel's return-to-zero, so each channel is capacity-1 by
+    // token conservation — admissible with no search.
+    return rep;
+  }
+
+  stg::Stg net;
+  std::map<int, stg::TransIdx> master;
+  std::map<int, stg::TransIdx> slave;
+  for (const int g : active_ids) {
+    master[g] = net.addTransition("M" + std::to_string(g) + "+");
+    slave[g] = net.addTransition("S" + std::to_string(g) + "+");
+    const stg::PlaceIdx a = net.addPlace(0);   // master fired, slave pending
+    const stg::PlaceIdx an = net.addPlace(1);  // slave fired, master may go
+    net.arcTP(master[g], a);
+    net.arcPT(a, slave[g]);
+    net.arcTP(slave[g], an);
+    net.arcPT(an, master[g]);
+  }
+  std::vector<stg::PlaceIdx> data_places;
+  data_places.reserve(chans.size());
+  for (const Chan& ch : chans) {
+    const stg::PlaceIdx d = net.addPlace(1);  // slaves reset full
+    net.arcTP(slave[ch.from], d);
+    net.arcPT(d, master[ch.to]);
+    // Fully decoupled: no complement place — the producer does not wait
+    // for the consumer before refilling.
+    data_places.push_back(d);
+  }
+
+  auto overrun = [&](const stg::Marking& m) -> int {
+    for (std::size_t i = 0; i < data_places.size(); ++i) {
+      if (m[data_places[i]] >= 2) return static_cast<int>(i);
+    }
+    return -1;
+  };
+
+  // BFS with parent pointers so a violation yields its firing trace.
+  struct Node {
+    stg::Marking m;
+    int parent = -1;
+    stg::TransIdx via = 0;
+  };
+  std::vector<Node> nodes;
+  std::map<stg::Marking, int> seen;
+  nodes.push_back(Node{net.initialMarking(), -1, 0});
+  seen.emplace(nodes[0].m, 0);
+  std::queue<int> todo;
+  todo.push(0);
+  auto traceTo = [&](int idx, stg::TransIdx last) {
+    std::vector<std::string> path;
+    path.push_back(net.transitionLabel(last));
+    for (int i = idx; i > 0; i = nodes[i].parent) {
+      path.push_back(net.transitionLabel(nodes[i].via));
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
+  };
+  while (!todo.empty()) {
+    const int idx = todo.front();
+    todo.pop();
+    const stg::Marking m = nodes[idx].m;
+    for (const stg::TransIdx t : net.enabled(m)) {
+      stg::Marking next = net.fire(m, t);
+      const int over = overrun(next);
+      if (over >= 0) {
+        rep.admissible = false;
+        rep.violation =
+            "channel " + std::to_string(chans[over].from) + " -> " +
+            std::to_string(chans[over].to) +
+            " overruns: producer slave refires before the consumer "
+            "latched (wire and latch hold distinct data)";
+        rep.trace = traceTo(idx, t);
+        rep.states_explored = nodes.size();
+        return rep;
+      }
+      if (seen.find(next) != seen.end()) continue;
+      const int ni = static_cast<int>(nodes.size());
+      if (nodes.size() >= kMaxStates) {
+        rep.admissible = false;
+        rep.violation = "protocol state space exceeded the exploration bound";
+        rep.states_explored = nodes.size();
+        return rep;
+      }
+      seen.emplace(next, ni);
+      nodes.push_back(Node{std::move(next), idx, t});
+      todo.push(ni);
+    }
+  }
+  rep.states_explored = nodes.size();
+  return rep;
+}
+
+}  // namespace desync::sim::symfe

@@ -54,6 +54,9 @@ void usage() {
       "  --fe-engine E      golden-side simulator for the flow-equivalence\n"
       "                     check: 'bitsim' (bit-parallel, default) or\n"
       "                     'event' (reference); verdicts are identical\n"
+      "  --fe-mode M        flow-equivalence route: 'sim' (vector batches,\n"
+      "                     default), 'prove' (per-register SAT proof), or\n"
+      "                     'both' — the two routes must agree\n"
       "  --jobs N           worker threads for the main flow, 0 = auto\n"
       "\n"
       "failure handling:\n"
@@ -98,10 +101,15 @@ std::string readFile(const std::string& path) {
 }
 
 std::string describe(const fuzz::OracleVerdict& v) {
-  char buf[96];
+  char buf[128];
   std::snprintf(buf, sizeof buf, "cells=%zu ffs=%zu regions=%d compared=%zu",
                 v.cells, v.ffs_replaced, v.regions, v.values_compared);
-  return buf;
+  std::string out = buf;
+  if (v.registers_proved > 0) {
+    out += " proved=" + std::to_string(v.registers_proved);
+  }
+  if (!v.note.empty()) out += "; note: " + v.note;
+  return out;
 }
 
 }  // namespace
@@ -154,6 +162,13 @@ int main(int argc, char** argv) {
     } else if (arg == "--fe-engine") {
       try {
         oracle.fe_engine = sim::parseSyncEngine(next());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "drdesync-fuzz: %s\n", e.what());
+        return 2;
+      }
+    } else if (arg == "--fe-mode") {
+      try {
+        oracle.fe_mode = core::parseFeMode(next());
       } catch (const std::exception& e) {
         std::fprintf(stderr, "drdesync-fuzz: %s\n", e.what());
         return 2;
@@ -294,8 +309,12 @@ int main(int argc, char** argv) {
         << "\"\n"
         << "// " << v.detail << "\n"
         << "// repro: drdesync-fuzz --replay " << name << " --fault "
-        << fuzz::faultKindName(oracle.fault) << " --expect-check " << check
-        << "\n"
+        << fuzz::faultKindName(oracle.fault)
+        << (oracle.fe_mode == core::FeMode::kSim
+                ? std::string{}
+                : std::string(" --fe-mode ") +
+                      core::feModeName(oracle.fe_mode))
+        << " --expect-check " << check << "\n"
         << repro;
     std::printf("seed %llu: reproducer written to %s\n",
                 static_cast<unsigned long long>(s), path.c_str());

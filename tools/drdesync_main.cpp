@@ -68,6 +68,10 @@ void usage() {
       "  --fe-engine E      golden-side simulator for --fe-check: 'bitsim'\n"
       "                     (bit-parallel, 64 batches per pass, default)\n"
       "                     or 'event' (reference); verdicts are identical\n"
+      "  --fe-mode M        flow-equivalence route: 'sim' (vector batches,\n"
+      "                     default), 'prove' (per-register SAT proof of\n"
+      "                     projection equivalence + protocol check), or\n"
+      "                     'both' (docs/symfe.md)\n"
       "\n"
       "execution:\n"
       "  --jobs N           worker threads, 0 = auto (default: DESYNC_JOBS\n"
@@ -202,6 +206,13 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "%s\n", e.what());
         return 2;
       }
+    } else if (arg == "--fe-mode") {
+      try {
+        opt.fe.mode = core::parseFeMode(next());
+      } catch (const std::invalid_argument& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+      }
     } else if (arg == "--no-bus-heuristic") {
       opt.grouping.bus_heuristic = false;
     } else if (arg == "--no-clean") {
@@ -295,9 +306,35 @@ int main(int argc, char** argv) {
       fe_failed = !fe.equivalent;
       std::fprintf(stderr,
                    "drdesync: fe-check: %zu batches, %zu values compared, "
-                   "%zu mismatches: %s\n",
+                   "%zu mismatches: %s%s\n",
                    fe.batches_run, fe.values_compared, fe.mismatches,
-                   fe.equivalent ? "flow-equivalent" : "NOT flow-equivalent");
+                   fe.equivalent ? "flow-equivalent" : "NOT flow-equivalent",
+                   result.substitution.ffs_replaced == 0
+                       ? " (vacuous: no flip-flops replaced)"
+                       : "");
+    }
+    if (result.symfe.ran) {
+      const sim::symfe::SymfeReport& sf = result.symfe.report;
+      if (!sf.ok()) fe_failed = true;
+      std::fprintf(stderr,
+                   "drdesync: fe-prove: %zu registers: %zu proved, %zu "
+                   "refuted, %zu skipped; protocol %s: %s\n",
+                   sf.registers.size(), sf.proved, sf.refuted, sf.skipped,
+                   sf.protocol.controller.c_str(),
+                   sf.ok() ? "projection equivalence proved"
+                           : "NOT proved");
+      for (const sim::symfe::RegisterProof& p : sf.registers) {
+        if (p.verdict == sim::symfe::RegVerdict::kProved) continue;
+        std::fprintf(stderr, "drdesync: fe-prove:   %s %s: %s\n",
+                     p.verdict == sim::symfe::RegVerdict::kRefuted
+                         ? "refuted"
+                         : "skipped",
+                     p.name.c_str(), p.reason.c_str());
+      }
+      if (!sf.protocol.admissible) {
+        std::fprintf(stderr, "drdesync: fe-prove:   protocol: %s\n",
+                     sf.protocol.violation.c_str());
+      }
     }
     core::shutdownParallel();  // join workers before static destructors
     return fe_failed ? 1 : 0;
