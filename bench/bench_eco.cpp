@@ -1,0 +1,299 @@
+// Incremental ECO recompute bench: warm --eco run vs the warm
+// whole-snapshot restore path, at 1/5/50-cell edit sizes.
+//
+// An engineering change order inverts the data inputs of a handful of
+// registers (a scripted polarity fix, the classic metal-layer ECO).  Three
+// runs are measured per design and edit size:
+//
+//   cold     — the full flow on the edited design, FlowDB off.  The
+//              byte-identity reference.
+//   restore  — the warm whole-snapshot path: the pass cache is primed
+//              with the *edited* design, so the rerun restores all seven
+//              passes from snapshots.  The FE prover still runs (proofs
+//              are not part of the pass snapshots), which is exactly why
+//              a whole-design cache cannot make prove-mode reruns cheap.
+//   eco      — the --eco path: the ECO tables are primed on the
+//              *unedited* design, the edit is applied, and the warm rerun
+//              re-analyzes only the dirtied regions/endpoints/registers
+//              and restores the surviving proofs (docs/eco.md).
+//
+// Both warm paths must be byte-identical to cold.  The accept gate
+// (`bench_eco_accept`) fails unless the 5-cell ECO on the ARM-class
+// design is at least 5x faster than its warm whole-snapshot restore.
+//
+// Timed region: desynchronize() only (design construction stands in for
+// parsing and is paid identically by all runs).  The primed ECO cache
+// directory is snapshotted once per design and restored before every warm
+// repeat so each repeat sees the same pre-edit tables.
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "harness.h"
+#include "netlist/verilog.h"
+#include "trace/trace.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// The scripted ECO: inserts an inverter in front of the data pins of the
+/// first `count` flip-flops whose D net has exactly one sink and a
+/// combinational driver (a late-in-cone edit: each site dirties one
+/// register's input cone, not a whole stage).  Returns the edit count.
+int applyEcoEdit(bench::nl::Module& m, const bench::lib::Gatefile& gf,
+                 int count) {
+  std::vector<bench::nl::CellId> ffs;
+  m.forEachCell([&](bench::nl::CellId c) {
+    if (gf.isFlipFlop(m.cellType(c))) ffs.push_back(c);
+  });
+  int done = 0;
+  for (bench::nl::CellId ff : ffs) {
+    if (done >= count) break;
+    const bench::lib::SeqClass* sc = gf.seqClass(m.cellType(ff));
+    if (sc == nullptr || sc->data_pin.empty()) continue;
+    const bench::nl::NetId d = m.pinNet(ff, sc->data_pin);
+    if (!d.valid()) continue;
+    const bench::nl::Net& n = m.net(d);
+    if (!n.driver.isCellPin() || n.sinks.size() != 1) continue;
+    if (gf.kind(m.cellType(n.driver.cell())) !=
+        bench::lib::CellKind::kCombinational) {
+      continue;
+    }
+    const std::string base = "eco_fix" + std::to_string(done);
+    const bench::nl::NetId out = m.addNet(base + "_z");
+    m.addCell(base + "_inv", "IV",
+              {{"A", bench::nl::PortDir::kInput, d},
+               {"Z", bench::nl::PortDir::kOutput, out}});
+    m.connectPin(ff, m.findPin(ff, sc->data_pin), out);
+    ++done;
+  }
+  return done;
+}
+
+struct FlowOutput {
+  std::string verilog;
+  std::string sdc;
+};
+
+struct EcoStats {
+  std::int64_t regions_restored = 0;
+  std::int64_t registers_restored = 0;
+  bool warm = false;
+};
+
+/// One desynchronization of `config`, with `edits` ECO sites applied
+/// (0 = pristine), against `cache_dir` (empty = FlowDB off) in snapshot or
+/// --eco mode.  Returns the desynchronize() wall time.
+double runFlow(const bench::designs::CpuConfig& config, int edits,
+               const std::string& cache_dir, bool eco, FlowOutput* out,
+               EcoStats* stats, int* edits_done = nullptr) {
+  bench::nl::Design design;
+  bench::designs::buildCpu(design, bench::gatefileHs(), config);
+  bench::nl::Module& m = *design.findModule(config.name);
+  if (edits > 0) {
+    const int done = applyEcoEdit(m, bench::gatefileHs(), edits);
+    if (edits_done) *edits_done = done;
+  }
+  bench::core::DesyncOptions opt;
+  opt.control.reset_port = "rst_n";
+  opt.control.reset_active_low = true;
+  if (config.name != "dlx") opt.manual_seq_groups = {{""}};
+  opt.fe.mode = bench::core::FeMode::kProve;
+  opt.flowdb.cache_dir = cache_dir;
+  opt.flowdb.eco = eco;
+  const auto t0 = std::chrono::steady_clock::now();
+  bench::core::DesyncResult r =
+      bench::core::desynchronize(design, m, bench::gatefileHs(), opt);
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  if (out) {
+    out->verilog = bench::nl::writeVerilog(m);
+    out->sdc = r.sdc.toText();
+  }
+  if (stats) {
+    stats->regions_restored = r.flow.eco().regions_restored;
+    stats->registers_restored = r.flow.eco().registers_restored;
+    stats->warm = r.flow.eco().warm;
+  }
+  if (std::getenv("DESYNC_ECO_DEBUG")) {
+    std::printf("-- %s edits=%d cache=%d eco=%d: %.1f ms\n",
+                config.name.c_str(), edits, cache_dir.empty() ? 0 : 1,
+                eco ? 1 : 0, ms);
+    for (const auto& p : r.flow.passes()) {
+      std::printf("   %-18s %8.2f ms\n", p.name.c_str(), p.wall_ms);
+    }
+  }
+  return ms;
+}
+
+/// One design x edit-size measurement.
+struct SizeResult {
+  int requested = 0;
+  int edits = 0;         ///< sites the scripted edit actually found
+  double cold_ms = 0;    ///< full flow on the edited design, FlowDB off
+  double restore_ms = 0; ///< warm whole-snapshot restore of the edited run
+  double eco_ms = 0;     ///< --eco over tables primed on the pristine design
+  bool restore_matches = false;
+  bool eco_matches = false;
+  EcoStats eco;
+  double eco_speedup() const {
+    return eco_ms > 0 ? restore_ms / eco_ms : 0;
+  }
+};
+
+SizeResult measureSize(const bench::designs::CpuConfig& config, int size,
+                       const fs::path& eco_primed, int repeats) {
+  const fs::path snap_dir =
+      fs::temp_directory_path() /
+      ("bench_eco_" + config.name + "_" + std::to_string(size) + "_snap");
+  const fs::path eco_dir =
+      fs::temp_directory_path() /
+      ("bench_eco_" + config.name + "_" + std::to_string(size) + "_eco");
+  SizeResult r;
+  r.requested = size;
+  r.cold_ms = r.restore_ms = r.eco_ms = 1e300;
+
+  // Cold baseline + byte-identity reference.
+  FlowOutput reference;
+  for (int i = 0; i < repeats; ++i) {
+    r.cold_ms = std::min(
+        r.cold_ms, runFlow(config, size, "", false,
+                           i == 0 ? &reference : nullptr, nullptr,
+                           i == 0 ? &r.edits : nullptr));
+  }
+
+  // Warm whole-snapshot restore: prime with the edited design, rerun.
+  fs::remove_all(snap_dir);
+  runFlow(config, size, snap_dir.string(), false, nullptr, nullptr);
+  r.restore_matches = true;
+  for (int i = 0; i < repeats; ++i) {
+    FlowOutput warm;
+    r.restore_ms = std::min(
+        r.restore_ms,
+        runFlow(config, size, snap_dir.string(), false, &warm, nullptr));
+    r.restore_matches = r.restore_matches &&
+                        warm.verilog == reference.verilog &&
+                        warm.sdc == reference.sdc;
+  }
+  fs::remove_all(snap_dir);
+
+  // ECO: every repeat sees the same pre-edit tables.
+  r.eco_matches = true;
+  for (int i = 0; i < repeats; ++i) {
+    fs::remove_all(eco_dir);
+    fs::copy(eco_primed, eco_dir, fs::copy_options::recursive);
+    FlowOutput warm;
+    r.eco_ms = std::min(r.eco_ms, runFlow(config, size, eco_dir.string(),
+                                          true, &warm, &r.eco));
+    r.eco_matches = r.eco_matches && warm.verilog == reference.verilog &&
+                    warm.sdc == reference.sdc;
+    if (!r.eco_matches) break;
+  }
+  fs::remove_all(eco_dir);
+  return r;
+}
+
+std::vector<SizeResult> measureDesign(
+    const bench::designs::CpuConfig& config, int repeats) {
+  // The ECO tables are primed once on the pristine design and shared by
+  // every edit size (each repeat restores its own copy).
+  const fs::path primed =
+      fs::temp_directory_path() / ("bench_eco_" + config.name + "_primed");
+  fs::remove_all(primed);
+  runFlow(config, 0, primed.string(), true, nullptr, nullptr);
+
+  std::vector<SizeResult> out;
+  for (int size : {1, 5, 50}) {
+    out.push_back(measureSize(config, size, primed, repeats));
+  }
+  fs::remove_all(primed);
+  return out;
+}
+
+void printDesign(const char* name, const std::vector<SizeResult>& rs) {
+  for (const SizeResult& r : rs) {
+    bench::row("%-8s %6d %10.1f %12.1f %10.1f %8.1fx %8s %9lld %9lld", name,
+               r.edits, r.cold_ms, r.restore_ms, r.eco_ms, r.eco_speedup(),
+               r.restore_matches && r.eco_matches ? "yes" : "NO",
+               static_cast<long long>(r.eco.regions_restored),
+               static_cast<long long>(r.eco.registers_restored));
+  }
+}
+
+void addJson(std::vector<std::pair<std::string, double>>& kv,
+             const std::string& design, const std::vector<SizeResult>& rs) {
+  for (const SizeResult& r : rs) {
+    const std::string p = design + "_" + std::to_string(r.requested) + "c_";
+    kv.emplace_back(p + "edits", static_cast<double>(r.edits));
+    kv.emplace_back(p + "cold_ms", r.cold_ms);
+    kv.emplace_back(p + "restore_ms", r.restore_ms);
+    kv.emplace_back(p + "eco_ms", r.eco_ms);
+    kv.emplace_back(p + "eco_speedup", r.eco_speedup());
+    kv.emplace_back(p + "matches_cold",
+                    r.restore_matches && r.eco_matches ? 1.0 : 0.0);
+    kv.emplace_back(p + "regions_restored",
+                    static_cast<double>(r.eco.regions_restored));
+    kv.emplace_back(p + "registers_restored",
+                    static_cast<double>(r.eco.registers_restored));
+  }
+}
+
+}  // namespace
+
+int main() {
+  desync::trace::startFromEnv();
+  const int repeats = bench::benchRepeats();
+  bench::header("ECO incremental recompute vs warm snapshot restore "
+                "(fe-mode prove)");
+  bench::row("%-8s %6s %10s %12s %10s %9s %8s %9s %9s", "design", "edits",
+             "cold_ms", "restore_ms", "eco_ms", "speedup", "match",
+             "regions", "regs");
+
+  bench::RepeatedTiming total;
+  const auto t0 = std::chrono::steady_clock::now();
+
+  const std::vector<SizeResult> dlx =
+      measureDesign(bench::designs::dlxConfig(), repeats);
+  printDesign("dlx", dlx);
+  const std::vector<SizeResult> arm =
+      measureDesign(bench::designs::armClassConfig(), repeats);
+  printDesign("arm", arm);
+
+  total.runs_ms.push_back(std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count());
+  total.min_ms = total.median_ms = total.runs_ms.front();
+  std::vector<std::pair<std::string, double>> kv;
+  addJson(kv, "dlx", dlx);
+  addJson(kv, "arm", arm);
+  bench::writeBenchJson("eco", total, kv);
+
+  // Accept gate: every run byte-identical and warm, every edit fully
+  // applied, and the 5-cell ECO on the ARM-class design at least 5x
+  // faster than its warm whole-snapshot restore (ISSUE 10's bar; the DLX
+  // ratios are informational — the design is small enough that fixed
+  // per-run costs dominate).
+  bool ok = true;
+  for (const auto* rs : {&dlx, &arm}) {
+    for (const SizeResult& r : *rs) {
+      ok = ok && r.edits == r.requested && r.restore_matches &&
+           r.eco_matches && r.eco.warm;
+      // A 50-cell edit may legitimately dirty every region; the small
+      // edits must leave most of the design restorable.
+      if (r.requested <= 5) ok = ok && r.eco.regions_restored > 0;
+    }
+  }
+  const SizeResult& arm5 = arm[1];
+  ok = ok && arm5.eco_speedup() >= 5.0;
+  bench::row("%s",
+             ok ? "OK: byte-identical everywhere, arm 5-cell ECO >= 5x the "
+                  "warm snapshot restore"
+                : "FAIL: output mismatch, cold ECO, incomplete edit, or arm "
+                  "5-cell ECO < 5x the warm snapshot restore");
+  desync::trace::finish();
+  return ok ? 0 : 1;
+}

@@ -17,27 +17,26 @@ using netlist::Module;
 using netlist::NetId;
 using netlist::PortDir;
 
-namespace {
-
-/// Characterizes the rise delay of one AND stage of the asymmetric delay
-/// element under nominal conditions (thesis §3.1.4: elements of 1..100
-/// levels are implemented and measured with STA).
-double perLevelDelayNs(Design& design, const liberty::Gatefile& gatefile) {
+double characterizeDelayStageNs(const liberty::Gatefile& gatefile) {
+  // Elements of 1..100 levels are implemented and measured with STA
+  // (thesis §3.1.4); one 16-level probe gives the per-stage rise delay.
+  // The probe lives in a scratch design: it is a measurement artifact,
+  // and building it in the flow design would emit a dead helper module
+  // (and make cold vs ECO-warm output differ, since warm runs restore
+  // the characterized delay without re-measuring).
   async::DelayElementSpec probe;
   probe.levels = 16;
-  Module& del = async::ensureDelayElement(design, gatefile, probe);
+  Design scratch;
+  Module& del = async::ensureDelayElement(scratch, gatefile, probe);
   sta::Sta sta(del, gatefile);
   double total = sta.portToPortNs("A", "Z", /*rising_out=*/true).value();
   return total / probe.levels;
 }
 
-}  // namespace
-
-RegionTiming computeRegionTiming(Design& design, Module& m,
-                                 const liberty::Gatefile& gatefile,
+RegionTiming computeRegionTiming(Module& m, const liberty::Gatefile& gatefile,
                                  const Regions& regions) {
   RegionTiming timing;
-  timing.per_level_delay_ns = perLevelDelayNs(design, gatefile);
+  timing.per_level_delay_ns = characterizeDelayStageNs(gatefile);
 
   // Re-buffer the datapath first (the cleaning pass stripped the synthesis
   // buffers): the delay elements must be sized against the timing the

@@ -67,13 +67,20 @@ struct RegionTiming {
   std::vector<double> required_delay_ns;
 };
 
+/// Characterizes the rise delay of one AND stage of the asymmetric delay
+/// element under nominal conditions (thesis §3.1.4).  A pure function of
+/// the library — the probe element is built and measured in a scratch
+/// design so no helper module leaks into the flow output — so the ECO
+/// layer (core/eco.h) restores it from the region tables instead of
+/// re-characterizing on warm runs.
+double characterizeDelayStageNs(const liberty::Gatefile& gatefile);
+
 /// Runs the timing prerequisites of control-network insertion: re-buffers
 /// the datapath (the cleaning pass stripped the synthesis buffers, and the
 /// delay elements must be sized against the timing the backend netlist
 /// will actually have), characterizes the delay-element stage delay, and
 /// measures each region's critical path with the STA engine.
-RegionTiming computeRegionTiming(netlist::Design& design,
-                                 netlist::Module& module,
+RegionTiming computeRegionTiming(netlist::Module& module,
                                  const liberty::Gatefile& gatefile,
                                  const Regions& regions);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "core/eco.h"
 #include "core/flow_cache.h"
 #include "core/parallel.h"
 #include "netlist/flatten.h"
@@ -106,7 +107,8 @@ void runFeCheck(const netlist::Module& sync_top, const netlist::Module& module,
 /// token-flow protocol admissibility check (sim/symfe).
 void runFeProve(const netlist::Module& sync_top, const netlist::Module& module,
                 const liberty::Gatefile& gatefile,
-                const DesyncOptions& options, DesyncResult& result) {
+                const DesyncOptions& options, DesyncResult& result,
+                EcoContext* eco) {
   ScopedPass pass(result.flow, "fe_prove");
 
   const liberty::BoundModule sync_bound(sync_top, gatefile);
@@ -124,15 +126,34 @@ void runFeProve(const netlist::Module& sync_top, const netlist::Module& module,
   pi.preds = result.ddg.preds;
   so.protocol = std::move(pi);
 
+  // ECO: clean registers reuse their stored proofs; the protocol check is
+  // skipped when its whole input (regions, DDG, controller) is
+  // fingerprint-identical to the stored report's.
+  const std::uint64_t protocol_fp = EcoContext::protocolFingerprint(
+      *so.protocol, static_cast<int>(so.controller));
+  bool protocol_restored = false;
+  if (eco != nullptr) {
+    so.restored_proofs = &eco->restoredProofs();
+    if (eco->protocolRestorable(protocol_fp)) {
+      so.check_protocol = false;
+      protocol_restored = true;
+    }
+  }
+
   result.symfe.report = sim::symfe::proveFlowEquivalence(sync_bound,
                                                          desync_bound, so);
   result.symfe.ran = true;
+  if (protocol_restored) {
+    result.symfe.report.protocol = eco->restoredProtocol();
+  }
+  if (eco != nullptr) eco->recordSymfe(result.symfe.report, protocol_fp);
 
   const sim::symfe::SymfeReport& rep = result.symfe.report;
   pass.counter("registers", static_cast<std::int64_t>(rep.registers.size()));
   pass.counter("proved", static_cast<std::int64_t>(rep.proved));
   pass.counter("refuted", static_cast<std::int64_t>(rep.refuted));
   pass.counter("skipped", static_cast<std::int64_t>(rep.skipped));
+  pass.counter("restored", static_cast<std::int64_t>(rep.restored));
   pass.counter("conflicts", static_cast<std::int64_t>(rep.conflicts));
   pass.counter("decisions", static_cast<std::int64_t>(rep.decisions));
   pass.counter("protocol_admissible", rep.protocol.admissible ? 1 : 0);
@@ -142,6 +163,7 @@ void runFeProve(const netlist::Module& sync_top, const netlist::Module& module,
   ss.proved = static_cast<std::int64_t>(rep.proved);
   ss.refuted = static_cast<std::int64_t>(rep.refuted);
   ss.skipped = static_cast<std::int64_t>(rep.skipped);
+  ss.restored = static_cast<std::int64_t>(rep.restored);
   ss.conflicts = static_cast<std::int64_t>(rep.conflicts);
   ss.decisions = static_cast<std::int64_t>(rep.decisions);
   ss.protocol_states =
@@ -169,7 +191,8 @@ DesyncResult desynchronize(netlist::Design& design, netlist::Module& module,
                            options.fe.mode != FeMode::kProve;
   const bool want_prove = options.fe.mode != FeMode::kSim;
   if (want_vector || want_prove) {
-    sync_top = &netlist::cloneModule(sync_snapshot, module);
+    trace::Span span("sync_snapshot", "flow");
+    sync_top = &netlist::snapshotModule(sync_snapshot, module);
   }
 
   FlowSession session(design, module, gatefile, options, result);
@@ -190,20 +213,52 @@ DesyncResult desynchronize(netlist::Design& design, netlist::Module& module,
     }
     std::vector<double> task_ms(corner_opts.size(), 0.0);
     std::vector<std::unique_ptr<sta::Sta>> analyses(corner_opts.size());
-    parallelFor(corner_opts.size(), [&](std::size_t i) {
-      trace::Span span("sta_corner", "sta");
-      const auto t0 = std::chrono::steady_clock::now();
-      sta::StaOptions so = corner_opts[i];
-      analyses[i] = std::make_unique<sta::Sta>(bound, std::move(so));
-      task_ms[i] = std::chrono::duration<double, std::milli>(
-                       std::chrono::steady_clock::now() - t0)
-                       .count();
-    });
-    for (std::size_t i = 0; i < analyses.size(); ++i) {
-      const variability::CornerSpec spec = variability::cornerSpec(corners[i]);
-      result.corner_periods.push_back(DesyncResult::CornerPeriod{
-          spec.name, spec.delay_scale, analyses[i]->minPeriodNs()});
-      pass.work(task_ms[i]);
+    auto buildAll = [&](const std::vector<std::uint8_t>* mask) {
+      parallelFor(corner_opts.size(), [&](std::size_t i) {
+        trace::Span span("sta_corner", "sta");
+        const auto t0 = std::chrono::steady_clock::now();
+        sta::StaOptions so = corner_opts[i];
+        so.net_mask = mask;
+        analyses[i] = std::make_unique<sta::Sta>(bound, std::move(so));
+        task_ms[i] += std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+      });
+    };
+    EcoContext* eco = session.eco();
+    const std::vector<std::uint8_t>* mask =
+        eco != nullptr ? eco->refstaMask() : nullptr;
+    buildAll(mask);
+    if (mask != nullptr) {
+      // A masked analysis that had to cut loops is not comparable with the
+      // stored full-run arrivals; redo the pass unmasked (still exact).
+      bool broken = false;
+      for (const auto& a : analyses) {
+        if (!a->brokenArcs().empty()) broken = true;
+      }
+      if (broken) {
+        eco->dropStoredRefsta();
+        buildAll(nullptr);
+      }
+    }
+    if (eco != nullptr) {
+      const std::vector<double> periods =
+          eco->referencePeriods(module, analyses);
+      for (std::size_t i = 0; i < analyses.size(); ++i) {
+        const variability::CornerSpec spec =
+            variability::cornerSpec(corners[i]);
+        result.corner_periods.push_back(DesyncResult::CornerPeriod{
+            spec.name, spec.delay_scale, periods[i]});
+        pass.work(task_ms[i]);
+      }
+    } else {
+      for (std::size_t i = 0; i < analyses.size(); ++i) {
+        const variability::CornerSpec spec =
+            variability::cornerSpec(corners[i]);
+        result.corner_periods.push_back(DesyncResult::CornerPeriod{
+            spec.name, spec.delay_scale, analyses[i]->minPeriodNs()});
+        pass.work(task_ms[i]);
+      }
     }
     result.sync_min_period_ns = result.corner_periods[1].min_period_ns;
     pass.counter("corners",
@@ -232,6 +287,9 @@ DesyncResult desynchronize(netlist::Design& design, netlist::Module& module,
     } else {
       result.regions = groupRegionsBySeqPrefix(
           module, gatefile, options.manual_seq_groups, options.grouping);
+    }
+    if (EcoContext* eco = session.eco()) {
+      eco->captureRegionKeys(module, result.regions);
     }
     pass.counter("regions", result.regions.n_groups);
     pass.counter("cells", static_cast<std::int64_t>(module.numCells()));
@@ -264,8 +322,15 @@ DesyncResult desynchronize(netlist::Design& design, netlist::Module& module,
   // changing any of those reuses this pass's cached STA results and only
   // recomputes the cheap network construction below.
   session.addPass("region_timing", nullptr, [&](ScopedPass& pass) {
-    result.timing = computeRegionTiming(design, module, gatefile,
-                                        result.regions);
+    if (EcoContext* eco = session.eco()) {
+      EcoContext::RegionTimingOutcome out =
+          eco->regionTiming(module, gatefile, result.regions);
+      result.timing = std::move(out.timing);
+      pass.counter("regions_dirty", out.dirty);
+      pass.counter("regions_restored", out.restored);
+    } else {
+      result.timing = computeRegionTiming(module, gatefile, result.regions);
+    }
     pass.counter("regions", static_cast<std::int64_t>(
                                 result.timing.required_delay_ns.size()));
     pass.counter("cells", static_cast<std::int64_t>(module.numCells()));
@@ -337,8 +402,9 @@ DesyncResult desynchronize(netlist::Design& design, netlist::Module& module,
     runFeCheck(*sync_top, module, gatefile, options, result);
   }
   if (want_prove) {
-    runFeProve(*sync_top, module, gatefile, options, result);
+    runFeProve(*sync_top, module, gatefile, options, result, session.eco());
   }
+  session.ecoFinish();
   // Contention delta across the run: non-zero when another top-level
   // caller's parallel section serialized one of ours on the shared pool.
   // Thread-scoped, so the delta is exactly this run's waits even with

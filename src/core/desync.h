@@ -62,7 +62,7 @@ struct FeCheckOptions {
   std::uint64_t prove_max_conflicts = 200000;
 };
 
-/// FlowDB persistence knobs (`--cache-dir`, `--resume`).
+/// FlowDB persistence knobs (`--cache-dir`, `--resume`, `--eco`).
 struct FlowDbOptions {
   /// Content-addressed pass cache directory; empty disables FlowDB
   /// entirely (no snapshots, no checkpoints, zero overhead).
@@ -70,6 +70,12 @@ struct FlowDbOptions {
   /// Restore the last valid checkpoint found in cache_dir instead of
   /// recomputing the passes leading up to it (`drdesync --resume`).
   bool resume = false;
+  /// Incremental ECO recompute (`drdesync --eco`, docs/eco.md):
+  /// diff the input against the previous run's per-object record tables in
+  /// cache_dir and re-analyze only the dirty regions/endpoints/registers.
+  /// Output stays byte-identical to a cold run; requires cache_dir.
+  /// Supersedes whole-design caching and `resume` for the run.
+  bool eco = false;
 };
 
 struct DesyncOptions {

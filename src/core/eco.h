@@ -1,0 +1,257 @@
+// Incremental ECO recompute (docs/eco.md).
+//
+// An engineering change order touches a handful of cells; re-running the
+// whole flow repays none of the work already done for the untouched 99 %.
+// The ECO layer makes `drdesync --eco` warm runs pay only for what the
+// edit actually dirtied:
+//
+//  * The input netlist is diffed against per-object record hashes stored
+//    from the previous run (no netlist snapshot is kept — only 16 bytes
+//    per cell/net/port).  The changed records seed two forward closures
+//    over the combinational fan-out, both stopping at sequential
+//    boundaries.  The *functional* closure starts from changed nets,
+//    ports and the changed cells' output nets; every sequential cell it
+//    reaches (through any pin) is a dirty endpoint whose timing and
+//    next-state function the edit can reach.  The *timing-only* closure
+//    additionally starts from the changed cells' input nets — a cell
+//    changed in place changes its input pin caps, so the loads of its
+//    input nets and the arrival of every sibling sink move — but it only
+//    dirties sequential sinks through timing-endpoint pins (data, scan,
+//    sync), so a changed register does not functionally dirty every
+//    register sharing its clock net.
+//  * reference_sta re-analyzes only the backward cone of the dirty
+//    endpoints (a net mask handed to sta::Sta); clean endpoints restore
+//    their stored per-corner contributions, and the merged per-endpoint
+//    max reproduces the full run's minimum period bit for bit.
+//  * region_timing keeps two tables: the worst arrival+setup at each
+//    master latch (keyed by the original register's name) and each
+//    region's matched-delay requirement (keyed by a membership key over
+//    the member registers' names).  A latch is clean exactly when its
+//    register is not a dirty endpoint — the requirement is a pure max
+//    over member-latch worsts, so a region whose membership key matches
+//    and whose members are all clean restores its requirement outright,
+//    and a dirty region re-times only its dirty latches' cones under a
+//    mask, merging the stored worsts of its clean members.
+//  * fe_prove restores the stored per-register proofs of clean registers
+//    (their cones are untouched, so the verdicts still hold) and re-proves
+//    only the dirty ones; the protocol admissibility check is restored
+//    when the region/DDG summary is fingerprint-identical.
+//
+// Everything mutating the netlist (substitution, buffering, control
+// network, SDC) re-runs unconditionally, so a warm ECO run writes
+// byte-identical Verilog and SDC to a cold run on the same edited design.
+// The tables live in one FlowDB slot per design, guarded by a
+// configuration key (tool/format version, library fingerprint, pass
+// options, FE mode); any mismatch or parse failure degrades to a cold run
+// with a note, never an error.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "core/control_network.h"
+#include "core/flow_report.h"
+#include "core/regions.h"
+#include "flowdb/cache.h"
+#include "flowdb/hash.h"
+#include "liberty/gatefile.h"
+#include "netlist/netlist.h"
+#include "sim/symfe/symfe.h"
+#include "sta/sta.h"
+
+namespace desync::core {
+
+/// One flow run's incremental-recompute state: loads the previous run's
+/// tables, diffs the input module, and serves restore queries to the
+/// passes.  Constructed by FlowSession in --eco mode before any pass runs
+/// (the module must still be the unmodified input); finish() stores the
+/// updated tables after the FE passes complete.
+class EcoContext {
+ public:
+  /// Fixed corner count of the reference STA (best/typical/worst).
+  static constexpr std::size_t kCorners = 3;
+
+  /// Loads the design's slot from `cache`, checks `guard` (the
+  /// configuration key — see FlowSession), digests `module` and, when
+  /// warm, computes the dirty-endpoint closure.  Diagnostics go to `flow`
+  /// notes; the whole diff runs under an "eco_diff" trace span.
+  EcoContext(flowdb::PassCache& cache, const netlist::Module& module,
+             const liberty::Gatefile& gatefile, const flowdb::CacheKey& guard,
+             FlowReport& flow);
+
+  /// Tables loaded, guard matched and the edit small enough to bound: the
+  /// restore queries below may return stored results.  False = cold ECO
+  /// run (everything recomputes, tables are still stored at finish()).
+  [[nodiscard]] bool warm() const { return warm_; }
+
+  // --- reference_sta ------------------------------------------------------
+
+  /// Backward-closed net mask covering the dirty endpoints' input cones on
+  /// the input module; nullptr when the full analysis must run (cold, or
+  /// everything dirty).  Valid until the module is mutated.
+  [[nodiscard]] const std::vector<std::uint8_t>* refstaMask() const;
+
+  /// Disables the stored reference-STA table for this run (called when the
+  /// masked analysis had to break loops, so its arrivals are not
+  /// comparable); referencePeriods() then uses the recomputed-only merge.
+  void dropStoredRefsta() { refsta_stored_usable_ = false; }
+
+  /// Merges stored clean-endpoint contributions with the (masked or full)
+  /// recomputed ones and returns the per-corner minimum periods,
+  /// bit-identical to Sta::minPeriodNs() of an unmasked run.  `analyses`
+  /// must be the kCorners corner analyses in index order.
+  std::vector<double> referencePeriods(
+      const netlist::Module& module,
+      const std::vector<std::unique_ptr<sta::Sta>>& analyses);
+
+  // --- region keys + region_timing ----------------------------------------
+
+  /// Captures each region's membership key on the cleaned,
+  /// pre-substitution module (the grouping pass calls this at the end of
+  /// its body): a sorted hash of the member registers' names.  The key
+  /// deliberately covers only *membership* — a register migrating between
+  /// regions re-keys both — because content validity is the dirty-endpoint
+  /// closure's job: the stored requirement is a pure max over member-latch
+  /// worsts, each valid exactly when its register is not dirty.  Nothing
+  /// run-dependent (jobs, corner order) enters the key.
+  void captureRegionKeys(const netlist::Module& module,
+                         const Regions& regions);
+
+  struct RegionTimingOutcome {
+    RegionTiming timing;
+    std::int64_t dirty = 0;
+    std::int64_t restored = 0;
+  };
+
+  /// ECO-aware replacement for computeRegionTiming(): restores the stage
+  /// delay and every clean region's requirement from the tables, always
+  /// re-inserts buffer trees (output mutation), and runs a masked STA over
+  /// the dirty latches' cones only, merging stored per-latch worsts for
+  /// the clean members of dirty regions.  Cold runs compute everything.
+  RegionTimingOutcome regionTiming(netlist::Module& module,
+                                   const liberty::Gatefile& gatefile,
+                                   const Regions& regions);
+
+  // --- fe_prove -----------------------------------------------------------
+
+  /// Stored kProved verdicts of registers that are not dirty and still
+  /// exist; handed to SymfeOptions::restored_proofs.  Empty when cold.
+  [[nodiscard]] const std::unordered_map<std::string, sim::symfe::RestoredProof>&
+  restoredProofs() const {
+    return restorable_proofs_;
+  }
+
+  /// Fingerprint of the protocol check's full input (region activity, DDG
+  /// edges, controller kind); the check is pure in it.
+  [[nodiscard]] static std::uint64_t protocolFingerprint(
+      const sim::symfe::ProtocolInput& input, int controller_kind);
+
+  /// True when the stored protocol report was produced from an identical
+  /// input and can replace the check.
+  [[nodiscard]] bool protocolRestorable(std::uint64_t fingerprint) const {
+    return warm_ && has_stored_protocol_ && stored_protocol_fp_ == fingerprint;
+  }
+  [[nodiscard]] const sim::symfe::ProtocolReport& restoredProtocol() const {
+    return stored_protocol_;
+  }
+
+  /// Records this run's proof results and protocol report for the next
+  /// run's tables (call with the final SymfeReport, restored proofs
+  /// included).
+  void recordSymfe(const sim::symfe::SymfeReport& report,
+                   std::uint64_t protocol_fingerprint);
+
+  // ------------------------------------------------------------------------
+
+  /// Stores the updated tables into the cache slot and publishes the "eco"
+  /// report section.  Call once, after the FE passes.
+  void finish(FlowReport& flow);
+
+ private:
+  void loadTables(FlowReport& flow);
+  void diffAndClose(FlowReport& flow);
+  [[nodiscard]] bool endpointLive(const netlist::Module& module,
+                                  const std::string& name) const;
+  /// True when `name`'s timing can differ from the stored run (member of
+  /// either closure); symfe restores consult dirty_endpoints_ alone.
+  [[nodiscard]] bool timingDirty(const std::string& name) const {
+    return dirty_endpoints_.count(name) != 0 || timing_dirty_.count(name) != 0;
+  }
+
+  /// One diffed object: FNV-64 of the name (the diff key), the record
+  /// digest, and — for cells — the FNV-64 of the type name (seeds the
+  /// load-coupling closure; zero for nets and ports).
+  struct ObjectDigest {
+    std::uint64_t key = 0;
+    std::uint64_t rec = 0;
+    std::uint64_t type = 0;
+  };
+
+  flowdb::PassCache& cache_;
+  const netlist::Module& input_module_;
+  const liberty::Gatefile& gatefile_;
+  flowdb::CacheKey guard_;
+  std::string slot_name_;
+  bool warm_ = false;
+  bool refsta_stored_usable_ = true;
+
+  // Previous run's tables (loaded; digest arrays are sorted by key for
+  // binary-search lookup and dropped after the diff).
+  std::vector<ObjectDigest> stored_cells_;
+  std::vector<ObjectDigest> stored_nets_;
+  std::vector<ObjectDigest> stored_ports_;
+  std::unordered_map<std::string, std::array<double, kCorners>> stored_refsta_;
+  bool has_stored_per_level_ = false;
+  double stored_per_level_ = 0.0;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, double> stored_regions_;
+  std::unordered_map<std::string, double> stored_latches_;
+  std::unordered_map<std::string, sim::symfe::RestoredProof> stored_symfe_;
+  bool has_stored_protocol_ = false;
+  std::uint64_t stored_protocol_fp_ = 0;
+  sim::symfe::ProtocolReport stored_protocol_;
+
+  // This run's digests of the input module (stored at finish(), in module
+  // iteration order).  Cells additionally carry a type hash: a cell
+  // changed *in place with a new type* changes its input pin caps (a load
+  // effect no net record sees), while binding changes always dirty the
+  // affected nets' own records.
+  std::vector<ObjectDigest> cell_digests_;
+  std::vector<ObjectDigest> net_digests_;
+  std::vector<ObjectDigest> port_digests_;
+
+  // Diff products (warm runs only).  `dirty_endpoints_` is the functional
+  // closure (timing + next-state function affected); `timing_dirty_` holds
+  // the endpoints the load-coupling closure additionally reaches (timing
+  // affected, function untouched — their symfe proofs still restore).
+  std::unordered_set<std::string> dirty_endpoints_;
+  std::unordered_set<std::string> timing_dirty_;
+  std::vector<std::uint8_t> refsta_mask_;
+  std::unordered_map<std::string, sim::symfe::RestoredProof>
+      restorable_proofs_;
+
+  // Region keys captured by the grouping pass, index-aligned with groups.
+  std::vector<flowdb::CacheKey> region_keys_;
+
+  // This run's table contents, accumulated by the restore queries.
+  bool new_refsta_broken_ = false;  ///< arrivals depend on loop cuts
+  std::unordered_map<std::string, std::array<double, kCorners>> new_refsta_;
+  double new_per_level_ = 0.0;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, double> new_regions_;
+  std::unordered_map<std::string, double> new_latches_;
+  std::unordered_map<std::string, sim::symfe::RestoredProof> new_symfe_;
+  bool new_has_protocol_ = false;
+  std::uint64_t new_protocol_fp_ = 0;
+  sim::symfe::ProtocolReport new_protocol_;
+
+  FlowReport::EcoSection stats_;
+};
+
+}  // namespace desync::core

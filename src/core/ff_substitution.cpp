@@ -3,6 +3,7 @@
 #include <map>
 #include <string>
 #include <tuple>
+#include <unordered_map>
 #include <vector>
 
 namespace desync::core {
@@ -115,17 +116,16 @@ SubstitutionResult substituteFlipFlops(Module& module,
     NetId cen_slave;   ///< AND term for the slave enable (re-latched so it
                        ///< is stable throughout the slave pulse)
   };
-  std::vector<std::pair<std::uint32_t, Gating>> gated_clock_nets;
+  std::unordered_map<std::uint32_t, Gating> gated_clock_nets;
+  std::vector<CellId> removed_gates;
   std::vector<CellId> clock_gates;
   module.forEachCell([&](CellId cid) {
-    if (gatefile.kind(std::string(module.cellType(cid))) ==
-        liberty::CellKind::kClockGate) {
+    if (gatefile.kind(module.cellType(cid)) == liberty::CellKind::kClockGate) {
       clock_gates.push_back(cid);
     }
   });
   for (CellId cg : clock_gates) {
-    const liberty::SeqClass* sc =
-        gatefile.seqClass(std::string(module.cellType(cg)));
+    const liberty::SeqClass* sc = gatefile.seqClass(module.cellType(cg));
     NetId e_net = module.pinNet(cg, sc->data_pin);
     NetId z_net = module.pinNet(cg, sc->q_pin);
     // Which group do the gated flip-flops live in?  Take the group of the
@@ -159,57 +159,106 @@ SubstitutionResult substituteFlipFlops(Module& module,
            {{"A", PortDir::kInput, gs}, {"Z", PortDir::kOutput, gsn}});
     NetId cen_s = b.newNet(base + "_cens");
     b.latch(base + "_cenLs", group, cen_m, gsn, cen_s);
-    gated_clock_nets.emplace_back(z_net.value, Gating{cen_m, cen_s});
-    module.removeCell(cg);
+    gated_clock_nets.emplace(z_net.value, Gating{cen_m, cen_s});
+    removed_gates.push_back(cg);
   }
+  module.removeCells(removed_gates);
   auto gatingFor = [&](NetId clock_net) -> const Gating* {
-    for (const auto& [net, g] : gated_clock_nets) {
-      if (clock_net.valid() && net == clock_net.value) return &g;
-    }
-    return nullptr;
+    if (!clock_net.valid()) return nullptr;
+    auto it = gated_clock_nets.find(clock_net.value);
+    return it == gated_clock_nets.end() ? nullptr : &it->second;
   };
 
   // Snapshot flip-flops before mutating.
   std::vector<CellId> ffs;
   module.forEachCell([&](CellId cid) {
-    if (gatefile.isFlipFlop(std::string(module.cellType(cid)))) {
+    if (gatefile.isFlipFlop(module.cellType(cid))) {
       ffs.push_back(cid);
     }
   });
 
+  // The SeqClass names pins as strings; resolving them through findPin()
+  // re-hashes each string once per flip-flop.  Resolve them to interned
+  // NameIds once per flip-flop *type* and match pins by integer compare.
+  struct SeqPinIds {
+    netlist::NameId d, si, se, sync, clear, preset, clock, q, qn;
+  };
+  std::unordered_map<std::uint32_t, SeqPinIds> seq_pin_ids;
+  const netlist::NameTable& names = module.design().names();
+  auto pinIdsFor = [&](netlist::NameId type,
+                       const liberty::SeqClass* sc) -> const SeqPinIds& {
+    auto [it, fresh] = seq_pin_ids.try_emplace(type.value);
+    if (fresh) {
+      auto find = [&](const std::string& p) {
+        return p.empty() ? netlist::NameId{} : names.find(p);
+      };
+      it->second = SeqPinIds{find(sc->data_pin),         find(sc->scan_in),
+                             find(sc->scan_enable),      find(sc->sync_pin),
+                             find(sc->async_clear_pin),
+                             find(sc->async_preset_pin), find(sc->clock_pin),
+                             find(sc->q_pin),            find(sc->qn_pin)};
+    }
+    return it->second;
+  };
+
+  // Gather every flip-flop's pin bindings first, then tombstone them all
+  // in one removeCells sweep: per-cell removal pays one scan of the shared
+  // clock/reset nets' sinks per flip-flop — quadratic in register count.
+  struct FfInfo {
+    const liberty::SeqClass* sc;
+    int group;
+    std::string name;
+    NetId d, si, se, sync, clear, preset, clock, q, qn;
+  };
+  std::vector<FfInfo> infos;
+  infos.reserve(ffs.size());
   for (CellId ff : ffs) {
-    const std::string type(module.cellType(ff));
-    const liberty::SeqClass* sc = gatefile.seqClass(type);
+    const netlist::NameId type = module.cell(ff).type;
+    const liberty::SeqClass* sc = gatefile.seqClass(module.cellType(ff));
     const int group = regions.group_of_cell[ff.index()];
     if (group < 0) {
       throw netlist::NetlistError("flip-flop outside any region: " +
                                   std::string(module.cellName(ff)));
     }
-    auto [gm, gs] = enables(group);
-    const std::string name(module.cellName(ff));
-
-    auto pin = [&](const std::string& p) -> NetId {
-      return p.empty() ? NetId{} : module.pinNet(ff, p);
+    const SeqPinIds& ids = pinIdsFor(type, sc);
+    const netlist::Cell& cell = module.cell(ff);
+    auto pin = [&](netlist::NameId pid) -> NetId {
+      if (!pid.valid()) return NetId{};
+      for (const netlist::PinConn& pc : cell.pins) {
+        if (pc.name == pid) return pc.net;
+      }
+      return NetId{};
     };
-    NetId d = pin(sc->data_pin);
-    NetId si = pin(sc->scan_in);
-    NetId se = pin(sc->scan_enable);
-    NetId sync = pin(sc->sync_pin);
-    NetId clear = pin(sc->async_clear_pin);
-    NetId preset = pin(sc->async_preset_pin);
-    NetId clock = pin(sc->clock_pin);
-    NetId q = pin(sc->q_pin);
-    NetId qn = pin(sc->qn_pin);
+    infos.push_back(FfInfo{sc, group, std::string(module.cellName(ff)),
+                           pin(ids.d), pin(ids.si), pin(ids.se),
+                           pin(ids.sync), pin(ids.clear), pin(ids.preset),
+                           pin(ids.clock), pin(ids.q), pin(ids.qn)});
+  }
+  // Remove the flip-flops; their nets stay.  Drop the group memberships
+  // of the removed slots.
+  module.removeCells(ffs);
+  for (CellId ff : ffs) {
+    regions.group_of_cell[ff.index()] = -1;
+  }
+
+  for (const FfInfo& info : infos) {
+    const liberty::SeqClass* sc = info.sc;
+    const int group = info.group;
+    auto [gm, gs] = enables(group);
+    const std::string& name = info.name;
+    NetId d = info.d;
+    const NetId si = info.si;
+    const NetId se = info.se;
+    const NetId sync = info.sync;
+    const NetId clear = info.clear;
+    const NetId preset = info.preset;
+    NetId q = info.q;
+    const NetId qn = info.qn;
     const bool sync_low = sc->sync_active_low;
     const bool sync_set = sc->sync_is_set;
     const bool clear_low = sc->async_clear_active_low;
     const bool preset_low = sc->async_preset_active_low;
-    const Gating* gating = gatingFor(clock);
-
-    // Remove the flip-flop; its nets stay.
-    module.removeCell(ff);
-    // Drop the group membership of the removed slot.
-    regions.group_of_cell[ff.index()] = -1;
+    const Gating* gating = gatingFor(info.clock);
 
     // --- master data chain -------------------------------------------
     if (!d.valid()) d = module.constNet(false);

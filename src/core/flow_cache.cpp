@@ -3,6 +3,7 @@
 #include <chrono>
 #include <utility>
 
+#include "core/eco.h"
 #include "core/version.h"
 #include "flowdb/io.h"
 #include "flowdb/snapshot.h"
@@ -258,6 +259,8 @@ void decodeResult(std::string_view blob, DesyncResult& result) {
 
 // --- FlowSession ----------------------------------------------------------
 
+FlowSession::~FlowSession() = default;
+
 FlowSession::FlowSession(netlist::Design& design, netlist::Module& module,
                          const liberty::Gatefile& gatefile,
                          const DesyncOptions& options, DesyncResult& result)
@@ -278,21 +281,29 @@ FlowSession::FlowSession(netlist::Design& design, netlist::Module& module,
   // design state.  --jobs is deliberately absent: the flow is deterministic
   // across worker counts, so cached state is valid at any --jobs.
   library_fingerprint_ = gatefile.library().contentHash();
-  flowdb::SnapshotMeta meta;
-  meta.tool_version = std::string(kToolVersion);
-  meta.library = gatefile.library().name;
-  meta.library_fingerprint = library_fingerprint_;
-  const std::string input_snapshot = flowdb::serializeDesign(design, meta);
-
   flowdb::KeyHasher h;
   h.u32(flowdb::kSnapshotFormatVersion);
   h.str(kToolVersion);
   h.str(gatefile.library().name);
   h.u64(library_fingerprint_);
-  h.str(input_snapshot);
+  if (options.flowdb.eco) {
+    // ECO mode never serializes the design: the input is diffed against
+    // per-object record tables instead (core/eco.h), so the key chain
+    // carries configuration only and acts as the tables' guard.
+    eco_mode_ = true;
+    if (options.flowdb.resume) {
+      result_.flow.note("--resume is ignored in --eco mode");
+    }
+  } else {
+    flowdb::SnapshotMeta meta;
+    meta.tool_version = std::string(kToolVersion);
+    meta.library = gatefile.library().name;
+    meta.library_fingerprint = library_fingerprint_;
+    h.str(flowdb::serializeDesign(design, meta));
+  }
   key_ = h.key();
 
-  if (options.flowdb.resume) {
+  if (options.flowdb.resume && !eco_mode_) {
     std::string diag;
     checkpoint_ = cache_->loadCheckpoint(&diag);
     if (!diag.empty()) result_.flow.note(diag);
@@ -369,7 +380,7 @@ void FlowSession::computePass(const Pass& pass, std::uint32_t index) {
     compute_ms_ += result_.flow.passes().back().wall_ms;
   }
 
-  if (cacheActive()) {
+  if (cacheActive() && !eco_mode_) {
     trace::Span span("cache_store", "flowdb");
     flowdb::SnapshotMeta meta;
     meta.tool_version = std::string(kToolVersion);
@@ -386,7 +397,20 @@ void FlowSession::computePass(const Pass& pass, std::uint32_t index) {
 
 void FlowSession::run() {
   int restored = -1;
-  if (cacheActive()) {
+  if (cacheActive() && eco_mode_) {
+    // The guard key chains every registered pass plus the FE options the
+    // post-session checks depend on; any configuration drift makes the
+    // stored tables unreachable (cold ECO run) instead of subtly stale.
+    const auto t0 = Clock::now();
+    flowdb::KeyHasher h;
+    h.absorb(key_);
+    h.u64(static_cast<std::uint64_t>(options_.fe.mode));
+    h.u64(options_.fe.prove_max_conflicts);
+    eco_ = std::make_unique<EcoContext>(*cache_, module_, gatefile_, h.key(),
+                                        result_.flow);
+    restore_ms_ = msSince(t0);
+  }
+  if (cacheActive() && !eco_mode_) {
     const auto t0 = Clock::now();
     restored = findRestorePoint();
     if (restored >= 0) {
@@ -421,13 +445,19 @@ void FlowSession::run() {
   const flowdb::CacheStats& cs = cache_->stats();
   FlowCacheStats stats;
   stats.enabled = true;
-  stats.hits = static_cast<std::uint64_t>(restored + 1);
-  stats.misses = passes_.size() - stats.hits;
+  // ECO mode reads no whole-design entries; restore_ms is the table
+  // load + diff cost and the restore detail lives in the "eco" section.
+  stats.hits = eco_mode_ ? 0 : static_cast<std::uint64_t>(restored + 1);
+  stats.misses = eco_mode_ ? 0 : passes_.size() - stats.hits;
   stats.bytes_read = cs.bytes_read;
   stats.bytes_written = cs.bytes_written;
   stats.restore_ms = restore_ms_;
   stats.compute_ms = compute_ms_;
   result_.flow.setCacheStats(stats);
+}
+
+void FlowSession::ecoFinish() {
+  if (eco_ != nullptr) eco_->finish(result_.flow);
 }
 
 }  // namespace desync::core

@@ -23,6 +23,14 @@
 // every computed pass run() stores a cache entry *and* overwrites the
 // checkpoint slot, so an interrupted run restarts from its last completed
 // pass via `--resume`.
+//
+// In --eco mode (FlowDbOptions::eco) the whole-design machinery above is
+// bypassed: the base key carries configuration only (no input snapshot),
+// no entries or checkpoints are probed or stored, and run() instead
+// constructs an EcoContext (core/eco.h) that diffs the input against
+// per-object record tables and serves region-level restores to the pass
+// bodies.  Every pass executes — the incrementality lives *inside* the
+// passes, which skip the analysis work for clean regions.
 #pragma once
 
 #include <cstdint>
@@ -38,6 +46,8 @@
 
 namespace desync::core {
 
+class EcoContext;
+
 /// Encodes every DesyncResult field except `flow` as a FlowDB byte blob.
 [[nodiscard]] std::string encodeResult(const DesyncResult& result);
 /// Inverse of encodeResult; throws flowdb::FlowDbError on malformed input.
@@ -50,6 +60,7 @@ class FlowSession {
   FlowSession(netlist::Design& design, netlist::Module& module,
               const liberty::Gatefile& gatefile, const DesyncOptions& options,
               DesyncResult& result);
+  ~FlowSession();  // out of line: EcoContext is incomplete here
 
   /// Registers a pass: `name`, the key-chain `fingerprint` (options the
   /// pass depends on; may be null) and the `body` that computes it.  The
@@ -63,6 +74,15 @@ class FlowSession {
   /// from a body are rethrown as FlowError carrying the partial
   /// FlowReport.
   void run();
+
+  /// The incremental-recompute context of an --eco run; nullptr otherwise
+  /// (plain runs, no cache directory, or run() not yet entered).  Pass
+  /// bodies use it for region keys and restore queries.
+  [[nodiscard]] EcoContext* eco() { return eco_.get(); }
+
+  /// Stores the updated ECO tables and publishes the "eco" report section;
+  /// call after the flow-equivalence checks.  No-op outside --eco mode.
+  void ecoFinish();
 
  private:
   struct Pass {
@@ -86,6 +106,8 @@ class FlowSession {
 
   std::vector<Pass> passes_;
   std::unique_ptr<flowdb::PassCache> cache_;
+  bool eco_mode_ = false;
+  std::unique_ptr<EcoContext> eco_;
   flowdb::CacheKey key_;
   std::uint64_t library_fingerprint_ = 0;
   std::optional<std::string> pending_entry_;

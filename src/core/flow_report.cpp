@@ -91,6 +91,7 @@ std::string FlowReport::toJson(int indent) const {
        << ", \"proved\": " << symfe_.proved
        << ", \"refuted\": " << symfe_.refuted
        << ", \"skipped\": " << symfe_.skipped
+       << ", \"restored\": " << symfe_.restored
        << ", \"conflicts\": " << symfe_.conflicts
        << ", \"decisions\": " << symfe_.decisions
        << ", \"protocol_states\": " << symfe_.protocol_states
@@ -98,6 +99,17 @@ std::string FlowReport::toJson(int indent) const {
        << (symfe_.protocol_admissible ? "true" : "false")
        << ", \"comb_only\": " << (symfe_.comb_only ? "true" : "false")
        << ", \"ms\": " << symfe_.ms << "}," << nl;
+  }
+  if (eco_.ran) {
+    os << pad1 << "\"eco\": {\"warm\": " << (eco_.warm ? "true" : "false")
+       << ", \"regions_total\": " << eco_.regions_total
+       << ", \"regions_dirty\": " << eco_.regions_dirty
+       << ", \"regions_restored\": " << eco_.regions_restored
+       << ", \"registers_restored\": " << eco_.registers_restored
+       << ", \"endpoints_restored\": " << eco_.endpoints_restored
+       << ", \"cells_changed\": " << eco_.cells_changed
+       << ", \"nets_changed\": " << eco_.nets_changed
+       << ", \"dirty_endpoints\": " << eco_.dirty_endpoints << "}," << nl;
   }
   if (cache_.enabled) {
     os << pad1 << "\"cache\": {\"hits\": " << cache_.hits

@@ -109,6 +109,7 @@ class FlowReport {
     std::int64_t proved = 0;
     std::int64_t refuted = 0;
     std::int64_t skipped = 0;
+    std::int64_t restored = 0;    ///< subset of proved: ECO-restored
     std::int64_t conflicts = 0;   ///< total solver conflicts
     std::int64_t decisions = 0;   ///< total solver decisions
     std::int64_t protocol_states = 0;  ///< markings explored (fully dec.)
@@ -121,6 +122,26 @@ class FlowReport {
     symfe_.ran = true;
   }
   [[nodiscard]] const SymfeSection& symfe() const { return symfe_; }
+
+  /// Incremental-recompute statistics of an `--eco` run (core/eco.h).
+  /// Serialized as the top-level "eco" object when the ECO layer ran.
+  struct EcoSection {
+    bool ran = false;   ///< gates the JSON object; set by setEco
+    bool warm = false;  ///< region tables loaded and guard key matched
+    std::int64_t regions_total = 0;
+    std::int64_t regions_dirty = 0;     ///< regions whose key changed
+    std::int64_t regions_restored = 0;  ///< timing restored, STA skipped
+    std::int64_t registers_restored = 0;  ///< symfe proofs restored
+    std::int64_t endpoints_restored = 0;  ///< reference-STA entries reused
+    std::int64_t cells_changed = 0;  ///< diffed records (incl. removed)
+    std::int64_t nets_changed = 0;
+    std::int64_t dirty_endpoints = 0;  ///< forward closure of the edit
+  };
+  void setEco(EcoSection eco) {
+    eco_ = eco;
+    eco_.ran = true;
+  }
+  [[nodiscard]] const EcoSection& eco() const { return eco_; }
 
   /// Pool contention this flow experienced (core::poolStats() delta across
   /// the run): how many of its parallel sections had to wait for another
@@ -172,6 +193,7 @@ class FlowReport {
   int jobs_ = 0;
   BitsimSection bitsim_;
   SymfeSection symfe_;
+  EcoSection eco_;
   std::uint64_t pool_contended_ = 0;
   double pool_wait_ms_ = 0.0;
   FlowCacheStats cache_;

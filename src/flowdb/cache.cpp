@@ -18,9 +18,13 @@ namespace fs = std::filesystem;
 
 namespace {
 
-// Version 2: entry payloads open with the 16-byte cache key they were
-// stored under, validated on load (see PassCache::load).
-constexpr std::uint32_t kCacheFormatVersion = 2;
+// Version 3: the directory additionally carries named slots (per-design ECO
+// region tables, see core/eco.h) next to the entry/checkpoint files, and
+// readers surface cross-version artifacts with a distinct `version`
+// diagnostic instead of folding them into corruption.  Version 2 entry
+// payloads opened with the 16-byte cache key they were stored under,
+// validated on load (see PassCache::load) — v3 keeps that layout.
+constexpr std::uint32_t kCacheFormatVersion = 3;
 constexpr std::string_view kEntryMagic = "DSYNCENT";
 constexpr std::string_view kCheckpointMagic = "DSYNCCKP";
 constexpr std::string_view kCheckpointFile = "checkpoint.ckpt";
@@ -64,18 +68,33 @@ std::optional<std::string> PassCache::readValidated(const std::string& path,
                                                     std::string* diag) {
   std::optional<std::string> raw = slurp(path);
   if (!raw.has_value()) {
+    ++stats_.misses;
     trace::instant("flowdb_miss", "flowdb");
     return std::nullopt;
   }
   try {
     std::string_view payload = openEnvelope(*raw, magic, kCacheFormatVersion);
+    ++stats_.hits;
+    stats_.bytes_read += payload.size();
     trace::instant("flowdb_hit", "flowdb");
     return std::string(payload);
+  } catch (const FlowDbVersionError& e) {
+    if (diag != nullptr) {
+      if (!diag->empty()) diag->append("; ");
+      diag->append(path).append(": ").append(e.what());
+    }
+    ++stats_.misses;
+    ++stats_.invalid;
+    ++stats_.version_rejected;
+    trace::instant("flowdb_version_rejected", "flowdb");
+    return std::nullopt;
   } catch (const FlowDbError& e) {
     if (diag != nullptr) {
       if (!diag->empty()) diag->append("; ");
       diag->append(path).append(": ").append(e.what());
     }
+    ++stats_.misses;
+    ++stats_.invalid;
     trace::instant("flowdb_invalid_entry", "flowdb");
     return std::nullopt;
   }
@@ -145,6 +164,20 @@ std::optional<std::string> PassCache::load(const CacheKey& key,
     stats_.bytes_read += payload.size();
     trace::instant("flowdb_hit", "flowdb");
     return payload;
+  } catch (const FlowDbVersionError& e) {
+    // Intact entry from another cache-format version (a cache directory
+    // shared across builds after the v2->v3 bump): a distinct diagnostic
+    // and counter, not corruption — the flow degrades to a cold run and
+    // re-stores in the current format.
+    if (diag != nullptr) {
+      if (!diag->empty()) diag->append("; ");
+      diag->append(path).append(": ").append(e.what());
+    }
+    ++stats_.misses;
+    ++stats_.invalid;
+    ++stats_.version_rejected;
+    trace::instant("flowdb_version_rejected", "flowdb");
+    return std::nullopt;
   } catch (const FlowDbError& e) {
     if (diag != nullptr) {
       if (!diag->empty()) diag->append("; ");
@@ -204,6 +237,17 @@ bool PassCache::storeCheckpoint(std::uint32_t pass_index,
   w.str(entry);
   return writeAtomic(dir_ + "/" + std::string(kCheckpointFile),
                      kCheckpointMagic, w.bytes());
+}
+
+std::optional<std::string> PassCache::loadSlot(std::string_view name,
+                                               std::string_view magic,
+                                               std::string* diag) {
+  return readValidated(dir_ + "/" + std::string(name), magic, diag);
+}
+
+bool PassCache::storeSlot(std::string_view name, std::string_view magic,
+                          std::string_view payload) {
+  return writeAtomic(dir_ + "/" + std::string(name), magic, payload);
 }
 
 }  // namespace desync::flowdb

@@ -42,6 +42,8 @@ struct CacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;          ///< absent or invalid entries
   std::uint64_t invalid = 0;         ///< subset of misses: present but bad
+  std::uint64_t version_rejected = 0;  ///< subset of invalid: intact entry
+                                       ///< written by another format version
   std::uint64_t bytes_read = 0;      ///< payload bytes of successful loads
   std::uint64_t bytes_written = 0;   ///< payload bytes of successful stores
 };
@@ -80,6 +82,20 @@ class PassCache {
   /// Atomically overwrites the checkpoint slot.
   bool storeCheckpoint(std::uint32_t pass_index, std::string_view pass_name,
                        const CacheKey& key, std::string_view entry);
+
+  /// Loads a named slot (a well-known single file, like the checkpoint but
+  /// caller-defined — the ECO region tables live in one such slot per
+  /// design).  `name` must be a plain filename; `magic` is the 8-byte
+  /// artifact magic the slot was sealed with.  std::nullopt when absent or
+  /// invalid (diagnostic to *diag); version rejections are counted
+  /// distinctly in stats().version_rejected.
+  std::optional<std::string> loadSlot(std::string_view name,
+                                      std::string_view magic,
+                                      std::string* diag = nullptr);
+
+  /// Atomically overwrites the named slot.
+  bool storeSlot(std::string_view name, std::string_view magic,
+                 std::string_view payload);
 
   [[nodiscard]] const CacheStats& stats() const { return stats_; }
 

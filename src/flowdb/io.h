@@ -32,6 +32,15 @@ class FlowDbError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// A structurally sound artifact written by a different format version.
+/// Distinct from corruption: the file is intact, this build just does not
+/// read that version.  Callers that degrade to a cold run can count and
+/// report the two cases separately (see CacheStats::version_rejected).
+class FlowDbVersionError : public FlowDbError {
+ public:
+  using FlowDbError::FlowDbError;
+};
+
 /// Exact (bit-pattern) double <-> u64 conversion for serialization.
 inline std::uint64_t bitsOfDouble(double v) {
   return std::bit_cast<std::uint64_t>(v);
@@ -179,9 +188,10 @@ inline std::string_view openEnvelope(std::string_view bytes,
   ByteReader head(bytes.substr(kMagicSize));
   const std::uint32_t version = head.u32();
   if (version != expected_version) {
-    throw FlowDbError("flowdb: unsupported format version " +
-                      std::to_string(version) + " (this build reads version " +
-                      std::to_string(expected_version) + ")");
+    throw FlowDbVersionError(
+        "flowdb: unsupported format version " + std::to_string(version) +
+        " (this build reads version " + std::to_string(expected_version) +
+        ")");
   }
   const std::uint32_t payload_size = head.u32();
   if (bytes.size() != kEnvelopeOverhead + payload_size) {

@@ -11,6 +11,7 @@
 
 #include "core/desync.h"
 #include "core/parallel.h"
+#include "fuzz/rng.h"
 #include "netlist/verilog.h"
 #include "liberty/bound.h"
 #include "sim/flow_equivalence.h"
@@ -83,17 +84,141 @@ struct FlowRun {
 /// throws.
 FlowRun runConversion(const std::string& text,
                       const liberty::Gatefile& gatefile, FaultKind fault,
-                      const std::string& cache_dir = {}) {
+                      const std::string& cache_dir = {}, bool eco = false) {
   FlowRun run;
   run.design = std::make_unique<nl::Design>();
   nl::readVerilog(*run.design, text, gatefile);
   run.module = &run.design->top();
   core::DesyncOptions opt = flowOptions(fault);
   opt.flowdb.cache_dir = cache_dir;
+  opt.flowdb.eco = eco;
   run.result = core::desynchronize(*run.design, *run.module, gatefile, opt);
   run.verilog = nl::writeVerilog(*run.module);
   run.sdc = run.result.sdc.toText();
   return run;
+}
+
+// --- check 9's scripted edit ----------------------------------------------
+
+/// Comb gates that share the exact pin interface (A[,B] -> Z in the
+/// builtin libraries), so swapping the type alone yields a valid cell.
+const char* const* swapGroup(std::string_view type, std::size_t* size) {
+  static const char* const k2in[] = {"ND2", "NR2", "AN2", "OR2", "EO", "EN"};
+  static const char* const k1in[] = {"IV", "BF"};
+  for (const char* t : k2in) {
+    if (type == t) { *size = 6; return k2in; }
+  }
+  for (const char* t : k1in) {
+    if (type == t) { *size = 2; return k1in; }
+  }
+  *size = 0;
+  return nullptr;
+}
+
+/// Replaces cell `id` with a same-pin-interface gate of a different type
+/// from its swap group.  Returns the edit description.
+std::string swapCell(nl::Module& m, nl::CellId id, Rng& rng) {
+  std::size_t group_size = 0;
+  const char* const* group = swapGroup(m.cellType(id), &group_size);
+  std::string_view new_type;
+  for (;;) {
+    new_type = group[rng.below(group_size)];
+    if (new_type != m.cellType(id)) break;
+  }
+  const std::string old_name(m.cellName(id));
+  const std::string old_type(m.cellType(id));
+  std::vector<nl::Module::PinInit> pins;
+  for (const nl::PinConn& p : m.cell(id).pins) {
+    pins.push_back({std::string(m.design().names().str(p.name)), p.dir,
+                    p.net});
+  }
+  m.removeCell(id);
+  std::string name = old_name + "_ecosw";
+  while (m.findCell(name).valid()) name += "x";
+  m.addCell(name, new_type, pins);
+  return "cell swap: " + old_name + " " + old_type + " -> " +
+         std::string(new_type);
+}
+
+/// Reconnects one combinational input pin to a constant net.
+std::string tiePin(nl::Module& m, nl::CellId cell, std::size_t pin_index,
+                   Rng& rng) {
+  const bool value = rng.chance(50);
+  const std::string pin(m.design().names().str(m.cell(cell).pins[pin_index].name));
+  m.connectPin(cell, pin_index, m.constNet(value));
+  return "constant tie: " + std::string(m.cellName(cell)) + "." + pin +
+         " = 1'b" + (value ? "1" : "0");
+}
+
+/// Renames net `id` by re-homing its driver and every sink onto a fresh
+/// net, then removing the original.  Callers guarantee the driver and all
+/// sinks are cell pins.
+std::string renameNet(nl::Module& m, nl::NetId id) {
+  const std::string old_name(m.netName(id));
+  std::string name = old_name + "_ecor";
+  while (m.findNet(name).valid()) name += "x";
+  const nl::NetId fresh = m.addNet(name);
+  const nl::TermRef driver = m.net(id).driver;
+  m.connectPin(driver.cell(), driver.pin, fresh);
+  const std::vector<nl::NetId> assign(m.net(id).sinks.size(), fresh);
+  m.redistributeSinks(id, assign);
+  m.removeNet(id);
+  return "net rename: " + old_name + " -> " + name;
+}
+
+/// Applies one seeded small edit to `m` — a cell swap, a constant tie or a
+/// net rename, whichever the seed picks first with a candidate available.
+/// Returns the edit description, or "" when the design offers no site.
+std::string applySeededEcoEdit(nl::Module& m,
+                               const liberty::Gatefile& gatefile,
+                               std::uint64_t seed) {
+  Rng rng{seed * 0x9e3779b97f4a7c15ull + 1};
+  const std::uint64_t first_kind = rng.below(3);
+  for (std::uint64_t k = 0; k < 3; ++k) {
+    switch ((first_kind + k) % 3) {
+      case 0: {  // cell swap
+        std::vector<nl::CellId> sites;
+        m.forEachCell([&](nl::CellId id) {
+          std::size_t n = 0;
+          if (swapGroup(m.cellType(id), &n) != nullptr) sites.push_back(id);
+        });
+        if (sites.empty()) break;
+        return swapCell(m, sites[rng.below(sites.size())], rng);
+      }
+      case 1: {  // constant tie
+        std::vector<std::pair<nl::CellId, std::size_t>> sites;
+        m.forEachCell([&](nl::CellId id) {
+          if (gatefile.kind(m.cellType(id)) !=
+              liberty::CellKind::kCombinational) {
+            return;
+          }
+          const std::vector<nl::PinConn>& pins = m.cell(id).pins;
+          for (std::size_t p = 0; p < pins.size(); ++p) {
+            if (pins[p].dir == nl::PortDir::kInput && pins[p].net.valid()) {
+              sites.push_back({id, p});
+            }
+          }
+        });
+        if (sites.empty()) break;
+        const auto& [cell, pin] = sites[rng.below(sites.size())];
+        return tiePin(m, cell, pin, rng);
+      }
+      case 2: {  // net rename
+        std::vector<nl::NetId> sites;
+        m.forEachNet([&](nl::NetId id) {
+          const nl::Net& n = m.net(id);
+          if (!n.driver.isCellPin()) return;
+          for (const nl::TermRef& s : n.sinks) {
+            if (!s.isCellPin()) return;
+          }
+          sites.push_back(id);
+        });
+        if (sites.empty()) break;
+        return renameNet(m, sites[rng.below(sites.size())]);
+      }
+    }
+  }
+  return {};
 }
 
 }  // namespace
@@ -359,6 +484,95 @@ OracleVerdict runOracle(const std::string& verilog,
     }
     fs::remove_all(dir, ec);
     if (!v.ok) return v;
+  }
+
+  // 9. incremental ECO: a seeded small edit re-flows byte-identically ------
+  // The edit (cell swap, constant tie or net rename — docs/eco.md) is
+  // applied structurally and serialized once, so the cold flow and the
+  // --eco flow consume the identical edited text.  The ECO tables are
+  // primed on the ORIGINAL design; the warm run then diffs the edit and
+  // must reproduce the cold flow of the edited design byte for byte (a
+  // cold fallback inside --eco is fine — identity is the property, not
+  // warmth).  When the edit makes the design un-flowable, both paths must
+  // agree on failing.
+  if (options.check_eco) {
+    std::string edited_text;
+    try {
+      nl::Design edited;
+      nl::readVerilog(edited, verilog, gatefile);
+      v.eco_edit = applySeededEcoEdit(edited.top(), gatefile,
+                                      options.eco_seed);
+      if (!v.eco_edit.empty()) {
+        edited_text = nl::writeVerilog(edited.top());
+      } else if (v.note.empty()) {
+        v.note = "eco check skipped: no applicable edit site";
+      }
+    } catch (const std::exception& e) {
+      return fail("eco", std::string("edit application: ") + e.what());
+    }
+    if (!edited_text.empty()) {
+      const fs::path base = options.scratch_dir.empty()
+                                ? fs::temp_directory_path()
+                                : fs::path(options.scratch_dir);
+      const fs::path dir =
+          base / ("drdesync-fuzz-" +
+                  std::to_string(static_cast<unsigned long>(::getpid())) +
+                  "-eco-cache");
+      std::error_code ec;
+      fs::remove_all(dir, ec);
+      try {
+        core::setThreadJobs(options.cold_jobs);
+        bool cold_failed = false;
+        std::string cold_error;
+        FlowRun cold;
+        try {
+          cold = runConversion(edited_text, gatefile, options.fault);
+        } catch (const std::exception& e) {
+          cold_failed = true;
+          cold_error = e.what();
+        }
+        runConversion(verilog, gatefile, options.fault, dir.string(),
+                      /*eco=*/true);
+        core::setThreadJobs(options.warm_jobs);
+        bool eco_failed = false;
+        std::string eco_error;
+        FlowRun eco;
+        try {
+          eco = runConversion(edited_text, gatefile, options.fault,
+                              dir.string(), /*eco=*/true);
+        } catch (const std::exception& e) {
+          eco_failed = true;
+          eco_error = e.what();
+        }
+        core::setThreadJobs(options.restore_jobs);
+        if (cold_failed != eco_failed) {
+          fail("eco", cold_failed
+                          ? "cold flow of the edited design failed (" +
+                                cold_error + ") but the --eco re-flow "
+                                "succeeded [" + v.eco_edit + "]"
+                          : "--eco re-flow failed (" + eco_error +
+                                ") but the cold flow of the edited design "
+                                "succeeded [" + v.eco_edit + "]");
+        } else if (!cold_failed &&
+                   (nl::writeVerilog(*eco.design) !=
+                        nl::writeVerilog(*cold.design) ||
+                    eco.sdc != cold.sdc)) {
+          // Whole-design comparison: --eco must also reproduce the helper
+          // modules (delay elements, controllers) byte for byte, not just
+          // the top — the CLI writes the full design.
+          fail("eco",
+               "--eco re-flow differs from the cold flow of the edited "
+               "design at --jobs " + std::to_string(options.warm_jobs) +
+                   " [" + v.eco_edit + "]");
+        }
+      } catch (const std::exception& e) {
+        core::setThreadJobs(options.restore_jobs);
+        fail("eco", std::string("priming run: ") + e.what() + " [" +
+                        v.eco_edit + "]");
+      }
+      fs::remove_all(dir, ec);
+      if (!v.ok) return v;
+    }
   }
 
   return v;

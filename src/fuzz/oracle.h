@@ -29,6 +29,11 @@
 //                           different --jobs counts) write byte-identical
 //                           Verilog + SDC, and the warm run restores every
 //                           pass from the cache
+//   9. "eco"              — a seeded small edit (cell swap, constant tie
+//                           or net rename) is applied to the design; the
+//                           incremental --eco re-flow over tables primed
+//                           on the original must be byte-identical to a
+//                           cold flow of the edited design (docs/eco.md)
 //
 // Fault injection (`drdesync-fuzz --fault`) deliberately mis-runs the flow
 // so the detection and shrinking machinery can be exercised end to end on
@@ -78,6 +83,15 @@ struct OracleOptions {
   /// Disables the (filesystem-touching) FlowDB check; the shrinker turns
   /// this off when the failure it preserves is an earlier check.
   bool check_flowdb = true;
+  /// Disables the (filesystem-touching) incremental-ECO check; the
+  /// shrinker turns this off when the failure it preserves is an earlier
+  /// check.
+  bool check_eco = true;
+  /// Seed of check 9's scripted edit — it picks the edit kind (cell swap,
+  /// constant tie, net rename) and the edit site.  Recorded in reproducer
+  /// headers so a replay applies the identical edit; kept fixed by the
+  /// shrinker so the preserved failure stays the same edit.
+  std::uint64_t eco_seed = 1;
   /// Engine for the golden synchronous side of check 4 (`--fe-engine`).
   /// Verdicts are byte-identical either way; kBitsim is faster and falls
   /// back to the event engine on designs outside the cycle model.
@@ -105,6 +119,8 @@ struct OracleVerdict {
   int regions = 0;
   std::size_t values_compared = 0;
   std::size_t registers_proved = 0;  ///< prove route: miters proved UNSAT
+  /// Check 9's applied edit, for logs ("" when the check was skipped).
+  std::string eco_edit;
 };
 
 /// Runs the full oracle on one synchronous netlist.  Deterministic: the

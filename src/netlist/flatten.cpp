@@ -2,6 +2,7 @@
 
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 namespace desync::netlist {
@@ -128,6 +129,35 @@ Module& cloneModule(Design& dst, const Module& src) {
     out.cell(new_id).size_only = c.size_only;
     out.cell(new_id).dont_touch = c.dont_touch;
   });
+  return out;
+}
+
+Module& snapshotModule(Design& dst, Module& src) {
+  bool has_instances = false;
+  if (src.design().numModules() > 1) {
+    std::unordered_set<std::uint32_t> module_names;
+    src.design().forEachModule([&](const Module& sub) {
+      if (&sub != &src) module_names.insert(sub.nameId().value);
+    });
+    src.forEachCell([&](CellId id) {
+      has_instances =
+          has_instances || module_names.count(src.cell(id).type.value) != 0;
+    });
+  }
+  if (dst.numModules() != 0 || dst.names().size() != 0 || has_instances) {
+    return cloneModule(dst, src);
+  }
+  // Sharing the append-only table keeps every NameId valid in `dst`, so
+  // the raw arrays (which reference names by id) are adopted unchanged.
+  dst.shareNames(src.design());
+  Module& out = dst.addModule(src.name());
+  Module::RawState state;
+  state.nets = src.rawNets();
+  state.cells = src.rawCells();
+  state.ports = src.ports();
+  state.const_nets[0] = src.constNetRaw(false);
+  state.const_nets[1] = src.constNetRaw(true);
+  out.restoreRawState(std::move(state));
   return out;
 }
 

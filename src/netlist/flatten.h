@@ -28,4 +28,13 @@ FlattenStats flattenTop(Design& design);
 /// same name already exists in `dst`.
 Module& cloneModule(Design& dst, const Module& src);
 
+/// Fast single-module snapshot into an *empty* design: `dst` shares src's
+/// (append-only) NameTable, so every NameId stays valid and the raw slot
+/// arrays — tombstones included — are adopted as plain copies, with no
+/// re-interning.  Ids are preserved exactly.  `src` is not modified, but
+/// its design's table outlives and backs `dst`, hence the non-const
+/// reference.  Falls back to cloneModule() when `dst` is not empty or
+/// `src` instantiates other modules (the snapshot would not contain them).
+Module& snapshotModule(Design& dst, Module& src);
+
 }  // namespace desync::netlist

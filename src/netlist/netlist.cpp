@@ -160,6 +160,49 @@ void Module::removeCell(CellId id) {
   --live_cells_;
 }
 
+void Module::removeCells(const std::vector<CellId>& ids) {
+  if (ids.empty()) return;
+  for (CellId id : ids) {
+    Cell& c = cell(id);  // validates liveness (and catches duplicates)
+    c.valid = false;
+    cell_by_name_.erase(c.name);
+    --live_cells_;
+  }
+  // One sweep dropping every term that points at a tombstoned cell.  A
+  // stale term cannot predate this call (removal always detaches), so any
+  // dead slot found here is one of `ids`.  erase_if keeps the survivors'
+  // relative order — the same final order per-cell removal produces.
+  forEachNet([&](NetId nid) {
+    Net& n = nets_[nid.index()];
+    if (n.driver.isCellPin() && !cells_[n.driver.cell().index()].valid) {
+      n.driver = TermRef{};
+    }
+    std::erase_if(n.sinks, [&](const TermRef& t) {
+      return t.isCellPin() && !cells_[t.cell().index()].valid;
+    });
+  });
+  for (CellId id : ids) {
+    for (PinConn& pin : cells_[id.index()].pins) pin.net = NetId{};
+  }
+}
+
+void Module::redistributeSinks(NetId from, const std::vector<NetId>& assign) {
+  std::vector<TermRef> kept;
+  kept.reserve(net(from).sinks.size());
+  const std::vector<TermRef>& sinks = net(from).sinks;
+  for (std::size_t i = 0; i < sinks.size(); ++i) {
+    const TermRef t = sinks[i];
+    const NetId to = i < assign.size() ? assign[i] : NetId{};
+    if (!to.valid() || !t.isCellPin()) {
+      kept.push_back(t);
+      continue;
+    }
+    cells_.at(t.cell().index()).pins.at(t.pin).net = to;
+    net(to).sinks.push_back(t);
+  }
+  net(from).sinks = std::move(kept);
+}
+
 void Module::connectPin(CellId cell_id, std::size_t pin_index, NetId net_id) {
   Cell& c = cell(cell_id);
   PinConn& pin = c.pins.at(pin_index);

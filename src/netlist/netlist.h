@@ -169,6 +169,18 @@ class Module {
   [[nodiscard]] CellId findCell(std::string_view name) const;
   /// Disconnects and tombstones the cell.
   void removeCell(CellId id);
+  /// Disconnects and tombstones every cell in `ids` in one sweep over the
+  /// module's nets.  Equivalent to calling removeCell on each id (same
+  /// final sink order), but O(nets + sinks) total where per-cell removal
+  /// pays one sinks-vector scan per disconnected pin — quadratic when many
+  /// removed cells share a net (a clock, a reset).
+  void removeCells(const std::vector<CellId>& ids);
+  /// Re-homes cell-pin sinks of `from` in one pass: sink i moves to
+  /// `assign[i]` when that id is valid (the pin is rewired and appended to
+  /// the target net's sinks in index order); invalid ids, ports and the
+  /// driver stay put.  `assign` is indexed by `from`'s current sink order.
+  /// Equivalent to connectPin per moved sink but O(sinks) total.
+  void redistributeSinks(NetId from, const std::vector<NetId>& assign);
 
   /// Connects pin `pin_index` of `cell` to `net` (disconnecting any previous
   /// net on that pin).
@@ -302,6 +314,7 @@ class Design {
   // stable deque addresses, so only design_ goes stale on a move.
   Design(Design&& other) noexcept
       : names_(std::move(other.names_)),
+        shared_names_(other.shared_names_),
         modules_(std::move(other.modules_)),
         module_by_name_(std::move(other.module_by_name_)),
         top_(other.top_) {
@@ -311,6 +324,7 @@ class Design {
   Design& operator=(Design&& other) noexcept {
     if (this == &other) return *this;
     names_ = std::move(other.names_);
+    shared_names_ = other.shared_names_;
     modules_ = std::move(other.modules_);
     module_by_name_ = std::move(other.module_by_name_);
     top_ = other.top_;
@@ -319,8 +333,25 @@ class Design {
     return *this;
   }
 
-  [[nodiscard]] NameTable& names() { return names_; }
-  [[nodiscard]] const NameTable& names() const { return names_; }
+  [[nodiscard]] NameTable& names() {
+    return shared_names_ != nullptr ? *shared_names_ : names_;
+  }
+  [[nodiscard]] const NameTable& names() const {
+    return shared_names_ != nullptr ? *shared_names_ : names_;
+  }
+
+  /// Makes this design resolve names through `other`'s table instead of
+  /// its own.  NameTables are append-only, so ids stay valid in both
+  /// designs however either one grows; the caller guarantees `other`
+  /// outlives this design.  Only allowed while this design is empty (no
+  /// modules, nothing interned) — used by snapshotModule() so a snapshot
+  /// can adopt raw slot arrays without re-interning every name.
+  void shareNames(Design& other) {
+    if (numModules() != 0 || names_.size() != 0) {
+      throw NetlistError("shareNames on a non-empty design");
+    }
+    shared_names_ = &other.names();
+  }
 
   /// Creates a module.  Throws NetlistError on duplicate name.
   Module& addModule(std::string_view name);
@@ -346,6 +377,7 @@ class Design {
 
  private:
   NameTable names_;
+  NameTable* shared_names_ = nullptr;  // see shareNames()
   std::deque<Module> modules_;  // deque: stable addresses
   std::unordered_map<NameId, Module*> module_by_name_;
   Module* top_ = nullptr;

@@ -458,10 +458,27 @@ SymfeReport proveFlowEquivalence(const liberty::BoundModule& sync_bound,
   }
 
   rep.registers = core::parallelMap(tasks.size(), [&](std::size_t i) {
-    return proveTask(sync_bound, desync_bound, tasks[i], sync_clk, options);
+    const Task& task = tasks[i];
+    if (options.restored_proofs != nullptr && !task.comb_output) {
+      const auto it = options.restored_proofs->find(task.name);
+      if (it != options.restored_proofs->end()) {
+        // ECO restore: the caller vouches that this register's cone is
+        // untouched, so the stored verdict stands without a miter.
+        RegisterProof p;
+        p.name = task.name;
+        p.verdict = RegVerdict::kProved;
+        p.trivial = it->second.trivial;
+        p.restored = true;
+        p.conflicts = it->second.conflicts;
+        p.decisions = it->second.decisions;
+        return p;
+      }
+    }
+    return proveTask(sync_bound, desync_bound, task, sync_clk, options);
   });
 
   for (const RegisterProof& p : rep.registers) {
+    if (p.restored) ++rep.restored;
     switch (p.verdict) {
       case RegVerdict::kProved:
         ++rep.proved;

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -51,6 +52,10 @@ struct RegisterProof {
   RegVerdict verdict = RegVerdict::kSkipped;
   std::string reason;   ///< skip reason or refutation description
   bool trivial = false;  ///< cones hash-consed to one literal; no SAT call
+  /// Verdict restored by the ECO layer (SymfeOptions::restored_proofs): the
+  /// register's cone is untouched by the edit, so the stored proof stands;
+  /// conflicts/decisions are the statistics of the run that produced it.
+  bool restored = false;
   std::uint64_t conflicts = 0;
   std::uint64_t decisions = 0;
   double ms = 0.0;
@@ -74,6 +79,7 @@ struct SymfeReport {
   std::size_t proved = 0;
   std::size_t refuted = 0;
   std::size_t skipped = 0;
+  std::size_t restored = 0;  ///< subset of proved: ECO-restored, not re-run
   std::uint64_t conflicts = 0;
   std::uint64_t decisions = 0;
   double total_ms = 0.0;
@@ -92,6 +98,14 @@ struct ProtocolInput {
   std::vector<std::vector<int>> preds;  ///< DDG predecessors per group
 };
 
+/// A previously proved register the ECO layer vouches for: its fan-in cone
+/// is untouched by the current edit, so the stored verdict still holds.
+struct RestoredProof {
+  bool trivial = false;
+  std::uint64_t conflicts = 0;
+  std::uint64_t decisions = 0;
+};
+
 struct SymfeOptions {
   std::string clock_port = "clk";
   /// Per-register conflict budget; exhausting it yields kSkipped (honest
@@ -101,6 +115,12 @@ struct SymfeOptions {
   bool check_protocol = true;
   async::ControllerKind controller = async::ControllerKind::kSemiDecoupled;
   std::optional<ProtocolInput> protocol;
+  /// ECO restore map (core/eco.h), keyed by register name: listed registers
+  /// get a synthesized kProved RegisterProof instead of a miter + SAT run.
+  /// The caller guarantees validity (clean fan-in cone under the current
+  /// edit); must outlive the prover call.  nullptr: prove everything.
+  const std::unordered_map<std::string, RestoredProof>* restored_proofs =
+      nullptr;
 };
 
 /// Proves projection equivalence for every replaced register (per-register

@@ -6,6 +6,7 @@
 // settings and compare the complete result structures.
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
@@ -283,4 +284,66 @@ TEST(Determinism, GoldenSyncBatchesIdenticalAcrossEnginesAndJobs) {
   EXPECT_EQ(serial.first, parallel.first) << "event digest depends on --jobs";
   EXPECT_EQ(serial.second, parallel.second)
       << "bitsim digest depends on --jobs";
+}
+
+// The incremental ECO path fans the masked re-analysis and the region
+// splice out over the same parallel layer; a warm re-flow over primed
+// region tables must stay byte-identical at any worker count (and both
+// runs must actually take the warm path).
+TEST(Determinism, EcoWarmRunIdenticalAcrossJobs) {
+  namespace fs = std::filesystem;
+  const fs::path primed = fs::path(::testing::TempDir()) / "det_eco_primed";
+  fs::remove_all(primed);
+  fs::create_directories(primed);
+
+  const auto optionsFor = [](const fs::path& dir) {
+    core::DesyncOptions opt;
+    opt.control.reset_port = "rst_n";
+    opt.control.reset_active_low = true;
+    opt.flowdb.cache_dir = dir.string();
+    opt.flowdb.eco = true;
+    return opt;
+  };
+
+  {  // Prime the region tables on the pristine design.
+    nl::Design d;
+    designs::buildPipe2(d, gf(), 6);
+    core::desynchronize(d, *d.findModule("pipe2"), gf(), optionsFor(primed));
+  }
+
+  int invocation = 0;
+  const auto run = [&] {
+    // Each run gets its own copy of the primed tables: the warm run
+    // re-stores the slot, and both jobs settings must read identical
+    // inputs.
+    const fs::path dir =
+        fs::path(::testing::TempDir()) /
+        ("det_eco_run" + std::to_string(invocation++));
+    fs::remove_all(dir);
+    fs::copy(primed, dir, fs::copy_options::recursive);
+
+    nl::Design d;
+    designs::buildPipe2(d, gf(), 6);
+    nl::Module& m = *d.findModule("pipe2");
+    // The ECO edit: tie the first combinational input pin to constant 1.
+    bool edited = false;
+    m.forEachCell([&](nl::CellId c) {
+      if (edited || !gf().isCombinational(std::string(m.cellType(c)))) return;
+      const auto& pins = m.cell(c).pins;
+      for (std::size_t p = 0; p < pins.size(); ++p) {
+        if (pins[p].dir == nl::PortDir::kInput && pins[p].net.valid()) {
+          m.connectPin(c, p, m.constNet(true));
+          edited = true;
+          return;
+        }
+      }
+    });
+    EXPECT_TRUE(edited);
+    core::DesyncResult r = core::desynchronize(d, m, gf(), optionsFor(dir));
+    EXPECT_TRUE(r.flow.eco().warm) << "run " << invocation;
+    return nl::writeVerilog(d) + "\n====\n" + r.sdc.toText();
+  };
+  auto [serial, parallel] = runBoth(run);
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel) << "ECO warm output depends on --jobs";
 }

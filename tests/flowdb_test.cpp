@@ -17,6 +17,7 @@
 #include "designs/cpu.h"
 #include "designs/small.h"
 #include "flowdb/cache.h"
+#include "flowdb/io.h"
 #include "flowdb/snapshot.h"
 #include "liberty/stdlib90.h"
 #include "netlist/verilog.h"
@@ -553,6 +554,71 @@ TEST(PassCache, CheckpointSlotRoundTrip) {
   EXPECT_EQ(ck->pass_name, "region_timing");
   EXPECT_EQ(ck->key, key);
   EXPECT_EQ(ck->entry, "entry-bytes");
+}
+
+// --- named slots (the ECO region tables live in one per design) -----------
+
+TEST(PassCache, NamedSlotRoundTripAndOverwrite) {
+  const auto dir = scratchDir("slot_rt");
+  flowdb::PassCache cache(dir.string());
+  EXPECT_FALSE(cache.loadSlot("eco-dlx.tbl", "DSYNCECO").has_value());
+
+  EXPECT_TRUE(cache.storeSlot("eco-dlx.tbl", "DSYNCECO", "tables-v1"));
+  auto got = cache.loadSlot("eco-dlx.tbl", "DSYNCECO");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, "tables-v1");
+
+  // storeSlot overwrites atomically; the reread sees only the new bytes.
+  EXPECT_TRUE(cache.storeSlot("eco-dlx.tbl", "DSYNCECO", "tables-v2"));
+  got = cache.loadSlot("eco-dlx.tbl", "DSYNCECO");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, "tables-v2");
+}
+
+TEST(PassCache, TruncatedNamedSlotIsDiagnosedAsCorruptionNotVersion) {
+  const auto dir = scratchDir("slot_trunc");
+  flowdb::PassCache cache(dir.string());
+  ASSERT_TRUE(cache.storeSlot("eco-dlx.tbl", "DSYNCECO",
+                              std::string(256, 'x')));
+  std::filesystem::resize_file(dir / "eco-dlx.tbl", 20);
+
+  std::string diag;
+  EXPECT_FALSE(cache.loadSlot("eco-dlx.tbl", "DSYNCECO", &diag).has_value());
+  EXPECT_NE(diag.find("truncated"), std::string::npos) << diag;
+  EXPECT_EQ(cache.stats().invalid, 1u);
+  EXPECT_EQ(cache.stats().version_rejected, 0u);
+}
+
+TEST(PassCache, ForeignMagicNamedSlotIsRejected) {
+  const auto dir = scratchDir("slot_magic");
+  flowdb::PassCache cache(dir.string());
+  ASSERT_TRUE(cache.storeSlot("eco-dlx.tbl", "DSYNCSNP", "not eco tables"));
+
+  std::string diag;
+  EXPECT_FALSE(cache.loadSlot("eco-dlx.tbl", "DSYNCECO", &diag).has_value());
+  EXPECT_NE(diag.find("magic"), std::string::npos) << diag;
+  EXPECT_EQ(cache.stats().version_rejected, 0u);
+}
+
+TEST(PassCache, NamedSlotFromAnotherFormatVersionIsRejectedDistinctly) {
+  const auto dir = scratchDir("slot_version");
+  flowdb::PassCache cache(dir.string());
+
+  // Hand-seal an intact envelope claiming format version 2: a cache
+  // directory revisited by an older build.  The reject must be counted as
+  // version_rejected, not plain corruption.
+  {
+    const std::string sealed =
+        flowdb::sealEnvelope("DSYNCECO", 2, "old-format tables");
+    std::ofstream f(dir / "eco-dlx.tbl", std::ios::binary);
+    f.write(sealed.data(), static_cast<std::streamsize>(sealed.size()));
+  }
+
+  std::string diag;
+  EXPECT_FALSE(cache.loadSlot("eco-dlx.tbl", "DSYNCECO", &diag).has_value());
+  EXPECT_NE(diag.find("version"), std::string::npos) << diag;
+  EXPECT_EQ(cache.stats().version_rejected, 1u);
+  EXPECT_EQ(cache.stats().invalid, 1u);
 }
 
 // --- Verilog writer/reader round-trip stability ---------------------------

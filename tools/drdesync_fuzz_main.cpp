@@ -51,6 +51,9 @@ void usage() {
       "                     short-margin or self-test (default none)\n"
       "  --cycles N         synchronous clock cycles simulated (default 16)\n"
       "  --no-flowdb        skip the FlowDB cold/warm cache cross-check\n"
+      "  --no-eco           skip the incremental-ECO differential check\n"
+      "  --eco-seed S       seed of the ECO check's scripted edit (default:\n"
+      "                     the design seed in generation mode, 1 otherwise)\n"
       "  --fe-engine E      golden-side simulator for the flow-equivalence\n"
       "                     check: 'bitsim' (bit-parallel, default) or\n"
       "                     'event' (reference); verdicts are identical\n"
@@ -108,6 +111,7 @@ std::string describe(const fuzz::OracleVerdict& v) {
   if (v.registers_proved > 0) {
     out += " proved=" + std::to_string(v.registers_proved);
   }
+  if (!v.eco_edit.empty()) out += "; eco edit: " + v.eco_edit;
   if (!v.note.empty()) out += "; note: " + v.note;
   return out;
 }
@@ -130,6 +134,7 @@ int main(int argc, char** argv) {
   fuzz::OracleOptions oracle;
   fuzz::ShrinkOptions shrink_opt;
   bool do_shrink = false;
+  bool eco_seed_fixed = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -159,6 +164,11 @@ int main(int argc, char** argv) {
       oracle.cycles = parseIntFlag(arg, next());
     } else if (arg == "--no-flowdb") {
       oracle.check_flowdb = false;
+    } else if (arg == "--no-eco") {
+      oracle.check_eco = false;
+    } else if (arg == "--eco-seed") {
+      oracle.eco_seed = static_cast<std::uint64_t>(parseIntFlag(arg, next()));
+      eco_seed_fixed = true;
     } else if (arg == "--fe-engine") {
       try {
         oracle.fe_engine = sim::parseSyncEngine(next());
@@ -274,6 +284,9 @@ int main(int argc, char** argv) {
   for (int r = 0; r < runs; ++r) {
     const std::uint64_t s = seed + static_cast<std::uint64_t>(r);
     const std::string text = fuzz::generateVerilog(gatefile, s, gen);
+    // The ECO edit follows the design seed so every seed exercises a
+    // different edit kind/site; --eco-seed pins it for reproduction.
+    if (!eco_seed_fixed) oracle.eco_seed = s;
     fuzz::OracleVerdict v = fuzz::runOracle(text, gatefile, oracle);
     if (v.ok) {
       std::printf("seed %llu: ok (%s)\n",
@@ -307,13 +320,20 @@ int main(int argc, char** argv) {
     out << "// drdesync-fuzz reproducer: seed "
         << static_cast<unsigned long long>(s) << ", failing check \"" << check
         << "\"\n"
-        << "// " << v.detail << "\n"
-        << "// repro: drdesync-fuzz --replay " << name << " --fault "
+        << "// " << v.detail << "\n";
+    if (check == "eco") {
+      // The replayed oracle must apply the identical scripted edit.
+      out << "// eco edit (seed " << static_cast<unsigned long long>(
+                 oracle.eco_seed) << "): " << v.eco_edit << "\n";
+    }
+    out << "// repro: drdesync-fuzz --replay " << name << " --fault "
         << fuzz::faultKindName(oracle.fault)
         << (oracle.fe_mode == core::FeMode::kSim
                 ? std::string{}
                 : std::string(" --fe-mode ") +
                       core::feModeName(oracle.fe_mode))
+        << (check == "eco" ? " --eco-seed " + std::to_string(oracle.eco_seed)
+                           : std::string{})
         << " --expect-check " << check << "\n"
         << repro;
     std::printf("seed %llu: reproducer written to %s\n",

@@ -80,6 +80,14 @@ void usage() {
       "                     prefixes instead of recomputing\n"
       "  --resume           restart from the last valid checkpoint in\n"
       "                     --cache-dir\n"
+      "  --eco              incremental recompute: diff the input against\n"
+      "                     the previous run's region tables in --cache-dir\n"
+      "                     and re-analyze only the dirty regions\n"
+      "                     (docs/eco.md); output is byte-identical to a\n"
+      "                     cold run\n"
+      "  --eco-base DIR     shorthand for '--cache-dir DIR --eco': DIR holds\n"
+      "                     the base run's tables and receives this run's\n"
+      "                     updated ones\n"
       "\n"
       "diagnostics:\n"
       "  --report           print the run report JSON to stdout\n"
@@ -139,7 +147,7 @@ std::vector<std::vector<std::string>> parseGroups(const std::string& spec) {
 
 int main(int argc, char** argv) {
   std::string lib_path, in_path, top, out_path, sdc_path, blif_path,
-      gatefile_path, group_spec, trace_path;
+      gatefile_path, group_spec, trace_path, eco_base;
   core::DesyncOptions opt;
   bool report = false;
 
@@ -221,6 +229,10 @@ int main(int argc, char** argv) {
       opt.flowdb.cache_dir = next();
     } else if (arg == "--resume") {
       opt.flowdb.resume = true;
+    } else if (arg == "--eco") {
+      opt.flowdb.eco = true;
+    } else if (arg == "--eco-base") {
+      eco_base = next();
     } else if (arg == "--report") {
       report = true;
     } else if (arg == "--trace") {
@@ -245,6 +257,18 @@ int main(int argc, char** argv) {
   }
   if (opt.flowdb.resume && opt.flowdb.cache_dir.empty()) {
     std::fputs("drdesync: --resume requires --cache-dir\n", stderr);
+    return 2;
+  }
+  if (!eco_base.empty()) {
+    if (!opt.flowdb.cache_dir.empty() && opt.flowdb.cache_dir != eco_base) {
+      std::fputs("drdesync: --eco-base conflicts with --cache-dir\n", stderr);
+      return 2;
+    }
+    opt.flowdb.cache_dir = eco_base;
+    opt.flowdb.eco = true;
+  }
+  if (opt.flowdb.eco && opt.flowdb.cache_dir.empty()) {
+    std::fputs("drdesync: --eco requires --cache-dir\n", stderr);
     return 2;
   }
   opt.manual_seq_groups = parseGroups(group_spec);
